@@ -1,0 +1,65 @@
+// Ablation A1: border packing on vs off.
+//
+// The paper (Sec. 4) notes that keeping every border as its own tree wastes
+// a page (and an I/O) per small border, and proposes keeping multiple
+// borders in a single disk page, "preferably the borders in the same index
+// page". This bench quantifies that remedy: the plain BaTree (one tree per
+// non-empty border) vs the PackedBaTree (small borders inline in the index
+// node's page), as a full 4-index box-sum configuration — index size and
+// query I/Os across QBS.
+
+#include "batree/ba_tree.h"
+#include "batree/packed_ba_tree.h"
+#include "bench/suite.h"
+#include "core/box_sum_index.h"
+
+using namespace boxagg;
+using namespace boxagg::bench;
+
+int main() {
+  Config cfg = Config::FromEnv();
+  cfg.Print("Ablation A1: BA-tree border packing on/off");
+
+  workload::RectConfig rc;
+  rc.n = cfg.n;
+  rc.seed = cfg.seed;
+  auto objects = workload::UniformRects(rc);
+
+  Storage plain_storage(cfg, "abplain");
+  BoxSumIndex<BaTree<double>> plain(
+      2, [&] { return BaTree<double>(plain_storage.pool(), 2); });
+  DieIf(plain.BulkLoad(objects), "plain bulk");
+
+  Storage packed_storage(cfg, "abpacked");
+  BoxSumIndex<PackedBaTree<double>> packed(
+      2, [&] { return PackedBaTree<double>(packed_storage.pool(), 2); });
+  DieIf(packed.BulkLoad(objects), "packed bulk");
+
+  std::printf("index size: unpacked %.1f MB, packed %.1f MB (%.0f%% saved)\n",
+              plain_storage.SizeMb(), packed_storage.SizeMb(),
+              100.0 * (1.0 - packed_storage.SizeMb() /
+                                 plain_storage.SizeMb()));
+
+  const double kQbs[] = {0.0001, 0.01, 0.1};
+  const char* kLabel[] = {"0.01%", "1%", "10%"};
+  std::printf("total I/Os over %zu queries:\n", cfg.queries);
+  std::printf("  %-6s %12s %12s\n", "QBS", "unpacked", "packed");
+  for (int i = 0; i < 3; ++i) {
+    auto queries = workload::QueryBoxes(cfg.queries, kQbs[i], cfg.seed + 7);
+    BatchCost a = MeasureQueries(
+        plain_storage.pool(), queries,
+        [&](const Box& q, double* r) { DieIf(plain.Query(q, r), "plain"); });
+    BatchCost b = MeasureQueries(
+        packed_storage.pool(), queries,
+        [&](const Box& q, double* r) { DieIf(packed.Query(q, r), "packed"); });
+    if (std::abs(a.checksum - b.checksum) >
+        1e-6 * std::max(1.0, std::abs(a.checksum))) {
+      std::fprintf(stderr, "checksum mismatch at QBS %s!\n", kLabel[i]);
+      return 1;
+    }
+    std::printf("  %-6s %12llu %12llu\n", kLabel[i],
+                static_cast<unsigned long long>(a.ios),
+                static_cast<unsigned long long>(b.ios));
+  }
+  return 0;
+}

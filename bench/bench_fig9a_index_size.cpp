@@ -1,0 +1,43 @@
+// Figure 9a: simple box-sum index sizes.
+//
+// Paper result (6M objects, 8KB pages): the aR-tree is smallest (linear
+// space); BAT and ECDFu are comparable with a logarithmic overhead; ECDFq is
+// by far the largest (every update/bulk region materializes prefix borders).
+// This bench reproduces the ordering aR < BAT ~ ECDFu << ECDFq and prints
+// sizes in MB plus the ratio to the aR-tree.
+
+#include "bench/suite.h"
+
+using namespace boxagg;
+using namespace boxagg::bench;
+
+int main() {
+  Config cfg = Config::FromEnv();
+  cfg.Print("Figure 9a: index sizes (simple box-sum)");
+
+  workload::RectConfig rc;
+  rc.n = cfg.n;
+  rc.seed = cfg.seed;
+  auto objects = workload::UniformRects(rc);
+
+  SimpleSuite suite(cfg, objects);
+
+  double ar = suite.ar_storage().SizeMb();
+  double bu = suite.ecdfu_storage().SizeMb();
+  double bq = suite.ecdfq_storage().SizeMb();
+  double bat = suite.bat_storage().SizeMb();
+
+  std::printf("index sizes (MB):\n");
+  std::printf("  %-8s %12s %12s\n", "index", "size(MB)", "vs aR");
+  std::printf("  %-8s %12.1f %12.2f\n", "aR", ar, 1.0);
+  std::printf("  %-8s %12.1f %12.2f\n", "ECDFu", bu, bu / ar);
+  std::printf("  %-8s %12.1f %12.2f\n", "ECDFq", bq, bq / ar);
+  std::printf("  %-8s %12.1f %12.2f\n", "BAT", bat, bat / ar);
+  std::printf(
+      "paper shape check: aR smallest=%s, ECDFq largest=%s, "
+      "BAT within ~4x of ECDFu=%s\n",
+      (ar <= bu && ar <= bq && ar <= bat) ? "yes" : "NO",
+      (bq >= bu && bq >= bat) ? "yes" : "NO",
+      (bat < 4 * bu && bu < 4 * bat) ? "yes" : "NO");
+  return 0;
+}

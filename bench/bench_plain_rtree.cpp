@@ -1,0 +1,56 @@
+// Section 6's prelude claim: "the BA-tree approach has a query time over 200
+// times faster than the plain R*-tree approach", which is why the paper only
+// charts the optimized aR-tree. This bench measures the plain R*-tree
+// (range-search-and-accumulate, no aggregate pruning), the aR-tree, and the
+// BA-tree at QBS = 1%.
+
+#include "bench/suite.h"
+
+using namespace boxagg;
+using namespace boxagg::bench;
+
+int main() {
+  Config cfg = Config::FromEnv();
+  cfg.Print("Sec. 6 claim: plain R*-tree vs aR-tree vs BA-tree, QBS=1%");
+
+  workload::RectConfig rc;
+  rc.n = cfg.n;
+  rc.seed = cfg.seed;
+  auto objects = workload::UniformRects(rc);
+  SimpleSuite::Options opt;
+  opt.build_ecdfu = false;
+  opt.build_ecdfq = false;
+  SimpleSuite suite(cfg, objects, opt);
+
+  auto queries = workload::QueryBoxes(cfg.queries, 0.01, cfg.seed + 7);
+  BatchCost plain = suite.MeasureAr(queries, /*use_aggregates=*/false);
+  BatchCost ar = suite.MeasureAr(queries, /*use_aggregates=*/true);
+  BatchCost bat = suite.MeasureBat(queries);
+
+  auto close = [&](double a, double b) {
+    return std::abs(a - b) <= 1e-6 * std::max(1.0, std::abs(b));
+  };
+  if (!close(plain.checksum, ar.checksum) ||
+      !close(bat.checksum, ar.checksum)) {
+    std::fprintf(stderr, "checksum mismatch!\n");
+    return 1;
+  }
+
+  std::printf("total I/Os and modeled time over %zu queries:\n", cfg.queries);
+  std::printf("  %-10s %12s %16s\n", "index", "I/Os", "exec time(ms)");
+  std::printf("  %-10s %12llu %16.1f\n", "plainR*",
+              static_cast<unsigned long long>(plain.ios),
+              plain.ModelMillis());
+  std::printf("  %-10s %12llu %16.1f\n", "aR",
+              static_cast<unsigned long long>(ar.ios), ar.ModelMillis());
+  std::printf("  %-10s %12llu %16.1f\n", "BAT",
+              static_cast<unsigned long long>(bat.ios), bat.ModelMillis());
+  std::printf(
+      "BAT vs plain R* speedup: x%.1f on I/Os, x%.1f on modeled time\n"
+      "(the paper's >200x holds at its 6M-object scale, where the R*-tree "
+      "leaves far exceed the 10MB buffer; the gap widens with BOXAGG_N)\n",
+      static_cast<double>(plain.ios) /
+          std::max<double>(1.0, static_cast<double>(bat.ios)),
+      plain.ModelMillis() / std::max(1.0, bat.ModelMillis()));
+  return 0;
+}

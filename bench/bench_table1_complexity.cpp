@@ -1,0 +1,113 @@
+// Table 1: empirical scaling of the two ECDF-B-trees (space, bulk-loading,
+// query, update) against n, d = 2.
+//
+// Expected shapes from the paper's complexity table:
+//   space:      Su = O(n/B log_B n)        Sq = O(n log_B n)
+//   bulk load:  Lu = O(n/B log^2_B n)      Lq = O(n log^2_B n)
+//   query:      Qu = O(B log^2_B n)        Qq = O(log^2_B n)    (Qu >> Qq)
+//   update:     Uu = O(log^2_B n)          Uq = O(B log^2_B n)  (Uq >> Uu)
+// The bench prints measured pages / I/Os per operation for an n sweep so the
+// growth rates and the u-vs-q asymmetry are visible.
+
+#include <random>
+
+#include "bench/suite.h"
+#include "ecdf/ecdf_btree.h"
+
+using namespace boxagg;
+using namespace boxagg::bench;
+
+namespace {
+
+struct Row {
+  size_t n;
+  double space_pages;
+  double bulk_ms;     // wall CPU of the bulk load
+  double query_ios;   // avg I/Os per dominance-sum query
+  double update_ios;  // avg I/Os per point insert
+};
+
+Row Measure(const Config& cfg, EcdfVariant variant, size_t n) {
+  Row row{};
+  row.n = n;
+  Storage storage(cfg, variant == EcdfVariant::kUpdateOptimized ? "t1u"
+                                                                : "t1q");
+  EcdfBTree<double> tree(storage.pool(), 2, variant);
+  workload::RectConfig rc;
+  rc.n = n;
+  rc.seed = cfg.seed;
+  auto objs = workload::UniformRects(rc);
+  std::vector<PointEntry<double>> pts;
+  pts.reserve(n);
+  for (const auto& o : objs) pts.push_back({o.box.lo, o.value});
+  double bulk0 = CpuMillis();
+  DieIf(tree.BulkLoad(std::move(pts)), "bulk load");
+  row.bulk_ms = CpuMillis() - bulk0;
+  row.space_pages = static_cast<double>(storage.file()->live_page_count());
+
+  // Queries: random dominance points.
+  std::mt19937_64 rng(cfg.seed + 3);
+  std::uniform_real_distribution<double> u(0, 1);
+  const size_t kQ = 200;
+  DieIf(storage.pool()->Reset(), "reset");
+  IoStats before = storage.pool()->stats();
+  double sink = 0;
+  for (size_t i = 0; i < kQ; ++i) {
+    double s;
+    DieIf(tree.DominanceSum(Point(u(rng), u(rng)), &s), "query");
+    sink += s;
+  }
+  row.query_ios = static_cast<double>(
+                      storage.pool()->stats().Since(before).TotalIos()) /
+                  static_cast<double>(kQ);
+
+  // Updates: random point inserts (amortized, includes split costs).
+  const size_t kU = 200;
+  DieIf(storage.pool()->Reset(), "reset");
+  before = storage.pool()->stats();
+  for (size_t i = 0; i < kU; ++i) {
+    DieIf(tree.Insert(Point(u(rng), u(rng)), 1.0), "update");
+  }
+  row.update_ios = static_cast<double>(
+                       storage.pool()->stats().Since(before).TotalIos()) /
+                   static_cast<double>(kU);
+  (void)sink;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Config cfg = Config::FromEnv();
+  // Small LRU so I/O counts reflect structure, not residency.
+  cfg.buffer_mb = 1;
+  cfg.Print("Table 1: ECDF-B-tree complexity scaling (d=2)");
+
+  std::vector<size_t> ns;
+  for (size_t n = cfg.n / 16; n <= cfg.n; n *= 4) ns.push_back(n);
+
+  std::printf(
+      "  %-10s | %10s %10s %9s %10s | %10s %10s %9s %10s\n", "n",
+      "Su(pages)", "Lu(ms)", "Qu(IO/q)", "Uu(IO/ins)", "Sq(pages)", "Lq(ms)",
+      "Qq(IO/q)", "Uq(IO/ins)");
+  Row last_u{}, last_q{};
+  for (size_t n : ns) {
+    Row u = Measure(cfg, EcdfVariant::kUpdateOptimized, n);
+    Row q = Measure(cfg, EcdfVariant::kQueryOptimized, n);
+    std::printf(
+        "  %-10zu | %10.0f %10.0f %9.2f %10.2f | %10.0f %10.0f %9.2f "
+        "%10.2f\n",
+        n, u.space_pages, u.bulk_ms, u.query_ios, u.update_ios,
+        q.space_pages, q.bulk_ms, q.query_ios, q.update_ios);
+    last_u = u;
+    last_q = q;
+  }
+  std::printf(
+      "paper shape check at n=%zu: Sq/Su=%.1f (>1), Lq/Lu=%.1f (>1), "
+      "Qu/Qq=%.1f (>1), Uq/Uu=%.1f (>1)\n",
+      last_u.n, last_q.space_pages / last_u.space_pages,
+      last_q.bulk_ms / std::max(0.01, last_u.bulk_ms),
+      last_u.query_ios / std::max(0.01, last_q.query_ios),
+      last_q.update_ios / std::max(0.01, last_u.update_ios));
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Shared infrastructure for the experiment harness: configuration via
+// environment variables, the paper's measurement conventions (Sec. 6), and
+// table printing.
+//
+// Every bench binary reproduces one table or figure of the paper. Scale
+// defaults to laptop size; the paper's exact setup is reachable with
+//   BOXAGG_N=6000000 BOXAGG_QUERIES=1000 BOXAGG_BUFFER_MB=10
+//
+// Environment knobs:
+//   BOXAGG_N          number of objects            (default 200000)
+//   BOXAGG_QUERIES    queries per measurement      (default 200)
+//   BOXAGG_PAGE_SIZE  page size in bytes           (default 8192, paper)
+//   BOXAGG_BUFFER_MB  LRU buffer size in MB        (default 10, paper)
+//   BOXAGG_DISK       1 = file-backed PageFile     (default 0, in-memory;
+//                     I/O *counts* are identical, only wall time differs)
+//   BOXAGG_SEED       workload seed                (default 42)
+
+#ifndef BOXAGG_BENCH_COMMON_H_
+#define BOXAGG_BENCH_COMMON_H_
+
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "workload/generators.h"
+
+namespace boxagg {
+namespace bench {
+
+struct Config {
+  size_t n = 200000;
+  size_t queries = 200;
+  uint32_t page_size = kDefaultPageSize;
+  size_t buffer_mb = 10;
+  bool disk = false;
+  uint64_t seed = 42;
+
+  static Config FromEnv() {
+    Config c;
+    if (const char* v = std::getenv("BOXAGG_N")) c.n = std::strtoull(v, nullptr, 10);
+    if (const char* v = std::getenv("BOXAGG_QUERIES")) c.queries = std::strtoull(v, nullptr, 10);
+    if (const char* v = std::getenv("BOXAGG_PAGE_SIZE")) c.page_size = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    if (const char* v = std::getenv("BOXAGG_BUFFER_MB")) c.buffer_mb = std::strtoull(v, nullptr, 10);
+    if (const char* v = std::getenv("BOXAGG_DISK")) c.disk = std::atoi(v) != 0;
+    if (const char* v = std::getenv("BOXAGG_SEED")) c.seed = std::strtoull(v, nullptr, 10);
+    return c;
+  }
+
+  size_t BufferPages() const {
+    return BufferPool::CapacityForMegabytes(buffer_mb, page_size);
+  }
+
+  void Print(const char* experiment) const {
+    std::printf("== %s ==\n", experiment);
+    std::printf(
+        "config: n=%zu queries=%zu page=%uB buffer=%zuMB (%zu pages) "
+        "backend=%s seed=%llu\n",
+        n, queries, page_size, buffer_mb, BufferPages(),
+        disk ? "file" : "memory", static_cast<unsigned long long>(seed));
+  }
+};
+
+/// A PageFile + BufferPool pair per index under test, so that sizes and I/O
+/// counts are attributable to one structure.
+class Storage {
+ public:
+  Storage(const Config& cfg, const std::string& tag) : cfg_(cfg) {
+    if (cfg.disk) {
+      std::string dir = std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp";
+      path_ = dir + "/boxagg_bench_" + tag + ".dat";
+      std::unique_ptr<FilePageFile> f;
+      Status s = FilePageFile::Open(path_, cfg.page_size, /*truncate=*/true, &f);
+      if (!s.ok()) {
+        std::fprintf(stderr, "open %s: %s\n", path_.c_str(),
+                     s.ToString().c_str());
+        std::abort();
+      }
+      file_ = std::move(f);
+    } else {
+      file_ = std::make_unique<MemPageFile>(cfg.page_size);
+    }
+    pool_ = std::make_unique<BufferPool>(file_.get(), cfg.BufferPages());
+  }
+
+  ~Storage() {
+    pool_.reset();
+    file_.reset();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  BufferPool* pool() { return pool_.get(); }
+  PageFile* file() { return file_.get(); }
+
+  double SizeMb() const {
+    return static_cast<double>(file_->live_page_count()) *
+           static_cast<double>(cfg_.page_size) / (1024.0 * 1024.0);
+  }
+
+ private:
+  Config cfg_;
+  std::string path_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+/// Process CPU time in milliseconds (the paper used getrusage; same
+/// quantity).
+inline double CpuMillis() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// Result of measuring a query batch under the paper's cost model.
+struct BatchCost {
+  uint64_t ios = 0;        // physical page I/Os
+  double cpu_ms = 0;       // process CPU time
+  double checksum = 0;     // sum of results (keeps the optimizer honest)
+
+  /// "Execution time" per the paper: CPU + #I/Os x 10ms (Sec. 6).
+  double ModelMillis() const {
+    return cpu_ms + static_cast<double>(ios) * kPaperIoMillis;
+  }
+};
+
+/// Runs `fn(query, &result)` over all queries, resetting the pool first
+/// (cold start, then the LRU warms up across the batch exactly as in the
+/// paper's 1000-query totals).
+template <class Fn>
+BatchCost MeasureQueries(BufferPool* pool, const std::vector<Box>& queries,
+                         Fn&& fn) {
+  BatchCost out;
+  if (!pool->Reset().ok()) std::abort();
+  IoStats before = pool->stats();
+  double cpu0 = CpuMillis();
+  for (const Box& q : queries) {
+    double r = 0;
+    fn(q, &r);
+    out.checksum += r;
+  }
+  out.cpu_ms = CpuMillis() - cpu0;
+  out.ios = pool->stats().Since(before).TotalIos();
+  return out;
+}
+
+inline void PrintRow(const char* name, double value, const char* unit) {
+  std::printf("  %-12s %14.2f %s\n", name, value, unit);
+}
+
+}  // namespace bench
+}  // namespace boxagg
+
+#endif  // BOXAGG_BENCH_COMMON_H_

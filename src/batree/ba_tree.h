@@ -1,0 +1,1074 @@
+// BaTree: the Box Aggregation Tree (Sec. 5) — the paper's main index.
+//
+// A d-dimensional BA-tree is a k-d-B-tree ([28]) whose index records are
+// augmented with aggregate information so a dominance-sum query follows a
+// single root-to-leaf path. Each index record r (box + child pointer) also
+// carries:
+//   - subtotal: total value of in-scope points dominated by r.box's low
+//     corner in every dimension;
+//   - d borders: border i is a (d-1)-dimensional BA-tree (an aggregate
+//     B+-tree when d-1 == 1) holding in-scope points whose FIRST deficient
+//     dimension is i (p_i < r.lo_i, p_j >= r.lo_j for j < i), projected by
+//     dropping dimension i.
+//
+// "In scope" means points routed through r's node that satisfy
+// p_j < r.hi_j in every dimension (others can never be dominated by a query
+// inside r.box). This classification partitions all in-scope points and
+// reduces, at every node on the path, the outside contribution to one
+// subtotal plus d (d-1)-dimensional dominance-sums — the paper's Fig. 7
+// picture, generalized beyond two dimensions.
+//
+// Split maintenance follows Fig. 8. When a record r splits along dimension m
+// at x into r1 (low) and r2 (high):
+//   - r1 keeps r.subtotal and border_m; its other borders drop entries with
+//     coordinate_m >= x (they fall outside r1's scope).
+//   - r2 starts from r.subtotal and reclassifies every border entry against
+//     its raised low corner; entries deficient in a dimension j < i migrate
+//     to border_j with the dropped coordinate i re-inserted as -infinity
+//     (sound: that coordinate is below every low corner the record lineage
+//     will ever have, so it is dominated by every reachable query).
+//   - If the split child is a LEAF, the points of the low half additionally
+//     enter border_m of r2 (Fig. 8b); if it is an index node they are
+//     already accounted for by the child's own records (Fig. 8d).
+// Index-node splits force-split crossing child records recursively, as in
+// the k-d-B-tree.
+//
+// Page layout (dims >= 2):
+//   leaf (type 5):     u16 type, u16 pad, u32 count; entries {Point, V}
+//   internal (type 6): u16 type, u16 pad, u32 count;
+//                      records {Box, u64 child, V subtotal, u64 border[dims]}
+
+#ifndef BOXAGG_BATREE_BA_TREE_H_
+#define BOXAGG_BATREE_BA_TREE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "bptree/agg_btree.h"
+#include "core/point_entry.h"
+#include "geom/box.h"
+#include "storage/buffer_pool.h"
+
+namespace boxagg {
+
+/// \brief Handle to a disk-resident d-dimensional BA-tree.
+template <class V>
+class BaTree {
+ public:
+  using Entry = PointEntry<V>;
+
+  BaTree(BufferPool* pool, int dims, PageId root = kInvalidPageId)
+      : pool_(pool), dims_(dims), root_(root) {
+    assert(dims_ >= 1 && dims_ <= kMaxDims);
+  }
+
+  PageId root() const { return root_; }
+  bool empty() const { return root_ == kInvalidPageId; }
+  int dims() const { return dims_; }
+
+  uint32_t LeafCapacity() const {
+    return (pool_->file()->page_size() - kHeaderSize) / kLeafEntrySize;
+  }
+  uint32_t InternalCapacity() const {
+    return (pool_->file()->page_size() - kHeaderSize) / RecordSize();
+  }
+  bool PageSizeViable() const {
+    return LeafCapacity() >= 4 && InternalCapacity() >= 4 &&
+           AggBTree<V>::PageSizeViable(pool_->file()->page_size());
+  }
+
+  /// Adds `v` at point `p`.
+  Status Insert(const Point& p, const V& v) {
+    if (!PageSizeViable()) {
+      return Status::InvalidArgument("page size too small for value type");
+    }
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      BOXAGG_RETURN_NOT_OK(base.Insert(p[0], v));
+      root_ = base.root();
+      return Status::OK();
+    }
+    if (root_ == kInvalidPageId) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kLeaf, 1);
+      WriteLeafEntry(g.page(), 0, p, v);
+      g.MarkDirty();
+      root_ = g.id();
+      return Status::OK();
+    }
+    SplitResult split;
+    BOXAGG_RETURN_NOT_OK(InsertRec(root_, p, v, &split));
+    if (split.happened) {
+      // Grow a new root: a virtual record covering the universe splits into
+      // the two halves, with full Fig. 8 border maintenance.
+      Record virt;
+      virt.box = Box::Universe(dims_);
+      virt.child = root_;
+      Record r1, r2;
+      BOXAGG_RETURN_NOT_OK(SplitRecord(virt, split.dim, split.value, root_,
+                                       split.right_page, split.child_was_leaf,
+                                       &r1, &r2));
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kInternal, 2);
+      WriteRecord(g.page(), 0, r1);
+      WriteRecord(g.page(), 1, r2);
+      g.MarkDirty();
+      root_ = g.id();
+    }
+    return Status::OK();
+  }
+
+  /// Total value of all points dominated by `q`. A +infinity coordinate
+  /// (an unbounded query side) is clamped to the largest finite double,
+  /// which dominates every storable point, so half-space and whole-space
+  /// queries work.
+  Status DominanceSum(const Point& query, V* out) const {
+    *out = V{};
+    if (root_ == kInvalidPageId) return Status::OK();
+    Point q = query;
+    for (int d = 0; d < dims_; ++d) {
+      q[d] = std::min(q[d], std::numeric_limits<double>::max());
+    }
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.DominanceSum(q[0], out);
+    }
+    PageId pid = root_;
+    for (;;) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      uint32_t n = Count(p);
+      if (Type(p) == kLeaf) {
+        for (uint32_t i = 0; i < n; ++i) {
+          Point pt = LeafPoint(p, i);
+          if (q.Dominates(pt, dims_)) {
+            V v;
+            ReadLeafValue(p, i, &v);
+            *out += v;
+          }
+        }
+        return Status::OK();
+      }
+      // Exactly one record's box contains q (half-open tiling).
+      uint32_t target = n;
+      for (uint32_t i = 0; i < n; ++i) {
+        Record r = ReadRecord(p, i);
+        if (r.box.ContainsPointHalfOpen(q, dims_)) {
+          *out += r.subtotal;
+          for (int b = 0; b < dims_; ++b) {
+            if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
+            V part;
+            BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
+            BOXAGG_RETURN_NOT_OK(
+                sub.DominanceSum(q.DropDim(b, dims_), &part));
+            *out += part;
+          }
+          target = i;
+          pid = r.child;
+          break;
+        }
+      }
+      if (target == n) {
+        return Status::Corruption("query point not covered by any record");
+      }
+    }
+  }
+
+  /// Collects every (point, value) stored in main-branch leaves (sorted
+  /// lexicographically on return).
+  Status ScanAll(std::vector<Entry>* out) const {
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      std::vector<typename AggBTree<V>::Entry> flat;
+      BOXAGG_RETURN_NOT_OK(base.ScanAll(&flat));
+      for (const auto& e : flat) out->push_back(Entry{Point(e.key), e.value});
+      return Status::OK();
+    }
+    BOXAGG_RETURN_NOT_OK(ScanRec(root_, out));
+    std::sort(out->begin(), out->end(),
+              [this](const Entry& a, const Entry& b) {
+                return LexLess(a.pt, b.pt, dims_);
+              });
+    return Status::OK();
+  }
+
+  /// Pages owned by this tree including all borders (Fig. 9a metric).
+  Status PageCount(uint64_t* out) const {
+    *out = 0;
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.PageCount(out);
+    }
+    return PageCountRec(root_, out);
+  }
+
+  /// Bulk-loads an empty tree: recursive median partitioning builds the
+  /// k-d-B structure top-down; each node's record borders are classified
+  /// directly from the node's full point set.
+  Status BulkLoad(std::vector<Entry> entries) {
+    if (root_ != kInvalidPageId) {
+      return Status::InvalidArgument("BulkLoad into non-empty tree");
+    }
+    if (!PageSizeViable()) {
+      return Status::InvalidArgument("page size too small for value type");
+    }
+    SortAndCoalesce(&entries, dims_);
+    if (entries.empty()) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_);
+      std::vector<typename AggBTree<V>::Entry> flat;
+      flat.reserve(entries.size());
+      for (const auto& e : entries) flat.push_back({e.pt[0], e.value});
+      BOXAGG_RETURN_NOT_OK(base.BulkLoad(flat));
+      root_ = base.root();
+      return Status::OK();
+    }
+    return BuildRec(&entries, 0, entries.size(), Box::Universe(dims_),
+                    &root_);
+  }
+
+  /// Structural audit (test/debug aid). Checks the invariants that are
+  /// reconstructible from the current state:
+  ///  (a) every leaf point lies inside the half-open box of every record on
+  ///      its root-to-leaf path, and in exactly one record per node;
+  ///  (b) a self-oracle: DominanceSum at a sample of probe points (data
+  ///      points and perturbations) equals a linear scan over the tree's
+  ///      own leaves.
+  /// Note that per-record aggregates cannot be re-derived by classifying
+  /// the node's point set: after an index-record split the high half's
+  /// borders legitimately exclude sibling points that predate the split
+  /// (Fig. 8d) — those are counted deeper, which only a query observes.
+  Status Validate() const {
+    if (root_ == kInvalidPageId || dims_ == 1) return Status::OK();
+    std::vector<Entry> pts;
+    BOXAGG_RETURN_NOT_OK(ValidateRec(root_, &pts));
+    return SelfOracle(pts);
+  }
+
+  /// Frees every page (main branch and all borders recursively).
+  Status Destroy() {
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      BOXAGG_RETURN_NOT_OK(base.Destroy());
+    } else {
+      BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
+    }
+    root_ = kInvalidPageId;
+    return Status::OK();
+  }
+
+ private:
+  static constexpr uint16_t kLeaf = 5;
+  static constexpr uint16_t kInternal = 6;
+  static constexpr uint32_t kHeaderSize = 8;
+  static constexpr uint32_t kLeafEntrySize = sizeof(Point) + sizeof(V);
+
+  /// An index record, materialized.
+  struct Record {
+    Box box;
+    PageId child = kInvalidPageId;
+    V subtotal{};
+    std::array<PageId, kMaxDims> border{kInvalidPageId, kInvalidPageId,
+                                        kInvalidPageId, kInvalidPageId};
+  };
+
+  struct SplitResult {
+    bool happened = false;
+    int dim = 0;
+    double value = 0.0;
+    PageId right_page = kInvalidPageId;
+    bool child_was_leaf = false;
+  };
+
+  uint32_t RecordSize() const {
+    return sizeof(Box) + 8 + sizeof(V) +
+           8 * static_cast<uint32_t>(dims_);
+  }
+
+  // ---- page accessors -----------------------------------------------------
+
+  static void SetHeader(Page* p, uint16_t type, uint32_t count) {
+    p->WriteAt<uint16_t>(0, type);
+    p->WriteAt<uint16_t>(2, 0);
+    p->WriteAt<uint32_t>(4, count);
+  }
+  static uint16_t Type(const Page* p) { return p->ReadAt<uint16_t>(0); }
+  static uint32_t Count(const Page* p) { return p->ReadAt<uint32_t>(4); }
+  static void SetCount(Page* p, uint32_t c) { p->WriteAt<uint32_t>(4, c); }
+
+  static uint32_t LeafOff(uint32_t i) {
+    return kHeaderSize + i * kLeafEntrySize;
+  }
+  uint32_t RecOff(uint32_t i) const { return kHeaderSize + i * RecordSize(); }
+
+  static Point LeafPoint(const Page* p, uint32_t i) {
+    return p->ReadAt<Point>(LeafOff(i));
+  }
+  static void ReadLeafValue(const Page* p, uint32_t i, V* v) {
+    p->ReadBytes(LeafOff(i) + sizeof(Point), v, sizeof(V));
+  }
+  static void WriteLeafEntry(Page* p, uint32_t i, const Point& pt,
+                             const V& v) {
+    p->WriteAt<Point>(LeafOff(i), pt);
+    p->WriteBytes(LeafOff(i) + sizeof(Point), &v, sizeof(V));
+  }
+
+  Record ReadRecord(const Page* p, uint32_t i) const {
+    Record r;
+    uint32_t off = RecOff(i);
+    r.box = p->ReadAt<Box>(off);
+    r.child = p->ReadAt<uint64_t>(off + sizeof(Box));
+    p->ReadBytes(off + sizeof(Box) + 8, &r.subtotal, sizeof(V));
+    for (int b = 0; b < dims_; ++b) {
+      r.border[static_cast<size_t>(b)] = p->ReadAt<uint64_t>(
+          off + sizeof(Box) + 8 + sizeof(V) + 8 * static_cast<uint32_t>(b));
+    }
+    return r;
+  }
+
+  void WriteRecord(Page* p, uint32_t i, const Record& r) const {
+    uint32_t off = RecOff(i);
+    p->WriteAt<Box>(off, r.box);
+    p->WriteAt<uint64_t>(off + sizeof(Box), r.child);
+    p->WriteBytes(off + sizeof(Box) + 8, &r.subtotal, sizeof(V));
+    for (int b = 0; b < dims_; ++b) {
+      p->WriteAt<uint64_t>(
+          off + sizeof(Box) + 8 + sizeof(V) + 8 * static_cast<uint32_t>(b),
+          r.border[static_cast<size_t>(b)]);
+    }
+  }
+
+  // ---- classification -----------------------------------------------------
+
+  /// Where point `p` registers relative to record box `rbox`:
+  ///   kSkip     — p_j >= hi_j somewhere: unreachable by queries in the box;
+  ///   kInside   — p in the half-open box: belongs to the subtree;
+  ///   dims_     — deficient everywhere: subtotal;
+  ///   i in [0, dims) — first deficient dimension: border i.
+  static constexpr int kSkip = -1;
+  static constexpr int kInside = -2;
+  int Classify(const Box& rbox, const Point& p) const {
+    int first = kInside;
+    int deficits = 0;
+    for (int j = 0; j < dims_; ++j) {
+      if (p[j] >= rbox.hi[j]) return kSkip;
+      if (p[j] < rbox.lo[j]) {
+        ++deficits;
+        if (first == kInside) first = j;
+      }
+    }
+    if (deficits == 0) return kInside;
+    if (deficits == dims_) return dims_;
+    return first;
+  }
+
+  // ---- border helpers -----------------------------------------------------
+
+  Status BuildBorder(std::vector<Entry> projected, PageId* out) {
+    BaTree sub(pool_, dims_ - 1);
+    BOXAGG_RETURN_NOT_OK(sub.BulkLoad(std::move(projected)));
+    *out = sub.root();
+    return Status::OK();
+  }
+
+  Status BorderInsert(PageId* border_root, const Point& projected,
+                      const V& v) {
+    BaTree sub(pool_, dims_ - 1, *border_root);
+    BOXAGG_RETURN_NOT_OK(sub.Insert(projected, v));
+    *border_root = sub.root();
+    return Status::OK();
+  }
+
+  Status ScanBorder(PageId border_root, std::vector<Entry>* out) const {
+    if (border_root == kInvalidPageId) return Status::OK();
+    BaTree sub(pool_, dims_ - 1, border_root);
+    return sub.ScanAll(out);
+  }
+
+  Status DestroyBorder(PageId border_root) {
+    if (border_root == kInvalidPageId) return Status::OK();
+    BaTree sub(pool_, dims_ - 1, border_root);
+    return sub.Destroy();
+  }
+
+  // ---- split machinery ----------------------------------------------------
+
+  /// Splits record `r` along dimension m at x into r1 (low half, child
+  /// `left_child`) and r2 (high half, child `right_child`), performing the
+  /// Fig. 8 border maintenance described in the file comment.
+  Status SplitRecord(const Record& r, int m, double x, PageId left_child,
+                     PageId right_child, bool child_is_leaf, Record* r1,
+                     Record* r2) {
+    r1->box = r.box;
+    r1->box.hi[m] = x;
+    r1->child = left_child;
+    r1->subtotal = r.subtotal;
+    r2->box = r.box;
+    r2->box.lo[m] = x;
+    r2->child = right_child;
+    r2->subtotal = r.subtotal;
+    std::vector<std::vector<Entry>> b1(static_cast<size_t>(dims_));
+    std::vector<std::vector<Entry>> b2(static_cast<size_t>(dims_));
+
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < dims_; ++i) {
+      PageId old = r.border[static_cast<size_t>(i)];
+      if (old == kInvalidPageId) continue;
+      std::vector<Entry> entries;
+      BOXAGG_RETURN_NOT_OK(ScanBorder(old, &entries));
+      for (const Entry& e : entries) {
+        // Reconstruct a full-dimensional stand-in: the dropped coordinate is
+        // below every low bound this lineage can have.
+        Point full = e.pt.InsertDim(i, kNegInf, dims_);
+        int c1 = Classify(r1->box, full);
+        if (c1 == i) {
+          b1[static_cast<size_t>(i)].push_back(e);
+        }
+        // c1 == kSkip drops the entry (coordinate_m >= x); other outcomes
+        // are impossible because r1.lo == r.lo.
+        int c2 = Classify(r2->box, full);
+        if (c2 == dims_) {
+          r2->subtotal += e.value;
+        } else if (c2 == i) {
+          b2[static_cast<size_t>(i)].push_back(e);
+        } else {
+          // Migrates to an earlier-deficit border; re-project.
+          b2[static_cast<size_t>(c2)].push_back(
+              Entry{full.DropDim(c2, dims_), e.value});
+        }
+      }
+      BOXAGG_RETURN_NOT_OK(DestroyBorder(old));
+    }
+    if (child_is_leaf) {
+      // Fig. 8b: the low half's points join border m of the high record.
+      std::vector<Entry> pts;
+      BOXAGG_RETURN_NOT_OK(ScanRec(left_child, &pts));
+      for (const Entry& e : pts) {
+        b2[static_cast<size_t>(m)].push_back(
+            Entry{e.pt.DropDim(m, dims_), e.value});
+      }
+    }
+    for (int i = 0; i < dims_; ++i) {
+      BOXAGG_RETURN_NOT_OK(
+          BuildBorder(std::move(b1[static_cast<size_t>(i)]),
+                      &r1->border[static_cast<size_t>(i)]));
+      BOXAGG_RETURN_NOT_OK(
+          BuildBorder(std::move(b2[static_cast<size_t>(i)]),
+                      &r2->border[static_cast<size_t>(i)]));
+    }
+    return Status::OK();
+  }
+
+  /// Splits the subtree rooted at `pid` by the plane (m, x). `pid` keeps the
+  /// low half; the high half lands in a fresh page returned via `right`.
+  /// Crossing records are force-split recursively (k-d-B downward splits).
+  Status SplitSubtree(PageId pid, int m, double x, PageId* right,
+                      bool* was_leaf) {
+    uint16_t type;
+    uint32_t n;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      type = Type(g.page());
+      n = Count(g.page());
+    }
+    if (type == kLeaf) {
+      *was_leaf = true;
+      std::vector<Entry> low, high;
+      {
+        PageGuard g;
+        BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+        for (uint32_t i = 0; i < n; ++i) {
+          Entry e;
+          e.pt = LeafPoint(g.page(), i);
+          ReadLeafValue(g.page(), i, &e.value);
+          (e.pt[m] < x ? low : high).push_back(e);
+        }
+        SetHeader(g.page(), kLeaf, static_cast<uint32_t>(low.size()));
+        for (uint32_t i = 0; i < low.size(); ++i) {
+          WriteLeafEntry(g.page(), i, low[i].pt, low[i].value);
+        }
+        g.MarkDirty();
+      }
+      PageGuard rg;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+      SetHeader(rg.page(), kLeaf, static_cast<uint32_t>(high.size()));
+      for (uint32_t i = 0; i < high.size(); ++i) {
+        WriteLeafEntry(rg.page(), i, high[i].pt, high[i].value);
+      }
+      rg.MarkDirty();
+      *right = rg.id();
+      return Status::OK();
+    }
+
+    *was_leaf = false;
+    std::vector<Record> recs(n);
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      for (uint32_t i = 0; i < n; ++i) recs[i] = ReadRecord(g.page(), i);
+    }
+    std::vector<Record> low, high;
+    BOXAGG_RETURN_NOT_OK(PartitionRecords(&recs, m, x, &low, &high));
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      SetHeader(g.page(), kInternal, static_cast<uint32_t>(low.size()));
+      for (uint32_t i = 0; i < low.size(); ++i) {
+        WriteRecord(g.page(), i, low[i]);
+      }
+      g.MarkDirty();
+    }
+    PageGuard rg;
+    BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+    SetHeader(rg.page(), kInternal, static_cast<uint32_t>(high.size()));
+    for (uint32_t i = 0; i < high.size(); ++i) {
+      WriteRecord(rg.page(), i, high[i]);
+    }
+    rg.MarkDirty();
+    *right = rg.id();
+    return Status::OK();
+  }
+
+  /// Distributes `recs` across the plane (m, x), force-splitting crossing
+  /// records (and their subtrees).
+  Status PartitionRecords(std::vector<Record>* recs, int m, double x,
+                          std::vector<Record>* low,
+                          std::vector<Record>* high) {
+    for (Record& r : *recs) {
+      if (r.box.hi[m] <= x) {
+        low->push_back(r);
+      } else if (r.box.lo[m] >= x) {
+        high->push_back(r);
+      } else {
+        PageId right_child;
+        bool leaf_child;
+        BOXAGG_RETURN_NOT_OK(
+            SplitSubtree(r.child, m, x, &right_child, &leaf_child));
+        Record r1, r2;
+        BOXAGG_RETURN_NOT_OK(SplitRecord(r, m, x, r.child, right_child,
+                                         leaf_child, &r1, &r2));
+        low->push_back(r1);
+        high->push_back(r2);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Chooses a split plane for an overflowing leaf's entries: the dimension
+  /// with the widest spread whose median strictly partitions the points.
+  Status ChooseLeafSplit(const std::vector<Entry>& entries, int* m,
+                         double* x) const {
+    int best_dim = -1;
+    double best_spread = -1;
+    for (int d = 0; d < dims_; ++d) {
+      double lo = entries[0].pt[d], hi = entries[0].pt[d];
+      for (const Entry& e : entries) {
+        lo = std::min(lo, e.pt[d]);
+        hi = std::max(hi, e.pt[d]);
+      }
+      if (hi - lo > best_spread) {
+        best_spread = hi - lo;
+        best_dim = d;
+      }
+    }
+    for (int attempt = 0; attempt < dims_; ++attempt) {
+      int d = (best_dim + attempt) % dims_;
+      std::vector<double> coords;
+      coords.reserve(entries.size());
+      for (const Entry& e : entries) coords.push_back(e.pt[d]);
+      std::sort(coords.begin(), coords.end());
+      double cand = coords[coords.size() / 2];
+      if (cand == coords.front()) {
+        // All of the lower half is equal; take the first strictly larger
+        // coordinate so the low side is non-empty.
+        auto it = std::upper_bound(coords.begin(), coords.end(), cand);
+        if (it == coords.end()) continue;  // dimension is degenerate
+        cand = *it;
+      }
+      *m = d;
+      *x = cand;
+      return Status::OK();
+    }
+    return Status::Corruption("leaf entries degenerate in all dimensions");
+  }
+
+  /// Chooses a split plane for an overflowing index node: the median of the
+  /// records' low boundaries in the dimension with the most distinct
+  /// boundaries (so forced splits stay rare and both halves are non-empty).
+  Status ChooseIndexSplit(const std::vector<Record>& recs, int* m,
+                          double* x) const {
+    int best_dim = -1;
+    double best_value = 0;
+    size_t best_distinct = 0;
+    for (int d = 0; d < dims_; ++d) {
+      std::vector<double> los;
+      double min_lo = recs[0].box.lo[d];
+      for (const Record& r : recs) min_lo = std::min(min_lo, r.box.lo[d]);
+      for (const Record& r : recs) {
+        if (r.box.lo[d] > min_lo) los.push_back(r.box.lo[d]);
+      }
+      if (los.empty()) continue;
+      std::sort(los.begin(), los.end());
+      los.erase(std::unique(los.begin(), los.end()), los.end());
+      if (los.size() > best_distinct) {
+        best_distinct = los.size();
+        best_dim = d;
+        best_value = los[los.size() / 2];
+      }
+    }
+    if (best_dim < 0) {
+      return Status::Corruption("index records degenerate in all dimensions");
+    }
+    *m = best_dim;
+    *x = best_value;
+    return Status::OK();
+  }
+
+  // ---- insertion ----------------------------------------------------------
+
+  Status InsertRec(PageId pid, const Point& p, const V& v,
+                   SplitResult* split) {
+    split->happened = false;
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    Page* page = g.page();
+    uint32_t n = Count(page);
+
+    if (Type(page) == kLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        if (LexEqual(LeafPoint(page, i), p, dims_)) {
+          V cur;
+          ReadLeafValue(page, i, &cur);
+          cur += v;
+          WriteLeafEntry(page, i, p, cur);
+          g.MarkDirty();
+          return Status::OK();
+        }
+      }
+      if (n < LeafCapacity()) {
+        WriteLeafEntry(page, n, p, v);
+        SetCount(page, n + 1);
+        g.MarkDirty();
+        return Status::OK();
+      }
+      // Overflow: choose a plane and split this leaf in place.
+      std::vector<Entry> all(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        all[i].pt = LeafPoint(page, i);
+        ReadLeafValue(page, i, &all[i].value);
+      }
+      all.push_back(Entry{p, v});
+      int m;
+      double x;
+      BOXAGG_RETURN_NOT_OK(ChooseLeafSplit(all, &m, &x));
+      std::vector<Entry> low, high;
+      for (const Entry& e : all) (e.pt[m] < x ? low : high).push_back(e);
+      SetHeader(page, kLeaf, static_cast<uint32_t>(low.size()));
+      for (uint32_t i = 0; i < low.size(); ++i) {
+        WriteLeafEntry(page, i, low[i].pt, low[i].value);
+      }
+      g.MarkDirty();
+      PageGuard rg;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+      SetHeader(rg.page(), kLeaf, static_cast<uint32_t>(high.size()));
+      for (uint32_t i = 0; i < high.size(); ++i) {
+        WriteLeafEntry(rg.page(), i, high[i].pt, high[i].value);
+      }
+      rg.MarkDirty();
+      split->happened = true;
+      split->dim = m;
+      split->value = x;
+      split->right_page = rg.id();
+      split->child_was_leaf = true;
+      return Status::OK();
+    }
+
+    // Index node: register p with every record it affects, then recurse
+    // into the record containing it.
+    int target = -1;
+    for (uint32_t i = 0; i < n; ++i) {
+      Record r = ReadRecord(page, i);
+      int c = Classify(r.box, p);
+      if (c == kSkip) continue;
+      if (c == kInside) {
+        target = static_cast<int>(i);
+        continue;
+      }
+      if (c == dims_) {
+        r.subtotal += v;
+      } else {
+        BOXAGG_RETURN_NOT_OK(BorderInsert(&r.border[static_cast<size_t>(c)],
+                                          p.DropDim(c, dims_), v));
+      }
+      WriteRecord(page, i, r);
+      g.MarkDirty();
+    }
+    if (target < 0) {
+      return Status::Corruption("insert point not covered by any record");
+    }
+    Record tr = ReadRecord(page, static_cast<uint32_t>(target));
+    SplitResult child_split;
+    BOXAGG_RETURN_NOT_OK(InsertRec(tr.child, p, v, &child_split));
+    if (!child_split.happened) return Status::OK();
+
+    Record r1, r2;
+    BOXAGG_RETURN_NOT_OK(SplitRecord(tr, child_split.dim, child_split.value,
+                                     tr.child, child_split.right_page,
+                                     child_split.child_was_leaf, &r1, &r2));
+    if (n < InternalCapacity()) {
+      std::memmove(
+          page->data() + RecOff(static_cast<uint32_t>(target) + 2),
+          page->data() + RecOff(static_cast<uint32_t>(target) + 1),
+          (n - static_cast<uint32_t>(target) - 1) * RecordSize());
+      WriteRecord(page, static_cast<uint32_t>(target), r1);
+      WriteRecord(page, static_cast<uint32_t>(target) + 1, r2);
+      SetCount(page, n + 1);
+      g.MarkDirty();
+      return Status::OK();
+    }
+    // This node overflows: split it too.
+    std::vector<Record> recs;
+    recs.reserve(n + 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i == static_cast<uint32_t>(target)) {
+        recs.push_back(r1);
+        recs.push_back(r2);
+      } else {
+        recs.push_back(ReadRecord(page, i));
+      }
+    }
+    int m;
+    double x;
+    BOXAGG_RETURN_NOT_OK(ChooseIndexSplit(recs, &m, &x));
+    std::vector<Record> low, high;
+    BOXAGG_RETURN_NOT_OK(PartitionRecords(&recs, m, x, &low, &high));
+    SetHeader(page, kInternal, static_cast<uint32_t>(low.size()));
+    for (uint32_t i = 0; i < low.size(); ++i) {
+      WriteRecord(page, i, low[i]);
+    }
+    g.MarkDirty();
+    PageGuard rg;
+    BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+    SetHeader(rg.page(), kInternal, static_cast<uint32_t>(high.size()));
+    for (uint32_t i = 0; i < high.size(); ++i) {
+      WriteRecord(rg.page(), i, high[i]);
+    }
+    rg.MarkDirty();
+    split->happened = true;
+    split->dim = m;
+    split->value = x;
+    split->right_page = rg.id();
+    split->child_was_leaf = false;
+    return Status::OK();
+  }
+
+  // ---- bulk loading -------------------------------------------------------
+
+  /// Builds the subtree for entries[lo, hi) covering `box`; returns its root.
+  Status BuildRec(std::vector<Entry>* entries, size_t lo, size_t hi,
+                  const Box& box, PageId* out) {
+    const size_t n = hi - lo;
+    const size_t leaf_target =
+        std::max<size_t>(4, LeafCapacity() * 9 / 10);
+    if (n <= leaf_target) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kLeaf, static_cast<uint32_t>(n));
+      for (size_t i = 0; i < n; ++i) {
+        WriteLeafEntry(g.page(), static_cast<uint32_t>(i - 0),
+                       (*entries)[lo + i].pt, (*entries)[lo + i].value);
+      }
+      g.MarkDirty();
+      *out = g.id();
+      return Status::OK();
+    }
+    // Decide fan-out and carve [lo, hi) into that many regions by repeated
+    // median splits of the currently largest region.
+    const size_t int_target = std::max<size_t>(2, InternalCapacity() * 9 / 10);
+    size_t fanout = (n + leaf_target - 1) / leaf_target;
+    fanout = std::min(fanout, int_target);
+    fanout = std::max<size_t>(fanout, 2);
+
+    struct Region {
+      Box box;
+      size_t lo, hi;
+    };
+    std::vector<Region> regions{{box, lo, hi}};
+    while (regions.size() < fanout) {
+      // Split the region with the most points.
+      size_t biggest = 0;
+      for (size_t i = 1; i < regions.size(); ++i) {
+        if (regions[i].hi - regions[i].lo >
+            regions[biggest].hi - regions[biggest].lo) {
+          biggest = i;
+        }
+      }
+      Region reg = regions[biggest];
+      if (reg.hi - reg.lo < 2) break;  // nothing left to split
+      int m = -1;
+      double x = 0;
+      size_t mid = 0;
+      if (!ChooseRegionSplit(entries, reg.lo, reg.hi, &m, &x, &mid)) {
+        break;  // degenerate region
+      }
+      Region low = reg, high = reg;
+      low.hi = mid;
+      low.box.hi[m] = x;
+      high.lo = mid;
+      high.box.lo[m] = x;
+      regions[biggest] = low;
+      regions.push_back(high);
+    }
+    if (regions.size() < 2) {
+      return Status::Corruption("bulk load failed to partition region");
+    }
+
+    // Build children, then classify the node's entire point set against each
+    // record box to form subtotals and borders.
+    std::vector<Record> recs(regions.size());
+    for (size_t i = 0; i < regions.size(); ++i) {
+      recs[i].box = regions[i].box;
+      BOXAGG_RETURN_NOT_OK(BuildRec(entries, regions[i].lo, regions[i].hi,
+                                    regions[i].box, &recs[i].child));
+    }
+    for (size_t i = 0; i < regions.size(); ++i) {
+      std::vector<std::vector<Entry>> bpts(static_cast<size_t>(dims_));
+      for (size_t k = lo; k < hi; ++k) {
+        const Entry& e = (*entries)[k];
+        int c = Classify(recs[i].box, e.pt);
+        if (c == kSkip || c == kInside) continue;
+        if (c == dims_) {
+          recs[i].subtotal += e.value;
+        } else {
+          bpts[static_cast<size_t>(c)].push_back(
+              Entry{e.pt.DropDim(c, dims_), e.value});
+        }
+      }
+      for (int b = 0; b < dims_; ++b) {
+        BOXAGG_RETURN_NOT_OK(
+            BuildBorder(std::move(bpts[static_cast<size_t>(b)]),
+                        &recs[i].border[static_cast<size_t>(b)]));
+      }
+    }
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+    SetHeader(g.page(), kInternal, static_cast<uint32_t>(recs.size()));
+    for (uint32_t i = 0; i < recs.size(); ++i) {
+      WriteRecord(g.page(), i, recs[i]);
+    }
+    g.MarkDirty();
+    *out = g.id();
+    return Status::OK();
+  }
+
+  /// Picks a strictly partitioning median plane for entries[lo, hi) and
+  /// reorders that span so [lo, mid) < x <= [mid, hi) in dimension m.
+  /// Returns false if the span is degenerate in every dimension.
+  bool ChooseRegionSplit(std::vector<Entry>* entries, size_t lo, size_t hi,
+                         int* m, double* x, size_t* mid) const {
+    // Prefer the dimension with the widest coordinate spread.
+    std::array<double, kMaxDims> spread{};
+    for (int d = 0; d < dims_; ++d) {
+      double mn = (*entries)[lo].pt[d], mx = (*entries)[lo].pt[d];
+      for (size_t i = lo; i < hi; ++i) {
+        mn = std::min(mn, (*entries)[i].pt[d]);
+        mx = std::max(mx, (*entries)[i].pt[d]);
+      }
+      spread[static_cast<size_t>(d)] = mx - mn;
+    }
+    std::vector<int> order(static_cast<size_t>(dims_));
+    for (int d = 0; d < dims_; ++d) order[static_cast<size_t>(d)] = d;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return spread[static_cast<size_t>(a)] > spread[static_cast<size_t>(b)];
+    });
+    for (int attempt = 0; attempt < dims_; ++attempt) {
+      int d = order[static_cast<size_t>(attempt)];
+      if (spread[static_cast<size_t>(d)] <= 0) continue;
+      std::sort(entries->begin() + static_cast<ptrdiff_t>(lo),
+                entries->begin() + static_cast<ptrdiff_t>(hi),
+                [d](const Entry& a, const Entry& b) {
+                  return a.pt[d] < b.pt[d];
+                });
+      size_t half = lo + (hi - lo) / 2;
+      double cand = (*entries)[half].pt[d];
+      if (cand == (*entries)[lo].pt[d]) {
+        // Move up to the first strictly larger coordinate.
+        size_t i = half;
+        while (i < hi && (*entries)[i].pt[d] == cand) ++i;
+        if (i == hi) continue;
+        cand = (*entries)[i].pt[d];
+        half = i;
+      } else {
+        while ((*entries)[half - 1].pt[d] == cand) --half;
+      }
+      *m = d;
+      *x = cand;
+      *mid = half;
+      return true;
+    }
+    return false;
+  }
+
+  // ---- traversal ----------------------------------------------------------
+
+  Status ScanRec(PageId pid, std::vector<Entry>* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    uint32_t n = Count(p);
+    if (Type(p) == kLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.pt = LeafPoint(p, i);
+        ReadLeafValue(p, i, &e.value);
+        out->push_back(e);
+      }
+      return Status::OK();
+    }
+    std::vector<PageId> children(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      children[i] = ReadRecord(p, i).child;
+    }
+    g.Release();
+    for (PageId c : children) {
+      BOXAGG_RETURN_NOT_OK(ScanRec(c, out));
+    }
+    return Status::OK();
+  }
+
+  Status PageCountRec(PageId pid, uint64_t* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    *out += 1;
+    if (Type(p) != kInternal) return Status::OK();
+    uint32_t n = Count(p);
+    std::vector<Record> recs(n);
+    for (uint32_t i = 0; i < n; ++i) recs[i] = ReadRecord(p, i);
+    g.Release();
+    for (const Record& r : recs) {
+      BOXAGG_RETURN_NOT_OK(PageCountRec(r.child, out));
+      for (int b = 0; b < dims_; ++b) {
+        if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
+        BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
+        uint64_t cnt = 0;
+        BOXAGG_RETURN_NOT_OK(sub.PageCount(&cnt));
+        *out += cnt;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ValidateRec(PageId pid, std::vector<Entry>* out) const {
+    std::vector<Record> recs;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      if (Type(p) == kLeaf) {
+        uint32_t n = Count(p);
+        for (uint32_t i = 0; i < n; ++i) {
+          Entry e;
+          e.pt = LeafPoint(p, i);
+          ReadLeafValue(p, i, &e.value);
+          out->push_back(e);
+        }
+        return Status::OK();
+      }
+      uint32_t n = Count(p);
+      recs.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) recs.push_back(ReadRecord(p, i));
+    }
+    // Gather all points below this node, checking containment and tiling.
+    size_t begin = out->size();
+    for (const Record& r : recs) {
+      size_t lo = out->size();
+      BOXAGG_RETURN_NOT_OK(ValidateRec(r.child, out));
+      // Subtree points must lie inside their record's half-open box.
+      for (size_t k = lo; k < out->size(); ++k) {
+        if (!r.box.ContainsPointHalfOpen((*out)[k].pt, dims_)) {
+          return Status::Corruption("subtree point escapes its record box");
+        }
+      }
+    }
+    // Tiling over the data: each point under this node belongs to exactly
+    // one record's half-open box.
+    for (size_t k = begin; k < out->size(); ++k) {
+      int owners = 0;
+      for (const Record& r : recs) {
+        if (r.box.ContainsPointHalfOpen((*out)[k].pt, dims_)) ++owners;
+      }
+      if (owners != 1) {
+        return Status::Corruption("record boxes do not tile the node scope");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Queries a probe sample and compares against a scan of the collected
+  /// leaf entries.
+  Status SelfOracle(const std::vector<Entry>& pts) const {
+    const size_t step = pts.size() <= 400 ? 1 : pts.size() / 400;
+    for (size_t k = 0; k < pts.size(); k += step) {
+      for (double jitter : {0.0, 0.25}) {
+        Point q = pts[k].pt;
+        for (int d = 0; d < dims_; ++d) q[d] += jitter;
+        V got;
+        BOXAGG_RETURN_NOT_OK(DominanceSum(q, &got));
+        V want{};
+        for (const Entry& e : pts) {
+          if (q.Dominates(e.pt, dims_)) want += e.value;
+        }
+        want -= got;
+        double drift = 0;
+        if constexpr (std::is_same_v<V, double>) {
+          drift = std::abs(want);
+        } else {
+          for (double c : want.c) drift += std::abs(c);
+        }
+        if (drift > 1e-6) {
+          return Status::Corruption("self-oracle dominance-sum mismatch");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status DestroyRec(PageId pid) {
+    std::vector<Record> recs;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      if (Type(p) == kInternal) {
+        uint32_t n = Count(p);
+        recs.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) recs.push_back(ReadRecord(p, i));
+      }
+    }
+    for (const Record& r : recs) {
+      BOXAGG_RETURN_NOT_OK(DestroyRec(r.child));
+      for (int b = 0; b < dims_; ++b) {
+        BOXAGG_RETURN_NOT_OK(DestroyBorder(r.border[static_cast<size_t>(b)]));
+      }
+    }
+    return pool_->Delete(pid);
+  }
+
+  BufferPool* pool_;
+  int dims_;
+  PageId root_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_BATREE_BA_TREE_H_

@@ -1,0 +1,549 @@
+// AggBTree: a disk-based B+-tree whose internal records carry subtree
+// aggregates, answering 1-dimensional dominance-sum queries ("total value of
+// all keys <= q") in O(log_B n) I/Os with O(log_B n) insertion.
+//
+// This structure is the base case of every recursive index in the paper: a
+// 1-dimensional ECDF-B-tree and a 1-dimensional BA-tree are exactly this tree
+// (it is also the structural idea behind the JSB-tree of [37]). Borders of
+// higher-dimensional trees bottom out here.
+//
+// The tree is an additive-group aggregate index: it stores sums, not objects.
+// Deletion of a previously inserted (key, v) is Insert(key, -v). Entries with
+// equal keys are coalesced, so the entry count is the number of distinct keys.
+//
+// Page layout (fixed page size from the BufferPool's PageFile):
+//   header: u16 type (1=leaf, 2=internal), u16 pad, u32 count
+//   leaf entry:     f64 key, V value
+//   internal entry: f64 lowkey, u64 child, V subtree_sum
+// Internal entry i routes keys in [lowkey_i, lowkey_{i+1}); entry 0's lowkey
+// acts as -infinity during routing.
+
+#ifndef BOXAGG_BPTREE_AGG_BTREE_H_
+#define BOXAGG_BPTREE_AGG_BTREE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+
+namespace boxagg {
+
+/// \brief Handle to a disk-resident aggregate B+-tree.
+///
+/// The handle owns no pages itself; it records the root PageId, which changes
+/// on root splits. Callers embedding a tree inside another page (borders)
+/// must persist root() after mutating operations.
+template <class V>
+class AggBTree {
+ public:
+  static_assert(std::is_trivially_copyable_v<V>);
+
+  /// An entry as seen by scans and bulk loads.
+  struct Entry {
+    double key;
+    V value;
+  };
+
+  AggBTree(BufferPool* pool, PageId root = kInvalidPageId)
+      : pool_(pool), root_(root) {}
+
+  PageId root() const { return root_; }
+  bool empty() const { return root_ == kInvalidPageId; }
+
+  static uint32_t LeafCapacity(uint32_t page_size) {
+    return (page_size - kHeaderSize) / kLeafEntrySize;
+  }
+  static uint32_t InternalCapacity(uint32_t page_size) {
+    return (page_size - kHeaderSize) / kInternalEntrySize;
+  }
+
+  /// True iff pages of `page_size` bytes can hold enough entries for the
+  /// split algorithms to operate (>= 4 per node).
+  static bool PageSizeViable(uint32_t page_size) {
+    return LeafCapacity(page_size) >= 4 && InternalCapacity(page_size) >= 4;
+  }
+
+  /// Adds `v` to the aggregate at `key` (coalescing equal keys).
+  Status Insert(double key, const V& v) {
+    if (!PageSizeViable(pool_->file()->page_size())) {
+      return Status::InvalidArgument("page size too small for value type");
+    }
+    if (root_ == kInvalidPageId) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kLeaf, 1);
+      WriteLeafEntry(g.page(), 0, key, v);
+      g.MarkDirty();
+      root_ = g.id();
+      return Status::OK();
+    }
+    SplitResult split;
+    BOXAGG_RETURN_NOT_OK(InsertRec(root_, key, v, &split));
+    if (split.happened) {
+      // Grow a new root above the two halves.
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kInternal, 2);
+      WriteInternalEntry(g.page(), 0, split.left_lowkey, root_,
+                         split.left_sum);
+      WriteInternalEntry(g.page(), 1, split.right_lowkey, split.right_page,
+                         split.right_sum);
+      g.MarkDirty();
+      root_ = g.id();
+    }
+    return Status::OK();
+  }
+
+  /// Sum of values over all keys <= q. An empty tree yields V{}.
+  Status DominanceSum(double q, V* out) const {
+    *out = V{};
+    if (root_ == kInvalidPageId) return Status::OK();
+    PageId pid = root_;
+    for (;;) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      uint32_t n = Count(p);
+      if (Type(p) == kLeaf) {
+        for (uint32_t i = 0; i < n; ++i) {
+          double k = LeafKey(p, i);
+          if (k > q) break;
+          V v;
+          ReadLeafValue(p, i, &v);
+          *out += v;
+        }
+        return Status::OK();
+      }
+      uint32_t idx = RouteInternal(p, n, q);
+      for (uint32_t i = 0; i < idx; ++i) {
+        V s;
+        ReadInternalSum(p, i, &s);
+        *out += s;
+      }
+      pid = InternalChild(p, idx);
+    }
+  }
+
+  /// Sum of all values in the tree.
+  Status TotalSum(V* out) const {
+    *out = V{};
+    if (root_ == kInvalidPageId) return Status::OK();
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(root_, &g));
+    const Page* p = g.page();
+    uint32_t n = Count(p);
+    if (Type(p) == kLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        V v;
+        ReadLeafValue(p, i, &v);
+        *out += v;
+      }
+    } else {
+      for (uint32_t i = 0; i < n; ++i) {
+        V s;
+        ReadInternalSum(p, i, &s);
+        *out += s;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Appends every (key, value) entry in ascending key order.
+  Status ScanAll(std::vector<Entry>* out) const {
+    if (root_ == kInvalidPageId) return Status::OK();
+    return ScanRec(root_, out);
+  }
+
+  /// Number of distinct keys stored.
+  Status CountEntries(uint64_t* out) const {
+    *out = 0;
+    if (root_ == kInvalidPageId) return Status::OK();
+    return CountRec(root_, out);
+  }
+
+  /// Number of pages owned by the tree.
+  Status PageCount(uint64_t* out) const {
+    *out = 0;
+    if (root_ == kInvalidPageId) return Status::OK();
+    return PageCountRec(root_, out);
+  }
+
+  /// Builds a tree from entries sorted by strictly increasing key. The tree
+  /// must be empty. Pages are filled to `fill` fraction of capacity.
+  Status BulkLoad(const std::vector<Entry>& sorted, double fill = 1.0) {
+    if (root_ != kInvalidPageId) {
+      return Status::InvalidArgument("BulkLoad into non-empty tree");
+    }
+    if (!PageSizeViable(pool_->file()->page_size())) {
+      return Status::InvalidArgument("page size too small for value type");
+    }
+    if (sorted.empty()) return Status::OK();
+    const uint32_t page_size = pool_->file()->page_size();
+    uint32_t leaf_target = std::max<uint32_t>(
+        1, static_cast<uint32_t>(LeafCapacity(page_size) * fill));
+    // Level 0: pack leaves.
+    struct Up {
+      double lowkey;
+      PageId pid;
+      V sum;
+    };
+    std::vector<Up> level;
+    size_t i = 0;
+    while (i < sorted.size()) {
+      size_t take = std::min<size_t>(leaf_target, sorted.size() - i);
+      // Avoid a dangling undersized final leaf.
+      if (sorted.size() - i - take > 0 && sorted.size() - i - take < 2 &&
+          take > 2) {
+        take -= 1;
+      }
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kLeaf, static_cast<uint32_t>(take));
+      V sum{};
+      for (size_t k = 0; k < take; ++k) {
+        WriteLeafEntry(g.page(), static_cast<uint32_t>(k), sorted[i + k].key,
+                       sorted[i + k].value);
+        sum += sorted[i + k].value;
+      }
+      g.MarkDirty();
+      level.push_back(Up{sorted[i].key, g.id(), sum});
+      i += take;
+    }
+    // Upper levels.
+    uint32_t internal_target = std::max<uint32_t>(
+        2, static_cast<uint32_t>(InternalCapacity(page_size) * fill));
+    while (level.size() > 1) {
+      std::vector<Up> next;
+      size_t j = 0;
+      while (j < level.size()) {
+        size_t take = std::min<size_t>(internal_target, level.size() - j);
+        if (level.size() - j - take > 0 && level.size() - j - take < 2 &&
+            take > 2) {
+          take -= 1;
+        }
+        PageGuard g;
+        BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+        SetHeader(g.page(), kInternal, static_cast<uint32_t>(take));
+        V sum{};
+        for (size_t k = 0; k < take; ++k) {
+          const Up& u = level[j + k];
+          WriteInternalEntry(g.page(), static_cast<uint32_t>(k), u.lowkey,
+                             u.pid, u.sum);
+          sum += u.sum;
+        }
+        g.MarkDirty();
+        next.push_back(Up{level[j].lowkey, g.id(), sum});
+        j += take;
+      }
+      level = std::move(next);
+    }
+    root_ = level[0].pid;
+    return Status::OK();
+  }
+
+  /// Frees every page of the tree; the handle becomes empty.
+  Status Destroy() {
+    if (root_ == kInvalidPageId) return Status::OK();
+    BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
+    root_ = kInvalidPageId;
+    return Status::OK();
+  }
+
+ private:
+  static constexpr uint16_t kLeaf = 1;
+  static constexpr uint16_t kInternal = 2;
+  static constexpr uint32_t kHeaderSize = 8;
+  static constexpr uint32_t kLeafEntrySize = 8 + sizeof(V);
+  static constexpr uint32_t kInternalEntrySize = 16 + sizeof(V);
+
+  struct SplitResult {
+    bool happened = false;
+    PageId right_page = kInvalidPageId;
+    double left_lowkey = 0.0;
+    double right_lowkey = 0.0;
+    V left_sum{};
+    V right_sum{};
+  };
+
+  // ---- page accessors -----------------------------------------------------
+
+  static void SetHeader(Page* p, uint16_t type, uint32_t count) {
+    p->WriteAt<uint16_t>(0, type);
+    p->WriteAt<uint16_t>(2, 0);
+    p->WriteAt<uint32_t>(4, count);
+  }
+  static uint16_t Type(const Page* p) { return p->ReadAt<uint16_t>(0); }
+  static uint32_t Count(const Page* p) { return p->ReadAt<uint32_t>(4); }
+  static void SetCount(Page* p, uint32_t c) { p->WriteAt<uint32_t>(4, c); }
+
+  static uint32_t LeafOff(uint32_t i) { return kHeaderSize + i * kLeafEntrySize; }
+  static uint32_t IntOff(uint32_t i) {
+    return kHeaderSize + i * kInternalEntrySize;
+  }
+
+  static double LeafKey(const Page* p, uint32_t i) {
+    return p->ReadAt<double>(LeafOff(i));
+  }
+  static void ReadLeafValue(const Page* p, uint32_t i, V* v) {
+    p->ReadBytes(LeafOff(i) + 8, v, sizeof(V));
+  }
+  static void WriteLeafEntry(Page* p, uint32_t i, double key, const V& v) {
+    p->WriteAt<double>(LeafOff(i), key);
+    p->WriteBytes(LeafOff(i) + 8, &v, sizeof(V));
+  }
+
+  static double InternalLowKey(const Page* p, uint32_t i) {
+    return p->ReadAt<double>(IntOff(i));
+  }
+  static PageId InternalChild(const Page* p, uint32_t i) {
+    return p->ReadAt<uint64_t>(IntOff(i) + 8);
+  }
+  static void ReadInternalSum(const Page* p, uint32_t i, V* v) {
+    p->ReadBytes(IntOff(i) + 16, v, sizeof(V));
+  }
+  static void WriteInternalEntry(Page* p, uint32_t i, double lowkey,
+                                 PageId child, const V& sum) {
+    p->WriteAt<double>(IntOff(i), lowkey);
+    p->WriteAt<uint64_t>(IntOff(i) + 8, child);
+    p->WriteBytes(IntOff(i) + 16, &sum, sizeof(V));
+  }
+  static void WriteInternalSum(Page* p, uint32_t i, const V& sum) {
+    p->WriteBytes(IntOff(i) + 16, &sum, sizeof(V));
+  }
+
+  /// Index of the child subtree that covers key `q`: the last entry with
+  /// lowkey <= q, except that entry 0 covers everything below lowkey_1.
+  static uint32_t RouteInternal(const Page* p, uint32_t n, double q) {
+    uint32_t lo = 1, hi = n;  // first entry with lowkey > q, in [1, n]
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (InternalLowKey(p, mid) <= q) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo - 1;
+  }
+
+  // ---- mutation -----------------------------------------------------------
+
+  Status InsertRec(PageId pid, double key, const V& v, SplitResult* split) {
+    split->happened = false;
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    Page* p = g.page();
+    uint32_t n = Count(p);
+    const uint32_t page_size = pool_->file()->page_size();
+
+    if (Type(p) == kLeaf) {
+      // Find insertion position (first entry with key >= `key`).
+      uint32_t lo = 0, hi = n;
+      while (lo < hi) {
+        uint32_t mid = (lo + hi) / 2;
+        if (LeafKey(p, mid) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < n && LeafKey(p, lo) == key) {
+        V cur;
+        ReadLeafValue(p, lo, &cur);
+        cur += v;
+        WriteLeafEntry(p, lo, key, cur);
+        g.MarkDirty();
+        return Status::OK();
+      }
+      if (n < LeafCapacity(page_size)) {
+        std::memmove(p->data() + LeafOff(lo + 1), p->data() + LeafOff(lo),
+                     (n - lo) * kLeafEntrySize);
+        WriteLeafEntry(p, lo, key, v);
+        SetCount(p, n + 1);
+        g.MarkDirty();
+        return Status::OK();
+      }
+      // Split: gather, insert, redistribute halves.
+      std::vector<Entry> all(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        all[i].key = LeafKey(p, i);
+        ReadLeafValue(p, i, &all[i].value);
+      }
+      all.insert(all.begin() + lo, Entry{key, v});
+      uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
+      PageGuard rg;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+      SetHeader(p, kLeaf, left_n);
+      V lsum{}, rsum{};
+      for (uint32_t i = 0; i < left_n; ++i) {
+        WriteLeafEntry(p, i, all[i].key, all[i].value);
+        lsum += all[i].value;
+      }
+      uint32_t right_n = static_cast<uint32_t>(all.size()) - left_n;
+      SetHeader(rg.page(), kLeaf, right_n);
+      for (uint32_t i = 0; i < right_n; ++i) {
+        WriteLeafEntry(rg.page(), i, all[left_n + i].key,
+                       all[left_n + i].value);
+        rsum += all[left_n + i].value;
+      }
+      g.MarkDirty();
+      rg.MarkDirty();
+      split->happened = true;
+      split->right_page = rg.id();
+      split->left_lowkey = all[0].key;
+      split->right_lowkey = all[left_n].key;
+      split->left_sum = lsum;
+      split->right_sum = rsum;
+      return Status::OK();
+    }
+
+    // Internal node.
+    uint32_t idx = RouteInternal(p, n, key);
+    PageId child = InternalChild(p, idx);
+    // Recurse without holding this page pinned state hostage: the guard stays
+    // pinned (depth pins are bounded by tree height).
+    SplitResult child_split;
+    BOXAGG_RETURN_NOT_OK(InsertRec(child, key, v, &child_split));
+    if (!child_split.happened) {
+      V s;
+      ReadInternalSum(p, idx, &s);
+      s += v;
+      WriteInternalSum(p, idx, s);
+      g.MarkDirty();
+      return Status::OK();
+    }
+    // Child split: fix entry idx, then place the new right sibling at idx+1.
+    WriteInternalEntry(p, idx, child_split.left_lowkey, child,
+                       child_split.left_sum);
+    if (n < InternalCapacity(page_size)) {
+      std::memmove(p->data() + IntOff(idx + 2), p->data() + IntOff(idx + 1),
+                   (n - idx - 1) * kInternalEntrySize);
+      WriteInternalEntry(p, idx + 1, child_split.right_lowkey,
+                         child_split.right_page, child_split.right_sum);
+      SetCount(p, n + 1);
+      g.MarkDirty();
+      return Status::OK();
+    }
+    // This internal node overflows too.
+    struct IEntry {
+      double lowkey;
+      PageId child;
+      V sum;
+    };
+    std::vector<IEntry> all(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      all[i].lowkey = InternalLowKey(p, i);
+      all[i].child = InternalChild(p, i);
+      ReadInternalSum(p, i, &all[i].sum);
+    }
+    all.insert(all.begin() + idx + 1,
+               IEntry{child_split.right_lowkey, child_split.right_page,
+                      child_split.right_sum});
+    uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
+    PageGuard rg;
+    BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+    SetHeader(p, kInternal, left_n);
+    V lsum{}, rsum{};
+    for (uint32_t i = 0; i < left_n; ++i) {
+      WriteInternalEntry(p, i, all[i].lowkey, all[i].child, all[i].sum);
+      lsum += all[i].sum;
+    }
+    uint32_t right_n = static_cast<uint32_t>(all.size()) - left_n;
+    SetHeader(rg.page(), kInternal, right_n);
+    for (uint32_t i = 0; i < right_n; ++i) {
+      WriteInternalEntry(rg.page(), i, all[left_n + i].lowkey,
+                         all[left_n + i].child, all[left_n + i].sum);
+      rsum += all[left_n + i].sum;
+    }
+    g.MarkDirty();
+    rg.MarkDirty();
+    split->happened = true;
+    split->right_page = rg.id();
+    split->left_lowkey = all[0].lowkey;
+    split->right_lowkey = all[left_n].lowkey;
+    split->left_sum = lsum;
+    split->right_sum = rsum;
+    return Status::OK();
+  }
+
+  // ---- traversal ----------------------------------------------------------
+
+  Status ScanRec(PageId pid, std::vector<Entry>* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    uint32_t n = Count(p);
+    if (Type(p) == kLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.key = LeafKey(p, i);
+        ReadLeafValue(p, i, &e.value);
+        out->push_back(e);
+      }
+      return Status::OK();
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      PageId child = InternalChild(p, i);
+      BOXAGG_RETURN_NOT_OK(ScanRec(child, out));
+    }
+    return Status::OK();
+  }
+
+  Status CountRec(PageId pid, uint64_t* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    uint32_t n = Count(p);
+    if (Type(p) == kLeaf) {
+      *out += n;
+      return Status::OK();
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      BOXAGG_RETURN_NOT_OK(CountRec(InternalChild(p, i), out));
+    }
+    return Status::OK();
+  }
+
+  Status PageCountRec(PageId pid, uint64_t* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    *out += 1;
+    if (Type(p) == kInternal) {
+      uint32_t n = Count(p);
+      for (uint32_t i = 0; i < n; ++i) {
+        BOXAGG_RETURN_NOT_OK(PageCountRec(InternalChild(p, i), out));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status DestroyRec(PageId pid) {
+    std::vector<PageId> children;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      if (Type(p) == kInternal) {
+        uint32_t n = Count(p);
+        children.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          children.push_back(InternalChild(p, i));
+        }
+      }
+    }
+    for (PageId c : children) {
+      BOXAGG_RETURN_NOT_OK(DestroyRec(c));
+    }
+    return pool_->Delete(pid);
+  }
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_BPTREE_AGG_BTREE_H_

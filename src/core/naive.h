@@ -1,0 +1,114 @@
+// Naive reference implementations: linear scans over in-memory object lists.
+//
+// These are the ground-truth oracles for every aggregation the library
+// computes — dominance-sum, simple box-sum/count/avg, and functional box-sum.
+// They are exact (up to floating-point associativity) and O(n) per query.
+
+#ifndef BOXAGG_CORE_NAIVE_H_
+#define BOXAGG_CORE_NAIVE_H_
+
+#include <vector>
+
+#include "core/point_entry.h"
+#include "geom/box.h"
+#include "poly/corner_updates.h"
+
+namespace boxagg {
+
+/// \brief O(n)-per-query dominance-sum oracle over weighted points.
+template <class V>
+class NaiveDominanceSum {
+ public:
+  explicit NaiveDominanceSum(int dims) : dims_(dims) {}
+
+  void Insert(const Point& p, const V& v) { entries_.push_back({p, v}); }
+
+  V Query(const Point& q) const {
+    V acc{};
+    for (const auto& e : entries_) {
+      if (q.Dominates(e.pt, dims_)) acc += e.value;
+    }
+    return acc;
+  }
+
+  V Total() const {
+    V acc{};
+    for (const auto& e : entries_) acc += e.value;
+    return acc;
+  }
+
+  size_t size() const { return entries_.size(); }
+  int dims() const { return dims_; }
+  const std::vector<PointEntry<V>>& entries() const { return entries_; }
+
+ private:
+  int dims_;
+  std::vector<PointEntry<V>> entries_;
+};
+
+/// \brief A weighted box object of the simple box-sum problem.
+struct BoxObject {
+  Box box;
+  double value = 0.0;
+};
+
+/// \brief O(n)-per-query oracle for the simple box-sum problem (Sec. 2):
+/// total value of objects intersecting the query box.
+class NaiveBoxSum {
+ public:
+  explicit NaiveBoxSum(int dims) : dims_(dims) {}
+
+  void Insert(const Box& b, double v) { objects_.push_back({b, v}); }
+
+  double Sum(const Box& q) const {
+    double acc = 0;
+    for (const auto& o : objects_) {
+      if (o.box.Intersects(q, dims_)) acc += o.value;
+    }
+    return acc;
+  }
+
+  uint64_t Count(const Box& q) const {
+    uint64_t n = 0;
+    for (const auto& o : objects_) {
+      if (o.box.Intersects(q, dims_)) ++n;
+    }
+    return n;
+  }
+
+  size_t size() const { return objects_.size(); }
+  const std::vector<BoxObject>& objects() const { return objects_; }
+
+ private:
+  int dims_;
+  std::vector<BoxObject> objects_;
+};
+
+/// \brief O(n)-per-query oracle for the functional box-sum problem (Sec. 3):
+/// each intersecting object contributes the integral of its value function
+/// over the intersection with the query box. 2-d only, like the functional
+/// reduction.
+class NaiveFunctionalBoxSum {
+ public:
+  void Insert(const Box& b, std::vector<Monomial2> f) {
+    objects_.push_back({b, std::move(f)});
+  }
+
+  double Sum(const Box& q) const {
+    double acc = 0;
+    for (const auto& o : objects_) {
+      acc += IntegralOverIntersection(o.box, o.f, q);
+    }
+    return acc;
+  }
+
+  size_t size() const { return objects_.size(); }
+  const std::vector<FunctionalObject>& objects() const { return objects_; }
+
+ private:
+  std::vector<FunctionalObject> objects_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_CORE_NAIVE_H_

@@ -1,0 +1,190 @@
+// Data-cube range-sum baselines (Sec. 1 / Sec. 7 of the paper).
+//
+// The paper points out that its indexes also solve the OLAP data-cube
+// range-sum problem — "given a d-dimensional array A and a query range q,
+// find the sum of values of all cells of A in q" — and contrasts itself with
+// the grid-based main-memory solutions. This module implements those
+// solutions for 2-d cubes so the comparison can be made concrete:
+//
+//  - PrefixSumCube   — the prefix-sum array of Ho et al. [18]: O(1) queries
+//    (2^d look-ups with inclusion-exclusion), but an update must rebuild the
+//    prefix region dominated by the touched cell: O(k) worst case for k
+//    cells.
+//  - BlockedPrefixCube — a relative-prefix/blocked scheme in the spirit of
+//    Geffner et al. [15]: the cube is tiled into b x b blocks; each block
+//    stores local prefix sums and a block-level prefix-sum array stores the
+//    totals of dominated blocks. Queries cost O(side / b) look-ups; updates
+//    touch one block plus the block grid: O(b^2 + (side/b)^2) — the classic
+//    query/update compromise between [18] and fully dynamic structures.
+//
+// Both structures are static-grid and main-memory — exactly the limitations
+// the BA-tree removes (disk residency and data-adaptive partitioning);
+// bench_cube_rangesum quantifies the trade.
+
+#ifndef BOXAGG_CUBE_PREFIX_SUM_CUBE_H_
+#define BOXAGG_CUBE_PREFIX_SUM_CUBE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace boxagg {
+
+/// \brief Dense 2-d prefix-sum cube (Ho et al. [18]).
+///
+/// Cells are addressed by integer coordinates (x, y) with 0 <= x < width,
+/// 0 <= y < height. RangeSum is O(1); Update is O(width * height) worst
+/// case.
+class PrefixSumCube {
+ public:
+  PrefixSumCube(uint32_t width, uint32_t height)
+      : width_(width), height_(height),
+        prefix_(static_cast<size_t>(width + 1) * (height + 1), 0.0) {}
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+
+  /// Adds `delta` to cell (x, y), repairing every prefix cell that dominates
+  /// it — the O(k) update cost the paper's Sec. 7 quotes for this scheme.
+  void Update(uint32_t x, uint32_t y, double delta) {
+    assert(x < width_ && y < height_);
+    for (uint32_t i = x + 1; i <= width_; ++i) {
+      for (uint32_t j = y + 1; j <= height_; ++j) {
+        At(i, j) += delta;
+      }
+    }
+  }
+
+  /// Number of prefix cells an Update(x, y) touches (for cost accounting).
+  uint64_t UpdateCost(uint32_t x, uint32_t y) const {
+    return static_cast<uint64_t>(width_ - x) * (height_ - y);
+  }
+
+  /// Sum over cells with x in [x1, x2] and y in [y1, y2] (inclusive):
+  /// four look-ups, the classic inclusion-exclusion.
+  double RangeSum(uint32_t x1, uint32_t y1, uint32_t x2, uint32_t y2) const {
+    assert(x1 <= x2 && x2 < width_ && y1 <= y2 && y2 < height_);
+    return At(x2 + 1, y2 + 1) - At(x1, y2 + 1) - At(x2 + 1, y1) +
+           At(x1, y1);
+  }
+
+  /// Prefix sum over cells dominated by (x, y) inclusive.
+  double DominanceSum(uint32_t x, uint32_t y) const {
+    return At(x + 1, y + 1);
+  }
+
+  size_t MemoryBytes() const { return prefix_.size() * sizeof(double); }
+
+ private:
+  double& At(uint32_t i, uint32_t j) {
+    return prefix_[static_cast<size_t>(i) * (height_ + 1) + j];
+  }
+  double At(uint32_t i, uint32_t j) const {
+    return prefix_[static_cast<size_t>(i) * (height_ + 1) + j];
+  }
+
+  uint32_t width_, height_;
+  std::vector<double> prefix_;  // prefix_[i][j] = sum of cells < (i, j)
+};
+
+/// \brief Blocked (relative) prefix-sum cube in the spirit of [15]:
+/// constant-time queries with updates bounded by the block size plus the
+/// block grid instead of the whole cube.
+class BlockedPrefixCube {
+ public:
+  BlockedPrefixCube(uint32_t width, uint32_t height, uint32_t block)
+      : width_(width), height_(height), block_(block == 0 ? 1 : block),
+        bw_((width + block_ - 1) / block_),
+        bh_((height + block_ - 1) / block_),
+        block_prefix_(static_cast<size_t>(bw_ + 1) * (bh_ + 1), 0.0),
+        local_(static_cast<size_t>(bw_) * bh_) {
+    for (auto& blk : local_) {
+      blk.assign(static_cast<size_t>(block_ + 1) * (block_ + 1), 0.0);
+    }
+  }
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+  uint32_t block() const { return block_; }
+
+  void Update(uint32_t x, uint32_t y, double delta) {
+    assert(x < width_ && y < height_);
+    uint32_t bx = x / block_, by = y / block_;
+    // Local prefix repair within the block.
+    auto& blk = local_[static_cast<size_t>(bx) * bh_ + by];
+    uint32_t lx = x % block_, ly = y % block_;
+    for (uint32_t i = lx + 1; i <= block_; ++i) {
+      for (uint32_t j = ly + 1; j <= block_; ++j) {
+        blk[static_cast<size_t>(i) * (block_ + 1) + j] += delta;
+      }
+    }
+    // Block-grid prefix repair.
+    for (uint32_t i = bx + 1; i <= bw_; ++i) {
+      for (uint32_t j = by + 1; j <= bh_; ++j) {
+        BlockAt(i, j) += delta;
+      }
+    }
+  }
+
+  uint64_t UpdateCost(uint32_t x, uint32_t y) const {
+    uint32_t bx = x / block_, by = y / block_;
+    return static_cast<uint64_t>(block_ - x % block_) * (block_ - y % block_) +
+           static_cast<uint64_t>(bw_ - bx) * (bh_ - by);
+  }
+
+  double RangeSum(uint32_t x1, uint32_t y1, uint32_t x2, uint32_t y2) const {
+    return DominanceSum(x2, y2) -
+           (x1 ? DominanceSum(x1 - 1, y2) : 0.0) -
+           (y1 ? DominanceSum(x2, y1 - 1) : 0.0) +
+           (x1 && y1 ? DominanceSum(x1 - 1, y1 - 1) : 0.0);
+  }
+
+  /// Prefix over cells dominated by (x, y): whole dominated blocks from the
+  /// block grid, plus three clipped partial-block local prefixes.
+  double DominanceSum(uint32_t x, uint32_t y) const {
+    assert(x < width_ && y < height_);
+    uint32_t bx = x / block_, by = y / block_;
+    uint32_t lx = x % block_, ly = y % block_;
+    double total = BlockAt(bx, by);  // fully dominated blocks
+    // Partial column of blocks to the right edge (same block column as x,
+    // rows fully below).
+    for (uint32_t j = 0; j < by; ++j) {
+      total += LocalPrefix(bx, j, lx, block_ - 1);
+    }
+    // Partial row of blocks above (same block row as y, columns fully left).
+    for (uint32_t i = 0; i < bx; ++i) {
+      total += LocalPrefix(i, by, block_ - 1, ly);
+    }
+    // The corner block.
+    total += LocalPrefix(bx, by, lx, ly);
+    return total;
+  }
+
+  size_t MemoryBytes() const {
+    return block_prefix_.size() * sizeof(double) +
+           local_.size() * static_cast<size_t>(block_ + 1) * (block_ + 1) *
+               sizeof(double);
+  }
+
+ private:
+  double& BlockAt(uint32_t i, uint32_t j) {
+    return block_prefix_[static_cast<size_t>(i) * (bh_ + 1) + j];
+  }
+  double BlockAt(uint32_t i, uint32_t j) const {
+    return block_prefix_[static_cast<size_t>(i) * (bh_ + 1) + j];
+  }
+  /// Local prefix of block (bx, by) over local cells dominated by (lx, ly).
+  double LocalPrefix(uint32_t bx, uint32_t by, uint32_t lx,
+                     uint32_t ly) const {
+    const auto& blk = local_[static_cast<size_t>(bx) * bh_ + by];
+    return blk[static_cast<size_t>(lx + 1) * (block_ + 1) + (ly + 1)];
+  }
+
+  uint32_t width_, height_, block_, bw_, bh_;
+  std::vector<double> block_prefix_;
+  std::vector<std::vector<double>> local_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_CUBE_PREFIX_SUM_CUBE_H_

@@ -1,0 +1,830 @@
+// EcdfBTree: the paper's disk-based, dynamic extensions of the ECDF-tree
+// (Sec. 4) — the ECDF-Bu-tree and the ECDF-Bq-tree.
+//
+// A d-dimensional ECDF-B-tree is a B+-tree (the *main branch*) over the
+// points' first coordinate. Every internal record carries a *border*: a
+// (d-1)-dimensional ECDF-B-tree over projected points. The two variants
+// differ in what a border contains (Fig. 6):
+//
+//   - ECDF-Bu ("update-optimized"): border i holds the points of
+//     subtree(e_i). An insert touches ONE border per level; a query must add
+//     up the borders of ALL children left of the search path.
+//   - ECDF-Bq ("query-optimized"): border i holds the points of subtrees
+//     e_0..e_i (a prefix). A query adds ONE border per level; an insert must
+//     update every border at or right of the search path, and splits rebuild
+//     prefix borders wholesale — the price of O(log_B^d n) queries.
+//
+// The base case (dims == 1) is the aggregate B+-tree. Bulk-loading builds
+// the main branch bottom-up and bulk-loads each border from the contiguous
+// sorted range of points it covers, exactly as sketched in Sec. 4.
+//
+// Like all aggregate indexes here, the tree stores group sums; deleting a
+// point is inserting its inverse value.
+//
+// Page layout (dims >= 2):
+//   leaf (type 3):     u16 type, u16 pad, u32 count; entries {Point, V}
+//   internal (type 4): u16 type, u16 pad, u32 count;
+//                      entries {f64 lowkey, u64 child, u64 border_root, V sum}
+// Internal record i routes dim-0 keys in [lowkey_i, lowkey_{i+1}); record 0's
+// lowkey acts as -infinity.
+
+#ifndef BOXAGG_ECDF_ECDF_BTREE_H_
+#define BOXAGG_ECDF_ECDF_BTREE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bptree/agg_btree.h"
+#include "core/point_entry.h"
+#include "geom/point.h"
+#include "storage/buffer_pool.h"
+
+namespace boxagg {
+
+/// Which border scheme an ECDF-B-tree uses (Sec. 4, Fig. 6).
+enum class EcdfVariant {
+  kUpdateOptimized,  ///< ECDF-Bu: border i = subtree(e_i)
+  kQueryOptimized,   ///< ECDF-Bq: border i = subtrees e_0..e_i
+};
+
+/// \brief Handle to a disk-resident d-dimensional ECDF-B-tree.
+template <class V>
+class EcdfBTree {
+ public:
+  using Entry = PointEntry<V>;
+
+  EcdfBTree(BufferPool* pool, int dims, EcdfVariant variant,
+            PageId root = kInvalidPageId)
+      : pool_(pool), dims_(dims), variant_(variant), root_(root) {
+    assert(dims_ >= 1 && dims_ <= kMaxDims);
+  }
+
+  PageId root() const { return root_; }
+  bool empty() const { return root_ == kInvalidPageId; }
+  int dims() const { return dims_; }
+  EcdfVariant variant() const { return variant_; }
+
+  static uint32_t LeafCapacity(uint32_t page_size) {
+    return (page_size - kHeaderSize) / kLeafEntrySize;
+  }
+  static uint32_t InternalCapacity(uint32_t page_size) {
+    return (page_size - kHeaderSize) / kInternalEntrySize;
+  }
+  static bool PageSizeViable(uint32_t page_size) {
+    return LeafCapacity(page_size) >= 4 && InternalCapacity(page_size) >= 4 &&
+           AggBTree<V>::PageSizeViable(page_size);
+  }
+
+  /// Adds `v` at point `p` (coalescing identical points in the main branch).
+  Status Insert(const Point& p, const V& v) {
+    if (!PageSizeViable(pool_->file()->page_size())) {
+      return Status::InvalidArgument("page size too small for value type");
+    }
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      BOXAGG_RETURN_NOT_OK(base.Insert(p[0], v));
+      root_ = base.root();
+      return Status::OK();
+    }
+    if (root_ == kInvalidPageId) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kLeaf, 1);
+      WriteLeafEntry(g.page(), 0, p, v);
+      g.MarkDirty();
+      root_ = g.id();
+      return Status::OK();
+    }
+    SplitResult split;
+    BOXAGG_RETURN_NOT_OK(InsertRec(root_, p, v, &split));
+    if (split.happened) {
+      // Build a new root over the two halves, with fresh borders.
+      PageId left = root_;
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kInternal, 2);
+      PageId border0, border1;
+      std::vector<Entry> left_pts;
+      BOXAGG_RETURN_NOT_OK(ScanRec(left, &left_pts));
+      BOXAGG_RETURN_NOT_OK(BuildBorder(left_pts, &border0));
+      if (variant_ == EcdfVariant::kUpdateOptimized) {
+        std::vector<Entry> right_pts;
+        BOXAGG_RETURN_NOT_OK(ScanRec(split.right_page, &right_pts));
+        BOXAGG_RETURN_NOT_OK(BuildBorder(right_pts, &border1));
+      } else {
+        BOXAGG_RETURN_NOT_OK(ScanRec(split.right_page, &left_pts));
+        BOXAGG_RETURN_NOT_OK(BuildBorder(left_pts, &border1));
+      }
+      WriteInternalEntry(g.page(), 0, split.left_lowkey, left, border0,
+                         split.left_sum);
+      WriteInternalEntry(g.page(), 1, split.right_lowkey, split.right_page,
+                         border1, split.right_sum);
+      g.MarkDirty();
+      root_ = g.id();
+    }
+    return Status::OK();
+  }
+
+  /// Total value of all points dominated by `q` (Sec. 2 semantics).
+  Status DominanceSum(const Point& q, V* out) const {
+    *out = V{};
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.DominanceSum(q[0], out);
+    }
+    PageId pid = root_;
+    Point projected = q.DropDim(0, dims_);
+    for (;;) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      uint32_t n = Count(p);
+      if (Type(p) == kLeaf) {
+        for (uint32_t i = 0; i < n; ++i) {
+          Point pt = LeafPoint(p, i);
+          if (pt[0] > q[0]) break;
+          if (q.Dominates(pt, dims_)) {
+            V v;
+            ReadLeafValue(p, i, &v);
+            *out += v;
+          }
+        }
+        return Status::OK();
+      }
+      uint32_t idx = RouteInternal(p, n, q[0]);
+      if (variant_ == EcdfVariant::kUpdateOptimized) {
+        // Sum the borders of every child left of the path.
+        for (uint32_t i = 0; i < idx; ++i) {
+          V part;
+          EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i));
+          BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part));
+          *out += part;
+        }
+      } else if (idx > 0) {
+        // One prefix border covers everything left of the path.
+        V part;
+        EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, idx - 1));
+        BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part));
+        *out += part;
+      }
+      pid = InternalChild(p, idx);
+    }
+  }
+
+  /// Sum of every value in the tree.
+  Status TotalSum(V* out) const {
+    *out = V{};
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.TotalSum(out);
+    }
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(root_, &g));
+    const Page* p = g.page();
+    uint32_t n = Count(p);
+    if (Type(p) == kLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        V v;
+        ReadLeafValue(p, i, &v);
+        *out += v;
+      }
+    } else {
+      for (uint32_t i = 0; i < n; ++i) {
+        V s;
+        ReadInternalSum(p, i, &s);
+        *out += s;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Collects every (point, value) of the main branch, sorted
+  /// lexicographically.
+  Status ScanAll(std::vector<Entry>* out) const {
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      std::vector<typename AggBTree<V>::Entry> flat;
+      BOXAGG_RETURN_NOT_OK(base.ScanAll(&flat));
+      for (const auto& e : flat) {
+        out->push_back(Entry{Point(e.key), e.value});
+      }
+      return Status::OK();
+    }
+    return ScanRec(root_, out);
+  }
+
+  /// Number of distinct points in the main branch.
+  Status CountEntries(uint64_t* out) const {
+    *out = 0;
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.CountEntries(out);
+    }
+    std::vector<Entry> all;
+    BOXAGG_RETURN_NOT_OK(ScanRec(root_, &all));
+    *out = all.size();
+    return Status::OK();
+  }
+
+  /// Pages owned by this tree, including every border recursively. This is
+  /// the index-size metric of Fig. 9a.
+  Status PageCount(uint64_t* out) const {
+    *out = 0;
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.PageCount(out);
+    }
+    return PageCountRec(root_, out);
+  }
+
+  /// Bulk-loads the tree (must be empty) from `entries`; sorts and coalesces
+  /// internally. Borders are bulk-loaded from contiguous sorted ranges.
+  Status BulkLoad(std::vector<Entry> entries) {
+    if (root_ != kInvalidPageId) {
+      return Status::InvalidArgument("BulkLoad into non-empty tree");
+    }
+    if (!PageSizeViable(pool_->file()->page_size())) {
+      return Status::InvalidArgument("page size too small for value type");
+    }
+    SortAndCoalesce(&entries, dims_);
+    if (entries.empty()) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_);
+      std::vector<typename AggBTree<V>::Entry> flat;
+      flat.reserve(entries.size());
+      for (const auto& e : entries) flat.push_back({e.pt[0], e.value});
+      BOXAGG_RETURN_NOT_OK(base.BulkLoad(flat));
+      root_ = base.root();
+      return Status::OK();
+    }
+
+    const uint32_t page_size = pool_->file()->page_size();
+    struct Up {
+      double lowkey;
+      PageId pid;
+      V sum{};
+      size_t begin;  // covered range in `entries`
+      size_t end;
+    };
+    // Level 0: leaves.
+    std::vector<Up> level;
+    const uint32_t leaf_cap = LeafCapacity(page_size);
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t take = std::min<size_t>(leaf_cap, entries.size() - i);
+      if (entries.size() - i - take > 0 && entries.size() - i - take < 2 &&
+          take > 2) {
+        take -= 1;
+      }
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+      SetHeader(g.page(), kLeaf, static_cast<uint32_t>(take));
+      V sum{};
+      for (size_t k = 0; k < take; ++k) {
+        WriteLeafEntry(g.page(), static_cast<uint32_t>(k), entries[i + k].pt,
+                       entries[i + k].value);
+        sum += entries[i + k].value;
+      }
+      g.MarkDirty();
+      level.push_back(Up{entries[i].pt[0], g.id(), sum, i, i + take});
+      i += take;
+    }
+    // Upper levels, with borders.
+    const uint32_t int_cap = InternalCapacity(page_size);
+    while (level.size() > 1) {
+      std::vector<Up> next;
+      size_t j = 0;
+      while (j < level.size()) {
+        size_t take = std::min<size_t>(int_cap, level.size() - j);
+        if (level.size() - j - take > 0 && level.size() - j - take < 2 &&
+            take > 2) {
+          take -= 1;
+        }
+        PageGuard g;
+        BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+        SetHeader(g.page(), kInternal, static_cast<uint32_t>(take));
+        V sum{};
+        const size_t node_begin = level[j].begin;
+        for (size_t k = 0; k < take; ++k) {
+          const Up& u = level[j + k];
+          size_t bb = variant_ == EcdfVariant::kUpdateOptimized ? u.begin
+                                                                : node_begin;
+          std::vector<Entry> pts(
+              entries.begin() + static_cast<ptrdiff_t>(bb),
+              entries.begin() + static_cast<ptrdiff_t>(u.end));
+          PageId border;
+          BOXAGG_RETURN_NOT_OK(BuildBorder(pts, &border));
+          WriteInternalEntry(g.page(), static_cast<uint32_t>(k), u.lowkey,
+                             u.pid, border, u.sum);
+          sum += u.sum;
+        }
+        g.MarkDirty();
+        next.push_back(Up{level[j].lowkey, g.id(), sum, node_begin,
+                          level[j + take - 1].end});
+        j += take;
+      }
+      level = std::move(next);
+    }
+    root_ = level[0].pid;
+    return Status::OK();
+  }
+
+  /// Frees every page (main branch and all borders); the handle becomes
+  /// empty.
+  Status Destroy() {
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      BOXAGG_RETURN_NOT_OK(base.Destroy());
+    } else {
+      BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
+    }
+    root_ = kInvalidPageId;
+    return Status::OK();
+  }
+
+ private:
+  static constexpr uint16_t kLeaf = 3;
+  static constexpr uint16_t kInternal = 4;
+  static constexpr uint32_t kHeaderSize = 8;
+  static constexpr uint32_t kLeafEntrySize = sizeof(Point) + sizeof(V);
+  static constexpr uint32_t kInternalEntrySize = 24 + sizeof(V);
+
+  struct SplitResult {
+    bool happened = false;
+    PageId right_page = kInvalidPageId;
+    double left_lowkey = 0.0;
+    double right_lowkey = 0.0;
+    V left_sum{};
+    V right_sum{};
+  };
+
+  // ---- page accessors -----------------------------------------------------
+
+  static void SetHeader(Page* p, uint16_t type, uint32_t count) {
+    p->WriteAt<uint16_t>(0, type);
+    p->WriteAt<uint16_t>(2, 0);
+    p->WriteAt<uint32_t>(4, count);
+  }
+  static uint16_t Type(const Page* p) { return p->ReadAt<uint16_t>(0); }
+  static uint32_t Count(const Page* p) { return p->ReadAt<uint32_t>(4); }
+  static void SetCount(Page* p, uint32_t c) { p->WriteAt<uint32_t>(4, c); }
+
+  static uint32_t LeafOff(uint32_t i) {
+    return kHeaderSize + i * kLeafEntrySize;
+  }
+  static uint32_t IntOff(uint32_t i) {
+    return kHeaderSize + i * kInternalEntrySize;
+  }
+
+  static Point LeafPoint(const Page* p, uint32_t i) {
+    return p->ReadAt<Point>(LeafOff(i));
+  }
+  static void ReadLeafValue(const Page* p, uint32_t i, V* v) {
+    p->ReadBytes(LeafOff(i) + sizeof(Point), v, sizeof(V));
+  }
+  static void WriteLeafEntry(Page* p, uint32_t i, const Point& pt,
+                             const V& v) {
+    p->WriteAt<Point>(LeafOff(i), pt);
+    p->WriteBytes(LeafOff(i) + sizeof(Point), &v, sizeof(V));
+  }
+
+  static double InternalLowKey(const Page* p, uint32_t i) {
+    return p->ReadAt<double>(IntOff(i));
+  }
+  static PageId InternalChild(const Page* p, uint32_t i) {
+    return p->ReadAt<uint64_t>(IntOff(i) + 8);
+  }
+  static PageId InternalBorder(const Page* p, uint32_t i) {
+    return p->ReadAt<uint64_t>(IntOff(i) + 16);
+  }
+  static void SetInternalBorder(Page* p, uint32_t i, PageId b) {
+    p->WriteAt<uint64_t>(IntOff(i) + 16, b);
+  }
+  static void ReadInternalSum(const Page* p, uint32_t i, V* v) {
+    p->ReadBytes(IntOff(i) + 24, v, sizeof(V));
+  }
+  static void WriteInternalEntry(Page* p, uint32_t i, double lowkey,
+                                 PageId child, PageId border, const V& sum) {
+    p->WriteAt<double>(IntOff(i), lowkey);
+    p->WriteAt<uint64_t>(IntOff(i) + 8, child);
+    p->WriteAt<uint64_t>(IntOff(i) + 16, border);
+    p->WriteBytes(IntOff(i) + 24, &sum, sizeof(V));
+  }
+  static void WriteInternalSum(Page* p, uint32_t i, const V& sum) {
+    p->WriteBytes(IntOff(i) + 24, &sum, sizeof(V));
+  }
+
+  static uint32_t RouteInternal(const Page* p, uint32_t n, double q) {
+    uint32_t lo = 1, hi = n;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (InternalLowKey(p, mid) <= q) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo - 1;
+  }
+
+  // ---- border helpers -----------------------------------------------------
+
+  /// Bulk-loads a (dims-1)-dim border from `pts` (full-dimension points; the
+  /// first coordinate is dropped here).
+  Status BuildBorder(const std::vector<Entry>& pts, PageId* out) {
+    EcdfBTree sub(pool_, dims_ - 1, variant_);
+    std::vector<Entry> projected;
+    projected.reserve(pts.size());
+    for (const auto& e : pts) {
+      projected.push_back(Entry{e.pt.DropDim(0, dims_), e.value});
+    }
+    BOXAGG_RETURN_NOT_OK(sub.BulkLoad(std::move(projected)));
+    *out = sub.root();
+    return Status::OK();
+  }
+
+  /// Inserts an (already projected) point into the border rooted at
+  /// `*border_root`, updating the root in place.
+  Status BorderInsert(PageId* border_root, const Point& projected,
+                      const V& v) {
+    EcdfBTree sub(pool_, dims_ - 1, variant_, *border_root);
+    BOXAGG_RETURN_NOT_OK(sub.Insert(projected, v));
+    *border_root = sub.root();
+    return Status::OK();
+  }
+
+  /// Deep-copies the border rooted at `src` (kInvalidPageId copies to
+  /// kInvalidPageId).
+  Status CloneBorder(PageId src, PageId* out) {
+    if (src == kInvalidPageId) {
+      *out = kInvalidPageId;
+      return Status::OK();
+    }
+    EcdfBTree sub(pool_, dims_ - 1, variant_, src);
+    return sub.CloneInto(out);
+  }
+
+  Status DestroyBorder(PageId border_root) {
+    EcdfBTree sub(pool_, dims_ - 1, variant_, border_root);
+    return sub.Destroy();
+  }
+
+  /// Deep page copy of this tree; returns the copy's root.
+  Status CloneInto(PageId* out) {
+    if (root_ == kInvalidPageId) {
+      *out = kInvalidPageId;
+      return Status::OK();
+    }
+    if (dims_ == 1) {
+      return CloneAgg(root_, out);
+    }
+    return CloneRec(root_, out);
+  }
+
+  /// Clone of a base AggBTree page graph (type 1/2 pages).
+  Status CloneAgg(PageId pid, PageId* out) {
+    PageGuard src, dst;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &src));
+    BOXAGG_RETURN_NOT_OK(pool_->New(&dst));
+    std::memcpy(dst.page()->data(), src.page()->data(),
+                pool_->file()->page_size());
+    dst.MarkDirty();
+    *out = dst.id();
+    if (src.page()->ReadAt<uint16_t>(0) == 2) {  // AggBTree internal
+      uint32_t n = src.page()->ReadAt<uint32_t>(4);
+      src.Release();
+      for (uint32_t i = 0; i < n; ++i) {
+        // Re-fetch per child to bound pin counts.
+        PageGuard d2;
+        BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d2));
+        uint32_t off = 8 + i * (16 + sizeof(V));
+        PageId child = d2.page()->ReadAt<uint64_t>(off + 8);
+        d2.Release();
+        PageId cloned;
+        BOXAGG_RETURN_NOT_OK(CloneAgg(child, &cloned));
+        BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d2));
+        d2.page()->WriteAt<uint64_t>(off + 8, cloned);
+        d2.MarkDirty();
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CloneRec(PageId pid, PageId* out) {
+    {
+      PageGuard src, dst;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &src));
+      BOXAGG_RETURN_NOT_OK(pool_->New(&dst));
+      std::memcpy(dst.page()->data(), src.page()->data(),
+                  pool_->file()->page_size());
+      dst.MarkDirty();
+      *out = dst.id();
+      if (Type(src.page()) == kLeaf) return Status::OK();
+    }
+    PageGuard d;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d));
+    uint32_t n = Count(d.page());
+    d.Release();
+    for (uint32_t i = 0; i < n; ++i) {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &g));
+      PageId child = InternalChild(g.page(), i);
+      PageId border = InternalBorder(g.page(), i);
+      g.Release();
+      PageId child_copy, border_copy;
+      BOXAGG_RETURN_NOT_OK(CloneRec(child, &child_copy));
+      BOXAGG_RETURN_NOT_OK(CloneBorder(border, &border_copy));
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &g));
+      g.page()->WriteAt<uint64_t>(IntOff(i) + 8, child_copy);
+      SetInternalBorder(g.page(), i, border_copy);
+      g.MarkDirty();
+    }
+    return Status::OK();
+  }
+
+  // ---- mutation -----------------------------------------------------------
+
+  Status InsertRec(PageId pid, const Point& p, const V& v,
+                   SplitResult* split) {
+    split->happened = false;
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    Page* page = g.page();
+    uint32_t n = Count(page);
+    const uint32_t page_size = pool_->file()->page_size();
+
+    if (Type(page) == kLeaf) {
+      // Position by lexicographic order.
+      uint32_t lo = 0;
+      while (lo < n && LexLess(LeafPoint(page, lo), p, dims_)) ++lo;
+      if (lo < n && LexEqual(LeafPoint(page, lo), p, dims_)) {
+        V cur;
+        ReadLeafValue(page, lo, &cur);
+        cur += v;
+        WriteLeafEntry(page, lo, p, cur);
+        g.MarkDirty();
+        return Status::OK();
+      }
+      if (n < LeafCapacity(page_size)) {
+        std::memmove(page->data() + LeafOff(lo + 1),
+                     page->data() + LeafOff(lo), (n - lo) * kLeafEntrySize);
+        WriteLeafEntry(page, lo, p, v);
+        SetCount(page, n + 1);
+        g.MarkDirty();
+        return Status::OK();
+      }
+      // Leaf split.
+      std::vector<Entry> all(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        all[i].pt = LeafPoint(page, i);
+        ReadLeafValue(page, i, &all[i].value);
+      }
+      all.insert(all.begin() + lo, Entry{p, v});
+      uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
+      PageGuard rg;
+      BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+      SetHeader(page, kLeaf, left_n);
+      V lsum{}, rsum{};
+      for (uint32_t i = 0; i < left_n; ++i) {
+        WriteLeafEntry(page, i, all[i].pt, all[i].value);
+        lsum += all[i].value;
+      }
+      uint32_t right_n = static_cast<uint32_t>(all.size()) - left_n;
+      SetHeader(rg.page(), kLeaf, right_n);
+      for (uint32_t i = 0; i < right_n; ++i) {
+        WriteLeafEntry(rg.page(), i, all[left_n + i].pt,
+                       all[left_n + i].value);
+        rsum += all[left_n + i].value;
+      }
+      g.MarkDirty();
+      rg.MarkDirty();
+      split->happened = true;
+      split->right_page = rg.id();
+      split->left_lowkey = all[0].pt[0];
+      split->right_lowkey = all[left_n].pt[0];
+      split->left_sum = lsum;
+      split->right_sum = rsum;
+      return Status::OK();
+    }
+
+    // Internal node: first maintain borders for the incoming point, then
+    // recurse.
+    uint32_t idx = RouteInternal(page, n, p[0]);
+    Point projected = p.DropDim(0, dims_);
+    if (variant_ == EcdfVariant::kUpdateOptimized) {
+      PageId b = InternalBorder(page, idx);
+      BOXAGG_RETURN_NOT_OK(BorderInsert(&b, projected, v));
+      SetInternalBorder(page, idx, b);
+    } else {
+      for (uint32_t i = idx; i < n; ++i) {
+        PageId b = InternalBorder(page, i);
+        BOXAGG_RETURN_NOT_OK(BorderInsert(&b, projected, v));
+        SetInternalBorder(page, i, b);
+      }
+    }
+    g.MarkDirty();
+
+    PageId child = InternalChild(page, idx);
+    SplitResult child_split;
+    BOXAGG_RETURN_NOT_OK(InsertRec(child, p, v, &child_split));
+    if (!child_split.happened) {
+      V s;
+      ReadInternalSum(page, idx, &s);
+      s += v;
+      WriteInternalSum(page, idx, s);
+      g.MarkDirty();
+      return Status::OK();
+    }
+
+    // The child split into (child, right_page): replace record idx with two
+    // records and rebuild/move their borders per variant.
+    PageId old_border = InternalBorder(page, idx);
+    PageId border1 = kInvalidPageId, border2 = kInvalidPageId;
+    if (variant_ == EcdfVariant::kUpdateOptimized) {
+      std::vector<Entry> pts;
+      BOXAGG_RETURN_NOT_OK(ScanRec(child, &pts));
+      BOXAGG_RETURN_NOT_OK(BuildBorder(pts, &border1));
+      pts.clear();
+      BOXAGG_RETURN_NOT_OK(ScanRec(child_split.right_page, &pts));
+      BOXAGG_RETURN_NOT_OK(BuildBorder(pts, &border2));
+      BOXAGG_RETURN_NOT_OK(DestroyBorder(old_border));
+    } else {
+      // Bq: the old border (prefix through the whole old child) is exactly
+      // the prefix through the new right half -> reuse it as border2.
+      border2 = old_border;
+      // border1 = prefix through the left half = clone of the left
+      // neighbour's border plus the left half's points.
+      if (idx == 0) {
+        border1 = kInvalidPageId;
+      } else {
+        BOXAGG_RETURN_NOT_OK(
+            CloneBorder(InternalBorder(page, idx - 1), &border1));
+      }
+      std::vector<Entry> pts;
+      BOXAGG_RETURN_NOT_OK(ScanRec(child, &pts));
+      for (const auto& e : pts) {
+        BOXAGG_RETURN_NOT_OK(
+            BorderInsert(&border1, e.pt.DropDim(0, dims_), e.value));
+      }
+    }
+    WriteInternalEntry(page, idx, child_split.left_lowkey, child, border1,
+                       child_split.left_sum);
+    if (n < InternalCapacity(page_size)) {
+      std::memmove(page->data() + IntOff(idx + 2),
+                   page->data() + IntOff(idx + 1),
+                   (n - idx - 1) * kInternalEntrySize);
+      WriteInternalEntry(page, idx + 1, child_split.right_lowkey,
+                         child_split.right_page, border2,
+                         child_split.right_sum);
+      SetCount(page, n + 1);
+      g.MarkDirty();
+      return Status::OK();
+    }
+
+    // This internal node overflows: split its records.
+    struct IEntry {
+      double lowkey;
+      PageId child;
+      PageId border;
+      V sum;
+    };
+    std::vector<IEntry> all(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      all[i].lowkey = InternalLowKey(page, i);
+      all[i].child = InternalChild(page, i);
+      all[i].border = InternalBorder(page, i);
+      ReadInternalSum(page, i, &all[i].sum);
+    }
+    all.insert(all.begin() + idx + 1,
+               IEntry{child_split.right_lowkey, child_split.right_page,
+                      border2, child_split.right_sum});
+    uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
+    uint32_t right_n = static_cast<uint32_t>(all.size()) - left_n;
+
+    if (variant_ == EcdfVariant::kQueryOptimized) {
+      // Prefix borders in the right half covered the left half too; rebuild
+      // them over the right half's own subtrees only.
+      std::vector<Entry> cumulative;
+      for (uint32_t i = 0; i < right_n; ++i) {
+        IEntry& e = all[left_n + i];
+        BOXAGG_RETURN_NOT_OK(ScanRec(e.child, &cumulative));
+        BOXAGG_RETURN_NOT_OK(DestroyBorder(e.border));
+        BOXAGG_RETURN_NOT_OK(BuildBorder(cumulative, &e.border));
+      }
+    }
+
+    PageGuard rg;
+    BOXAGG_RETURN_NOT_OK(pool_->New(&rg));
+    SetHeader(page, kInternal, left_n);
+    V lsum{}, rsum{};
+    for (uint32_t i = 0; i < left_n; ++i) {
+      WriteInternalEntry(page, i, all[i].lowkey, all[i].child, all[i].border,
+                         all[i].sum);
+      lsum += all[i].sum;
+    }
+    SetHeader(rg.page(), kInternal, right_n);
+    for (uint32_t i = 0; i < right_n; ++i) {
+      WriteInternalEntry(rg.page(), i, all[left_n + i].lowkey,
+                         all[left_n + i].child, all[left_n + i].border,
+                         all[left_n + i].sum);
+      rsum += all[left_n + i].sum;
+    }
+    g.MarkDirty();
+    rg.MarkDirty();
+    split->happened = true;
+    split->right_page = rg.id();
+    split->left_lowkey = all[0].lowkey;
+    split->right_lowkey = all[left_n].lowkey;
+    split->left_sum = lsum;
+    split->right_sum = rsum;
+    return Status::OK();
+  }
+
+  // ---- traversal ----------------------------------------------------------
+
+  Status ScanRec(PageId pid, std::vector<Entry>* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    uint32_t n = Count(p);
+    if (Type(p) == kLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.pt = LeafPoint(p, i);
+        ReadLeafValue(p, i, &e.value);
+        out->push_back(e);
+      }
+      return Status::OK();
+    }
+    std::vector<PageId> children(n);
+    for (uint32_t i = 0; i < n; ++i) children[i] = InternalChild(p, i);
+    g.Release();
+    for (PageId c : children) {
+      BOXAGG_RETURN_NOT_OK(ScanRec(c, out));
+    }
+    return Status::OK();
+  }
+
+  Status PageCountRec(PageId pid, uint64_t* out) const {
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    *out += 1;
+    if (Type(p) != kInternal) return Status::OK();
+    uint32_t n = Count(p);
+    std::vector<std::pair<PageId, PageId>> kids(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      kids[i] = {InternalChild(p, i), InternalBorder(p, i)};
+    }
+    g.Release();
+    for (auto [child, border] : kids) {
+      BOXAGG_RETURN_NOT_OK(PageCountRec(child, out));
+      if (border != kInvalidPageId) {
+        EcdfBTree sub(pool_, dims_ - 1, variant_, border);
+        uint64_t b = 0;
+        BOXAGG_RETURN_NOT_OK(sub.PageCount(&b));
+        *out += b;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status DestroyRec(PageId pid) {
+    std::vector<std::pair<PageId, PageId>> kids;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      if (Type(p) == kInternal) {
+        uint32_t n = Count(p);
+        kids.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          kids.push_back({InternalChild(p, i), InternalBorder(p, i)});
+        }
+      }
+    }
+    for (auto [child, border] : kids) {
+      BOXAGG_RETURN_NOT_OK(DestroyRec(child));
+      if (border != kInvalidPageId) {
+        BOXAGG_RETURN_NOT_OK(DestroyBorder(border));
+      }
+    }
+    return pool_->Delete(pid);
+  }
+
+  BufferPool* pool_;
+  int dims_;
+  EcdfVariant variant_;
+  PageId root_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_ECDF_ECDF_BTREE_H_

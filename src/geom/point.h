@@ -1,0 +1,118 @@
+// Point: a d-dimensional point with the dominance relation from Sec. 2 of the
+// paper.
+//
+// Dimension is a runtime property (the trees recurse from d to d-1), bounded
+// by kMaxDims so that points are fixed-size, trivially copyable records that
+// serialize into pages by memcpy.
+
+#ifndef BOXAGG_GEOM_POINT_H_
+#define BOXAGG_GEOM_POINT_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace boxagg {
+
+/// Maximum supported dimensionality of indexed space.
+inline constexpr int kMaxDims = 4;
+
+/// \brief d-dimensional point (d <= kMaxDims), fixed-size and trivially
+/// copyable.
+///
+/// Unused trailing coordinates are zero so that equality and hashing are
+/// well defined regardless of the runtime dimension in play.
+struct Point {
+  std::array<double, kMaxDims> coord{};
+
+  Point() = default;
+  Point(double x, double y) : coord{x, y, 0, 0} {}
+  Point(double x, double y, double z) : coord{x, y, z, 0} {}
+  explicit Point(double x) : coord{x, 0, 0, 0} {}
+
+  double operator[](int i) const {
+    assert(i >= 0 && i < kMaxDims);
+    return coord[static_cast<size_t>(i)];
+  }
+  double& operator[](int i) {
+    assert(i >= 0 && i < kMaxDims);
+    return coord[static_cast<size_t>(i)];
+  }
+
+  bool operator==(const Point& o) const { return coord == o.coord; }
+
+  /// True iff this point dominates `q` in the first `dims` dimensions:
+  /// this[i] >= q[i] for all i (Sec. 2). Dominance is non-strict.
+  bool Dominates(const Point& q, int dims) const {
+    for (int i = 0; i < dims; ++i) {
+      if (coord[static_cast<size_t>(i)] < q.coord[static_cast<size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Returns this point with dimension `drop` removed (dimensions above it
+  /// shift down by one). Used when projecting into a (d-1)-dim border tree.
+  Point DropDim(int drop, int dims) const {
+    assert(drop >= 0 && drop < dims);
+    Point r;
+    int k = 0;
+    for (int i = 0; i < dims; ++i) {
+      if (i == drop) continue;
+      r.coord[static_cast<size_t>(k++)] = coord[static_cast<size_t>(i)];
+    }
+    return r;
+  }
+
+  /// Inverse of DropDim: returns this (dims-1)-dimensional point with `value`
+  /// spliced in at dimension `at` (dimensions at and above shift up by one).
+  Point InsertDim(int at, double value, int dims) const {
+    assert(at >= 0 && at < dims);
+    Point r;
+    int k = 0;
+    for (int i = 0; i < dims; ++i) {
+      r.coord[static_cast<size_t>(i)] =
+          (i == at) ? value : coord[static_cast<size_t>(k++)];
+    }
+    return r;
+  }
+
+  /// Point at -infinity in the first `dims` dimensions (the paper's p_min).
+  static Point MinPoint(int dims) {
+    Point p;
+    for (int i = 0; i < dims; ++i) {
+      p[i] = -std::numeric_limits<double>::infinity();
+    }
+    return p;
+  }
+
+  /// Point at +infinity in the first `dims` dimensions (the paper's p_max).
+  static Point MaxPoint(int dims) {
+    Point p;
+    for (int i = 0; i < dims; ++i) {
+      p[i] = std::numeric_limits<double>::infinity();
+    }
+    return p;
+  }
+
+  std::string ToString(int dims) const {
+    std::ostringstream os;
+    os << "(";
+    for (int i = 0; i < dims; ++i) {
+      if (i) os << ", ";
+      os << coord[static_cast<size_t>(i)];
+    }
+    os << ")";
+    return os.str();
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Point>);
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_GEOM_POINT_H_

@@ -1,0 +1,101 @@
+// Corner updates: the insert-side of the OIFBS reduction (Sec. 3, Thm. 3).
+//
+// Inserting an object with box [x1,x2] x [y1,y2] and value function
+// f(x,y) = sum of monomials a x^p y^q into the hypothetical OIFBS index is
+// equivalent to inserting, at each of the object's four corners, a coefficient
+// tuple for a polynomial value function v_S(x, y).
+//
+// Per monomial, with P_x(x) = (x^{p+1} - x1^{p+1})/(p+1) (partial integral),
+// C_x = (x2^{p+1} - x1^{p+1})/(p+1) (full integral), and likewise for y:
+//
+//     v_S = a * (x in S ? C_x - P_x : P_x) * (y in S ? C_y - P_y : P_y)
+//
+// where S is the set of dimensions in which the corner takes the high
+// coordinate. This reproduces the paper's Fig. 5b tuples exactly (see
+// tests/functional_examples_test.cpp).
+
+#ifndef BOXAGG_POLY_CORNER_UPDATES_H_
+#define BOXAGG_POLY_CORNER_UPDATES_H_
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "geom/box.h"
+#include "poly/poly2.h"
+
+namespace boxagg {
+
+/// \brief An object of the functional box-sum problem: a 2-d box plus a
+/// polynomial value function given as monomials.
+struct FunctionalObject {
+  Box box;
+  std::vector<Monomial2> f;
+};
+
+/// \brief One point-insertion produced by the reduction.
+template <int DEG>
+struct CornerUpdate {
+  Point point;
+  Poly2<DEG> value;
+};
+
+/// Computes the four corner updates for an object. Requires that every
+/// monomial of `f` has p + 1 <= DEG and q + 1 <= DEG.
+template <int DEG>
+std::array<CornerUpdate<DEG>, 4> MakeCornerUpdates(
+    const Box& box, const std::vector<Monomial2>& f) {
+  std::array<CornerUpdate<DEG>, 4> out;
+  const double x1 = box.lo[0], x2 = box.hi[0];
+  const double y1 = box.lo[1], y2 = box.hi[1];
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    out[mask].point = box.Corner(mask, /*dims=*/2);
+  }
+  for (const Monomial2& m : f) {
+    const Poly1<DEG> px = PartialIntegral1D<DEG>(m.p, x1);
+    const Poly1<DEG> py = PartialIntegral1D<DEG>(m.q, y1);
+    const double cx = FullIntegral1D(m.p, x1, x2);
+    const double cy = FullIntegral1D(m.q, y1, y2);
+    for (uint32_t mask = 0; mask < 4; ++mask) {
+      // gx = (mask & 1) ? C_x - P_x : P_x; same for y with bit 1.
+      Poly1<DEG> gx = px;
+      Poly1<DEG> gy = py;
+      if (mask & 1u) {
+        for (auto& coef : gx.c) coef = -coef;
+        gx.c[0] += cx;
+      }
+      if (mask & 2u) {
+        for (auto& coef : gy.c) coef = -coef;
+        gy.c[0] += cy;
+      }
+      AccumulateProduct(gx, gy, m.a, &out[mask].value);
+    }
+  }
+  return out;
+}
+
+/// Exact integral of the value function over the whole object box.
+inline double IntegralOverBox(const Box& box,
+                              const std::vector<Monomial2>& f) {
+  double total = 0.0;
+  for (const Monomial2& m : f) {
+    total += m.a * FullIntegral1D(m.p, box.lo[0], box.hi[0]) *
+             FullIntegral1D(m.q, box.lo[1], box.hi[1]);
+  }
+  return total;
+}
+
+/// Exact integral of `f` over the intersection of the object box and `q`
+/// (zero if they do not intersect). This is the per-object contribution in
+/// the functional box-sum definition, used by oracles and the aR-tree leaf
+/// path.
+inline double IntegralOverIntersection(const Box& obj,
+                                       const std::vector<Monomial2>& f,
+                                       const Box& q) {
+  if (!obj.Intersects(q, /*dims=*/2)) return 0.0;
+  return IntegralOverBox(obj.Intersection(q, /*dims=*/2), f);
+}
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_POLY_CORNER_UPDATES_H_

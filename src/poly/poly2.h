@@ -1,0 +1,171 @@
+// Poly2: bivariate polynomials used as aggregate values by the functional
+// box-sum reduction (Sec. 3 of the paper).
+//
+// The OIFBS reduction stores, at each object corner, a *value function* that
+// is a polynomial in the query coordinates; dominance-sum aggregation then
+// adds/subtracts these coefficient tuples and finally evaluates the aggregate
+// at the query corner. Poly2 is that coefficient tuple: a dense grid of
+// coefficients c[i][j] on x^i y^j with per-variable degree bound DEG. It is
+// trivially copyable, so it serializes into index pages by memcpy, and it
+// forms an additive group, which is all the trees require of a value type.
+//
+// The paper's degree-0 experiment maps to Poly2<1> (4 coefficients — e.g. the
+// tuple <4,-40,-8,80> of Fig. 5b is 4xy - 40x - 8y + 80) and the degree-2
+// experiment to Poly2<3> (16 coefficients).
+
+#ifndef BOXAGG_POLY_POLY2_H_
+#define BOXAGG_POLY_POLY2_H_
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+namespace boxagg {
+
+/// \brief Dense bivariate polynomial with per-variable degree <= DEG.
+template <int DEG>
+struct Poly2 {
+  static_assert(DEG >= 0);
+  static constexpr int kStride = DEG + 1;
+  static constexpr int kCoeffs = kStride * kStride;
+
+  /// c[i * kStride + j] multiplies x^i * y^j. Zero-initialized: the default
+  /// Poly2 is the zero polynomial (the group identity).
+  std::array<double, kCoeffs> c{};
+
+  double At(int i, int j) const {
+    assert(i >= 0 && i <= DEG && j >= 0 && j <= DEG);
+    return c[static_cast<size_t>(i * kStride + j)];
+  }
+  void Set(int i, int j, double v) {
+    assert(i >= 0 && i <= DEG && j >= 0 && j <= DEG);
+    c[static_cast<size_t>(i * kStride + j)] = v;
+  }
+  void Add(int i, int j, double v) {
+    assert(i >= 0 && i <= DEG && j >= 0 && j <= DEG);
+    c[static_cast<size_t>(i * kStride + j)] += v;
+  }
+
+  Poly2& operator+=(const Poly2& o) {
+    for (int k = 0; k < kCoeffs; ++k) c[static_cast<size_t>(k)] += o.c[static_cast<size_t>(k)];
+    return *this;
+  }
+  Poly2& operator-=(const Poly2& o) {
+    for (int k = 0; k < kCoeffs; ++k) c[static_cast<size_t>(k)] -= o.c[static_cast<size_t>(k)];
+    return *this;
+  }
+  Poly2& operator*=(double s) {
+    for (int k = 0; k < kCoeffs; ++k) c[static_cast<size_t>(k)] *= s;
+    return *this;
+  }
+  friend Poly2 operator+(Poly2 a, const Poly2& b) { return a += b; }
+  friend Poly2 operator-(Poly2 a, const Poly2& b) { return a -= b; }
+  friend Poly2 operator*(Poly2 a, double s) { return a *= s; }
+
+  bool operator==(const Poly2& o) const { return c == o.c; }
+
+  /// Horner evaluation at (x, y).
+  double Evaluate(double x, double y) const {
+    double result = 0.0;
+    for (int i = DEG; i >= 0; --i) {
+      double row = 0.0;
+      for (int j = DEG; j >= 0; --j) {
+        row = row * y + At(i, j);
+      }
+      result = result * x + row;
+    }
+    return result;
+  }
+
+  bool NearlyEquals(const Poly2& o, double eps) const {
+    for (int k = 0; k < kCoeffs; ++k) {
+      if (std::fabs(c[static_cast<size_t>(k)] - o.c[static_cast<size_t>(k)]) > eps) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    bool first = true;
+    for (int i = DEG; i >= 0; --i) {
+      for (int j = DEG; j >= 0; --j) {
+        double v = At(i, j);
+        if (v == 0.0) continue;
+        if (!first) os << " + ";
+        os << v;
+        if (i) os << "*x^" << i;
+        if (j) os << "*y^" << j;
+        first = false;
+      }
+    }
+    if (first) os << "0";
+    return os.str();
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Poly2<3>>);
+
+/// Degree bounds used by the experiments: value functions of (total) degree 0
+/// integrate to per-variable degree 1; degree-2 functions to degree 3.
+using Poly2Deg1 = Poly2<1>;
+using Poly2Deg3 = Poly2<3>;
+
+/// \brief A single monomial a * x^p * y^q of an object's value function.
+struct Monomial2 {
+  double a = 0.0;
+  int p = 0;
+  int q = 0;
+};
+
+/// \brief One-variable polynomial helper used while assembling corner
+/// updates (degree <= DEG).
+template <int DEG>
+struct Poly1 {
+  std::array<double, DEG + 1> c{};  ///< c[i] multiplies t^i
+
+  double Evaluate(double t) const {
+    double r = 0.0;
+    for (int i = DEG; i >= 0; --i) r = r * t + c[static_cast<size_t>(i)];
+    return r;
+  }
+};
+
+/// Builds the partial antiderivative P(t) = (t^{e+1} - l^{e+1}) / (e+1) of
+/// the monomial t^e with lower limit l, as a Poly1. Requires e + 1 <= DEG.
+template <int DEG>
+Poly1<DEG> PartialIntegral1D(int e, double l) {
+  assert(e + 1 <= DEG);
+  Poly1<DEG> p;
+  p.c[static_cast<size_t>(e + 1)] = 1.0 / (e + 1);
+  p.c[0] = -std::pow(l, e + 1) / (e + 1);
+  return p;
+}
+
+/// The constant C = (h^{e+1} - l^{e+1}) / (e+1) — the full 1-d integral of
+/// t^e over [l, h].
+inline double FullIntegral1D(int e, double l, double h) {
+  return (std::pow(h, e + 1) - std::pow(l, e + 1)) / (e + 1);
+}
+
+/// Accumulates the product px(x) * py(y) * scale into `out`.
+template <int DEG>
+void AccumulateProduct(const Poly1<DEG>& px, const Poly1<DEG>& py,
+                       double scale, Poly2<DEG>* out) {
+  for (int i = 0; i <= DEG; ++i) {
+    double ci = px.c[static_cast<size_t>(i)];
+    if (ci == 0.0) continue;
+    for (int j = 0; j <= DEG; ++j) {
+      double cj = py.c[static_cast<size_t>(j)];
+      if (cj == 0.0) continue;
+      out->Add(i, j, scale * ci * cj);
+    }
+  }
+}
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_POLY_POLY2_H_

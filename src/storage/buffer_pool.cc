@@ -1,0 +1,169 @@
+#include "storage/buffer_pool.h"
+
+namespace boxagg {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity < 8 ? 8 : capacity) {}
+
+BufferPool::~BufferPool() { FlushAll().ok(); }
+
+Status BufferPool::Fetch(PageId id, PageGuard* out) {
+  ++stats_.logical_reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.buffer_hits;
+    Frame* f = it->second;
+    if (f->in_lru) {
+      lru_.erase(f->lru_pos);
+      f->in_lru = false;
+    }
+    ++f->pin_count;
+    *out = PageGuard(this, f);
+    return Status::OK();
+  }
+  Frame* f = nullptr;
+  BOXAGG_RETURN_NOT_OK(GetFreeFrame(&f));
+  if (Status s = file_->ReadPage(id, &f->page); !s.ok()) {
+    free_frames_.push_back(f);  // don't leak the frame on a failed read
+    return s;
+  }
+  ++stats_.physical_reads;
+  f->id = id;
+  f->pin_count = 1;
+  f->dirty = false;
+  f->in_lru = false;
+  frames_[id] = f;
+  *out = PageGuard(this, f);
+  return Status::OK();
+}
+
+Status BufferPool::New(PageGuard* out) {
+  PageId id;
+  BOXAGG_RETURN_NOT_OK(file_->Allocate(&id));
+  // A freed-then-reused page may still be resident with stale contents.
+  auto it = frames_.find(id);
+  Frame* f = nullptr;
+  if (it != frames_.end()) {
+    f = it->second;
+    assert(f->pin_count == 0);
+    if (f->in_lru) {
+      lru_.erase(f->lru_pos);
+      f->in_lru = false;
+    }
+  } else {
+    BOXAGG_RETURN_NOT_OK(GetFreeFrame(&f));
+    f->id = id;
+    frames_[id] = f;
+  }
+  f->page.Zero();
+  f->pin_count = 1;
+  f->dirty = true;  // must reach disk even if never touched again
+  f->in_lru = false;
+  *out = PageGuard(this, f);
+  return Status::OK();
+}
+
+Status BufferPool::Delete(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* f = it->second;
+    if (f->pin_count != 0) {
+      return Status::InvalidArgument("Delete of pinned page");
+    }
+    if (f->in_lru) {
+      lru_.erase(f->lru_pos);
+      f->in_lru = false;
+    }
+    f->id = kInvalidPageId;
+    f->dirty = false;
+    frames_.erase(it);
+    free_frames_.push_back(f);
+  }
+  return file_->Free(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    if (f->dirty) {
+      BOXAGG_RETURN_NOT_OK(file_->WritePage(id, f->page));
+      ++stats_.physical_writes;
+      f->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Reset() {
+  BOXAGG_RETURN_NOT_OK(FlushAll());
+  for (auto& [id, f] : frames_) {
+    if (f->pin_count != 0) {
+      return Status::InvalidArgument("Reset with pinned pages");
+    }
+    f->id = kInvalidPageId;
+    f->in_lru = false;
+    free_frames_.push_back(f);
+  }
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+void BufferPool::Unpin(Frame* f, bool dirty) {
+  assert(f->pin_count > 0);
+  if (dirty) f->dirty = true;
+  if (--f->pin_count == 0) {
+    Touch(f);
+  }
+}
+
+void BufferPool::Touch(Frame* f) {
+  if (f->in_lru) lru_.erase(f->lru_pos);
+  lru_.push_back(f);  // back = hottest
+  f->lru_pos = std::prev(lru_.end());
+  f->in_lru = true;
+}
+
+Status BufferPool::GetFreeFrame(Frame** out) {
+  if (!free_frames_.empty()) {
+    *out = free_frames_.back();
+    free_frames_.pop_back();
+    return Status::OK();
+  }
+  if (frame_storage_.size() < capacity_) {
+    frame_storage_.push_back(std::make_unique<Frame>(file_->page_size()));
+    *out = frame_storage_.back().get();
+    return Status::OK();
+  }
+  BOXAGG_RETURN_NOT_OK(EvictOne());
+  if (free_frames_.empty()) {
+    return Status::NoSpace("buffer pool exhausted (all pages pinned)");
+  }
+  *out = free_frames_.back();
+  free_frames_.pop_back();
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::NoSpace("buffer pool exhausted (all pages pinned)");
+  }
+  Frame* f = lru_.front();
+  lru_.pop_front();
+  f->in_lru = false;
+  if (f->dirty) {
+    if (Status s = file_->WritePage(f->id, f->page); !s.ok()) {
+      // Keep the frame resident and evictable so a transient I/O failure
+      // does not permanently shrink the pool.
+      Touch(f);
+      return s;
+    }
+    ++stats_.physical_writes;
+    f->dirty = false;
+  }
+  frames_.erase(f->id);
+  f->id = kInvalidPageId;
+  free_frames_.push_back(f);
+  return Status::OK();
+}
+
+}  // namespace boxagg

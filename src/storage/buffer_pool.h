@@ -1,0 +1,164 @@
+// BufferPool: fixed-capacity LRU page cache over a PageFile, with pin counts
+// and the I/O statistics that every experiment in the paper is measured on.
+//
+// The paper's setup (Sec. 6): 8 KB pages, 10 MB LRU buffer. A query's cost is
+// the number of buffer misses (physical reads) plus dirty-page write-backs it
+// causes.
+
+#ifndef BOXAGG_STORAGE_BUFFER_POOL_H_
+#define BOXAGG_STORAGE_BUFFER_POOL_H_
+
+#include <cassert>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/status.h"
+
+namespace boxagg {
+
+class PageGuard;
+
+/// \brief LRU buffer manager.
+///
+/// Frames hold pages; a frame with pin_count > 0 is never evicted. Eviction
+/// order is least-recently-unpinned first. All page access by index code goes
+/// through Fetch/New, returning pinned PageGuard handles.
+class BufferPool {
+ public:
+  /// \param file     backing store (not owned)
+  /// \param capacity maximum number of resident pages (>= max simultaneous
+  ///                 pins of any operation; indexes pin O(depth) pages)
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the file on a miss.
+  Status Fetch(PageId id, PageGuard* out);
+
+  /// Allocates a fresh page in the file, pins it zero-filled and dirty.
+  Status New(PageGuard* out);
+
+  /// Drops page `id` from the pool (must be unpinned) and frees it in the
+  /// file. Dirty contents are discarded — the page is dead.
+  Status Delete(PageId id);
+
+  /// Writes back all dirty pages (counted as physical writes).
+  Status FlushAll();
+
+  /// Writes back and evicts everything; the pool becomes empty.
+  Status Reset();
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+  PageFile* file() { return file_; }
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return frames_.size(); }
+
+  /// Pool sized to `mb` megabytes of `page_size`-byte pages (paper: 10 MB).
+  static size_t CapacityForMegabytes(size_t mb, uint32_t page_size) {
+    return (mb * 1024 * 1024) / page_size;
+  }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    explicit Frame(uint32_t page_size) : page(page_size) {}
+    Page page;
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0; lru_.end() sentinel otherwise.
+    std::list<Frame*>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(Frame* f, bool dirty);
+  Status GetFreeFrame(Frame** out);
+  Status EvictOne();
+  void Touch(Frame* f);
+
+  PageFile* file_;
+  size_t capacity_;
+  IoStats stats_;
+  std::unordered_map<PageId, Frame*> frames_;
+  std::list<Frame*> lru_;  // front = coldest (evict first)
+  std::vector<std::unique_ptr<Frame>> frame_storage_;
+  std::vector<Frame*> free_frames_;
+};
+
+/// \brief RAII pin on a buffered page.
+///
+/// While a PageGuard is live its page cannot be evicted. Call MarkDirty()
+/// after mutating the page. Guards are movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+      o.dirty_ = false;
+    }
+    return *this;
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const {
+    assert(frame_);
+    return frame_->id;
+  }
+  Page* page() {
+    assert(frame_);
+    return &frame_->page;
+  }
+  const Page* page() const {
+    assert(frame_);
+    return &frame_->page;
+  }
+
+  /// Records that the page contents changed; it will be written back before
+  /// eviction.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins early (also done by the destructor).
+  void Release() {
+    if (pool_ && frame_) {
+      pool_->Unpin(frame_, dirty_);
+    }
+    pool_ = nullptr;
+    frame_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, BufferPool::Frame* frame)
+      : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  BufferPool::Frame* frame_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,43 @@
+// IoStats: the measurement substrate for every experiment in the paper.
+//
+// The paper reports query cost as the number of physical page I/Os under an
+// LRU buffer (Sec. 6), and "execution time" as CPU time plus #I/Os x 10ms.
+// IoStats is owned by the BufferPool and incremented on every physical read
+// and write; benches snapshot/diff it around query batches.
+
+#ifndef BOXAGG_STORAGE_IO_STATS_H_
+#define BOXAGG_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace boxagg {
+
+/// \brief Counters for physical and logical page traffic.
+struct IoStats {
+  uint64_t physical_reads = 0;   ///< pages fetched from the PageFile
+  uint64_t physical_writes = 0;  ///< dirty pages flushed to the PageFile
+  uint64_t logical_reads = 0;    ///< page fetch requests (hits + misses)
+  uint64_t buffer_hits = 0;      ///< fetches served from the buffer pool
+
+  /// Total physical I/Os — the paper's query-cost metric.
+  uint64_t TotalIos() const { return physical_reads + physical_writes; }
+
+  void Reset() { *this = IoStats{}; }
+
+  /// Component-wise difference (now - earlier); used to cost a query batch.
+  IoStats Since(const IoStats& earlier) const {
+    IoStats d;
+    d.physical_reads = physical_reads - earlier.physical_reads;
+    d.physical_writes = physical_writes - earlier.physical_writes;
+    d.logical_reads = logical_reads - earlier.logical_reads;
+    d.buffer_hits = buffer_hits - earlier.buffer_hits;
+    return d;
+  }
+};
+
+/// Per-I/O latency charged by the paper's cost model (Sec. 6): 10 ms.
+inline constexpr double kPaperIoMillis = 10.0;
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_STORAGE_IO_STATS_H_

@@ -1,0 +1,74 @@
+// Page: a fixed-size block of bytes, the unit of disk transfer and buffering.
+//
+// All indexes in this library serialize their nodes into pages. A page is raw
+// storage plus typed accessors; interpretation of the payload belongs to the
+// index that owns the page.
+
+#ifndef BOXAGG_STORAGE_PAGE_H_
+#define BOXAGG_STORAGE_PAGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace boxagg {
+
+/// Identifier of a page within a PageFile. Page 0 is valid; kInvalidPageId
+/// marks "no page" (e.g. a missing child pointer or an unspilled border).
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~PageId{0};
+
+/// Default page size used throughout, matching the paper's setup (Sec. 6).
+inline constexpr uint32_t kDefaultPageSize = 8192;
+
+/// \brief A fixed-size buffer with typed, bounds-checked (in debug builds)
+/// read/write helpers.
+///
+/// Pages are owned by the BufferPool; index code receives Page* through
+/// PageGuard handles and must not retain the pointer past unpin.
+class Page {
+ public:
+  explicit Page(uint32_t size) : data_(size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  /// Copies a trivially-copyable value out of the page at byte offset `off`.
+  template <typename T>
+  T ReadAt(uint32_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) <= data_.size());
+    T v;
+    std::memcpy(&v, data_.data() + off, sizeof(T));
+    return v;
+  }
+
+  /// Copies a trivially-copyable value into the page at byte offset `off`.
+  template <typename T>
+  void WriteAt(uint32_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) <= data_.size());
+    std::memcpy(data_.data() + off, &v, sizeof(T));
+  }
+
+  void ReadBytes(uint32_t off, void* out, uint32_t n) const {
+    assert(off + n <= data_.size());
+    std::memcpy(out, data_.data() + off, n);
+  }
+
+  void WriteBytes(uint32_t off, const void* in, uint32_t n) {
+    assert(off + n <= data_.size());
+    std::memcpy(data_.data() + off, in, n);
+  }
+
+  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_STORAGE_PAGE_H_

@@ -1,0 +1,115 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace boxagg {
+
+Status PageFile::Allocate(PageId* out) {
+  if (!free_list_.empty()) {
+    *out = free_list_.back();
+    free_list_.pop_back();
+    return Status::OK();
+  }
+  BOXAGG_RETURN_NOT_OK(Extend(page_count_ + 1));
+  *out = page_count_;
+  ++page_count_;
+  return Status::OK();
+}
+
+Status PageFile::Free(PageId id) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("Free of unallocated page");
+  }
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MemPageFile
+
+Status MemPageFile::Extend(uint64_t new_count) {
+  pages_.resize(new_count);
+  return Status::OK();
+}
+
+Status MemPageFile::ReadPage(PageId id, Page* page) {
+  if (id >= page_count_) return Status::NotFound("page id out of range");
+  auto& src = pages_[id];
+  if (src.empty()) {
+    page->Zero();  // never-written page reads as zeros
+  } else {
+    page->WriteBytes(0, src.data(), page_size_);
+  }
+  return Status::OK();
+}
+
+Status MemPageFile::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) return Status::NotFound("page id out of range");
+  auto& dst = pages_[id];
+  dst.assign(page.data(), page.data() + page_size_);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FilePageFile
+
+FilePageFile::~FilePageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FilePageFile::Open(const std::string& path, uint32_t page_size,
+                          bool truncate,
+                          std::unique_ptr<FilePageFile>* out) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  auto file = std::unique_ptr<FilePageFile>(
+      new FilePageFile(page_size, fd, path));
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    return Status::IoError("lseek: " + std::string(std::strerror(errno)));
+  }
+  file->page_count_ = static_cast<uint64_t>(end) / page_size;
+  *out = std::move(file);
+  return Status::OK();
+}
+
+Status FilePageFile::Extend(uint64_t new_count) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_count * page_size_)) != 0) {
+    return Status::NoSpace("ftruncate: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FilePageFile::ReadPage(PageId id, Page* page) {
+  if (id >= page_count_) return Status::NotFound("page id out of range");
+  ssize_t n = ::pread(fd_, page->data(), page_size_,
+                      static_cast<off_t>(id * page_size_));
+  if (n < 0) {
+    return Status::IoError("pread: " + std::string(std::strerror(errno)));
+  }
+  if (static_cast<uint32_t>(n) < page_size_) {
+    // Page was allocated via ftruncate but never written; the tail is zeros.
+    std::memset(page->data() + n, 0, page_size_ - n);
+  }
+  return Status::OK();
+}
+
+Status FilePageFile::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) return Status::NotFound("page id out of range");
+  ssize_t n = ::pwrite(fd_, page.data(), page_size_,
+                       static_cast<off_t>(id * page_size_));
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace boxagg

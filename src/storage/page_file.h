@@ -1,0 +1,108 @@
+// PageFile: persistent array of fixed-size pages with allocation and a free
+// list.
+//
+// Two backends share one interface:
+//  - FilePageFile: POSIX file-backed; every ReadPage/WritePage is a real
+//    pread/pwrite, so buffer-pool miss counts correspond to real disk traffic.
+//  - MemPageFile: in-memory vector of pages; same allocation semantics, used
+//    by unit tests and by benches that only need I/O *counts* (the counts are
+//    identical — the buffer pool does the counting).
+
+#ifndef BOXAGG_STORAGE_PAGE_FILE_H_
+#define BOXAGG_STORAGE_PAGE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/status.h"
+
+namespace boxagg {
+
+/// \brief Abstract store of fixed-size pages.
+///
+/// Thread-compatibility: single-threaded, like the rest of the library.
+class PageFile {
+ public:
+  explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Number of pages ever allocated (including freed ones still on disk).
+  uint64_t page_count() const { return page_count_; }
+
+  /// Pages currently allocated and not on the free list.
+  uint64_t live_page_count() const { return page_count_ - free_list_.size(); }
+
+  /// Total bytes of the underlying store (page_count * page_size).
+  uint64_t size_bytes() const { return page_count_ * uint64_t{page_size_}; }
+
+  /// Allocates a page (reusing a freed one if available) and returns its id.
+  Status Allocate(PageId* out);
+
+  /// Returns a page to the free list. The page's contents become undefined.
+  Status Free(PageId id);
+
+  /// Reads page `id` into `page` (page->size() must equal page_size()).
+  virtual Status ReadPage(PageId id, Page* page) = 0;
+
+  /// Writes `page` to page `id`.
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+ protected:
+  /// Grows the backing store to hold `new_count` pages.
+  virtual Status Extend(uint64_t new_count) = 0;
+
+  uint32_t page_size_;
+  uint64_t page_count_ = 0;
+  std::vector<PageId> free_list_;
+};
+
+/// \brief In-memory PageFile; pages live in heap vectors.
+class MemPageFile : public PageFile {
+ public:
+  explicit MemPageFile(uint32_t page_size = kDefaultPageSize)
+      : PageFile(page_size) {}
+
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+
+ protected:
+  Status Extend(uint64_t new_count) override;
+
+ private:
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+/// \brief POSIX-file-backed PageFile.
+class FilePageFile : public PageFile {
+ public:
+  ~FilePageFile() override;
+
+  /// Creates (truncating) or opens `path`. On open of an existing file the
+  /// page count is derived from the file size; the free list starts empty.
+  static Status Open(const std::string& path, uint32_t page_size,
+                     bool truncate, std::unique_ptr<FilePageFile>* out);
+
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+
+ protected:
+  Status Extend(uint64_t new_count) override;
+
+ private:
+  FilePageFile(uint32_t page_size, int fd, std::string path)
+      : PageFile(page_size), fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_STORAGE_PAGE_FILE_H_

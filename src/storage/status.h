@@ -1,0 +1,86 @@
+// Status: lightweight error propagation for the storage layer (RocksDB-style).
+//
+// The storage engine reports failures through Status values instead of
+// exceptions so that callers on hot paths (page fetches, splits) can branch on
+// the outcome without unwinding machinery. Higher layers treat a non-OK
+// Status from storage as fatal for the current operation.
+
+#ifndef BOXAGG_STORAGE_STATUS_H_
+#define BOXAGG_STORAGE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace boxagg {
+
+/// \brief Result of a storage-layer operation.
+///
+/// A Status either is OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to copy when OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kIoError,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kNoSpace,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kIoError: name = "IoError"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kNoSpace: name = "NoSpace"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace boxagg
+
+/// Propagates a non-OK Status to the caller. Use inside functions returning
+/// Status.
+#define BOXAGG_RETURN_NOT_OK(expr)              \
+  do {                                          \
+    ::boxagg::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // BOXAGG_STORAGE_STATUS_H_

@@ -1,0 +1,101 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <random>
+
+namespace boxagg {
+namespace workload {
+
+Box UnitSpace() { return Box(Point(0, 0), Point(1, 1)); }
+
+namespace {
+
+BoxObject ClampToSpace(double cx, double cy, double w, double h, double v) {
+  BoxObject o;
+  o.box.lo[0] = std::max(0.0, cx - w / 2);
+  o.box.lo[1] = std::max(0.0, cy - h / 2);
+  o.box.hi[0] = std::min(1.0, cx + w / 2);
+  o.box.hi[1] = std::min(1.0, cy + h / 2);
+  o.value = v;
+  return o;
+}
+
+}  // namespace
+
+std::vector<BoxObject> UniformRects(const RectConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> ucenter(0.0, 1.0);
+  std::uniform_real_distribution<double> uside(0.0, 2.0 * cfg.avg_side);
+  std::uniform_real_distribution<double> uvalue(cfg.value_min, cfg.value_max);
+  std::vector<BoxObject> out;
+  out.reserve(cfg.n);
+  for (size_t i = 0; i < cfg.n; ++i) {
+    out.push_back(ClampToSpace(ucenter(rng), ucenter(rng), uside(rng),
+                               uside(rng), uvalue(rng)));
+  }
+  return out;
+}
+
+std::vector<BoxObject> ClusteredRects(const RectConfig& cfg, int clusters,
+                                      double stddev) {
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> ucenter(0.0, 1.0);
+  std::uniform_real_distribution<double> uside(0.0, 2.0 * cfg.avg_side);
+  std::uniform_real_distribution<double> uvalue(cfg.value_min, cfg.value_max);
+  std::vector<std::pair<double, double>> seeds;
+  seeds.reserve(static_cast<size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    seeds.emplace_back(ucenter(rng), ucenter(rng));
+  }
+  std::normal_distribution<double> jitter(0.0, stddev);
+  std::uniform_int_distribution<size_t> pick(0, seeds.size() - 1);
+  std::vector<BoxObject> out;
+  out.reserve(cfg.n);
+  for (size_t i = 0; i < cfg.n; ++i) {
+    auto [sx, sy] = seeds[pick(rng)];
+    double cx = std::clamp(sx + jitter(rng), 0.0, 1.0);
+    double cy = std::clamp(sy + jitter(rng), 0.0, 1.0);
+    out.push_back(ClampToSpace(cx, cy, uside(rng), uside(rng), uvalue(rng)));
+  }
+  return out;
+}
+
+std::vector<Box> QueryBoxes(size_t count, double qbs, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  double side = std::sqrt(qbs);
+  std::uniform_real_distribution<double> upos(0.0, 1.0 - side);
+  std::vector<Box> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double x = upos(rng), y = upos(rng);
+    out.push_back(Box(Point(x, y), Point(x + side, y + side)));
+  }
+  return out;
+}
+
+std::vector<FunctionalObject> MakeFunctional(
+    const std::vector<BoxObject>& objects, int degree, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ucoef(-1.0, 1.0);
+  std::vector<FunctionalObject> out;
+  out.reserve(objects.size());
+  for (const BoxObject& o : objects) {
+    FunctionalObject f;
+    f.box = o.box;
+    f.f.push_back({o.value, 0, 0});
+    if (degree >= 1) {
+      f.f.push_back({ucoef(rng) * o.value, 1, 0});
+      f.f.push_back({ucoef(rng) * o.value, 0, 1});
+    }
+    if (degree >= 2) {
+      f.f.push_back({ucoef(rng) * o.value, 2, 0});
+      f.f.push_back({ucoef(rng) * o.value, 1, 1});
+      f.f.push_back({ucoef(rng) * o.value, 0, 2});
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace boxagg

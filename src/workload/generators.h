@@ -1,0 +1,59 @@
+// Workload generators reproducing the paper's experimental data (Sec. 6):
+// uniformly distributed rectangles whose average side is a small fraction of
+// the space (1/10,000 in the paper), fixed-size random query boxes described
+// by their QBS (query box size as a percentage of the space's area), and
+// functional variants attaching polynomial value functions of a chosen
+// degree. A clustered generator provides a skewed alternative for
+// robustness experiments.
+
+#ifndef BOXAGG_WORKLOAD_GENERATORS_H_
+#define BOXAGG_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/naive.h"
+#include "poly/corner_updates.h"
+
+namespace boxagg {
+namespace workload {
+
+/// The unit space [0,1]^2 all generators place data in.
+Box UnitSpace();
+
+/// Parameters for rectangle generation.
+struct RectConfig {
+  size_t n = 100000;
+  /// Average side length relative to the space (paper: 1e-4).
+  double avg_side = 1e-4;
+  /// Values are uniform in [value_min, value_max].
+  double value_min = 0.0;
+  double value_max = 100.0;
+  uint64_t seed = 42;
+};
+
+/// Uniformly distributed rectangles, clamped to the unit space. Each side is
+/// uniform in (0, 2 * avg_side], so the mean side is avg_side.
+std::vector<BoxObject> UniformRects(const RectConfig& cfg);
+
+/// Gaussian-clustered rectangles: centers drawn around `clusters` random
+/// cluster seeds with the given standard deviation.
+std::vector<BoxObject> ClusteredRects(const RectConfig& cfg, int clusters,
+                                      double stddev);
+
+/// `count` square query boxes of area `qbs` (fraction of the space, e.g.
+/// 0.0001 for the paper's 0.01%), placed uniformly and fully inside the
+/// space.
+std::vector<Box> QueryBoxes(size_t count, double qbs, uint64_t seed);
+
+/// Attaches a random polynomial value function of total degree `degree`
+/// (0 or 2, the paper's two variants) to each rectangle. The constant
+/// coefficient is the object's original value; higher-degree coefficients
+/// are scaled so functions stay positive-ish over the unit space.
+std::vector<FunctionalObject> MakeFunctional(
+    const std::vector<BoxObject>& objects, int degree, uint64_t seed);
+
+}  // namespace workload
+}  // namespace boxagg
+
+#endif  // BOXAGG_WORKLOAD_GENERATORS_H_

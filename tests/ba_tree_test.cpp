@@ -1,0 +1,281 @@
+// Tests for the BA-tree (Sec. 5): dominance-sum correctness against the
+// naive oracle across dimensions, bulk-loaded and incrementally built trees
+// (with pages small enough to force leaf splits, index splits, and k-d-B
+// forced-split cascades), split border maintenance, and storage accounting.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "batree/ba_tree.h"
+#include "core/naive.h"
+#include "poly/poly2.h"
+#include "storage/buffer_pool.h"
+
+namespace boxagg {
+namespace {
+
+std::vector<PointEntry<double>> RandomPoints(int n, int dims, uint32_t seed,
+                                             double key_range = 100.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uc(0, key_range);
+  std::uniform_real_distribution<double> uv(-5, 5);
+  std::vector<PointEntry<double>> out;
+  for (int i = 0; i < n; ++i) {
+    PointEntry<double> e;
+    for (int d = 0; d < dims; ++d) e.pt[d] = std::floor(uc(rng));
+    e.value = uv(rng);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Point> RandomQueries(int n, int dims, uint32_t seed,
+                                 double key_range = 100.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uc(-5, key_range + 5);
+  std::vector<Point> out;
+  for (int i = 0; i < n; ++i) {
+    Point p;
+    for (int d = 0; d < dims; ++d) p[d] = uc(rng);
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(BaTree, EmptyTree) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  BaTree<double> tree(&pool, 2);
+  double s = -1;
+  ASSERT_TRUE(tree.DominanceSum(Point(10, 10), &s).ok());
+  EXPECT_EQ(s, 0.0);
+  uint64_t pages = 7;
+  ASSERT_TRUE(tree.PageCount(&pages).ok());
+  EXPECT_EQ(pages, 0u);
+}
+
+TEST(BaTree, SingleLeafBasics) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  BaTree<double> tree(&pool, 2);
+  ASSERT_TRUE(tree.Insert(Point(5, 5), 3.0).ok());
+  ASSERT_TRUE(tree.Insert(Point(2, 8), 4.0).ok());
+  ASSERT_TRUE(tree.Insert(Point(5, 5), 1.0).ok());  // coalesces
+  double s;
+  ASSERT_TRUE(tree.DominanceSum(Point(5, 5), &s).ok());
+  EXPECT_EQ(s, 4.0);
+  ASSERT_TRUE(tree.DominanceSum(Point(4, 10), &s).ok());
+  EXPECT_EQ(s, 4.0);
+  ASSERT_TRUE(tree.DominanceSum(Point(10, 10), &s).ok());
+  EXPECT_EQ(s, 8.0);
+  ASSERT_TRUE(tree.DominanceSum(Point(1, 1), &s).ok());
+  EXPECT_EQ(s, 0.0);
+  std::vector<PointEntry<double>> all;
+  ASSERT_TRUE(tree.ScanAll(&all).ok());
+  EXPECT_EQ(all.size(), 2u);
+}
+
+struct BaParam {
+  int dims;
+  bool bulk;
+  int n;
+  uint32_t page_size;
+
+  std::string Name() const {
+    return "d" + std::to_string(dims) + (bulk ? "_bulk" : "_inc") + "_n" +
+           std::to_string(n) + "_ps" + std::to_string(page_size);
+  }
+};
+
+class BaTreeSweep : public ::testing::TestWithParam<BaParam> {};
+
+TEST_P(BaTreeSweep, MatchesNaiveOracle) {
+  const BaParam p = GetParam();
+  MemPageFile file(p.page_size);
+  BufferPool pool(&file, 512);
+  BaTree<double> tree(&pool, p.dims);
+  NaiveDominanceSum<double> naive(p.dims);
+  auto pts = RandomPoints(p.n, p.dims, 300u + static_cast<uint32_t>(p.n));
+  for (const auto& e : pts) naive.Insert(e.pt, e.value);
+  if (p.bulk) {
+    ASSERT_TRUE(tree.BulkLoad(pts).ok());
+  } else {
+    for (const auto& e : pts) {
+      ASSERT_TRUE(tree.Insert(e.pt, e.value).ok());
+    }
+  }
+  for (const Point& q : RandomQueries(200, p.dims, 9)) {
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-6) << q.ToString(p.dims);
+  }
+  // Also probe exactly at data points (boundary semantics).
+  for (int i = 0; i < 50; ++i) {
+    const Point& q = pts[static_cast<size_t>(i * 7 % p.n)].pt;
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-6) << q.ToString(p.dims);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaTreeSweep,
+    ::testing::Values(BaParam{1, false, 2000, 512},
+                      BaParam{2, false, 1200, 512},
+                      BaParam{2, false, 4000, 1024},
+                      BaParam{2, true, 4000, 512},
+                      BaParam{2, true, 8000, 1024},
+                      BaParam{3, false, 900, 1024},
+                      BaParam{3, true, 3000, 1024},
+                      BaParam{3, true, 2000, 4096}),
+    [](const ::testing::TestParamInfo<BaParam>& info) {
+      return info.param.Name();
+    });
+
+TEST(BaTree, InsertAfterBulkLoad) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 512);
+  BaTree<double> tree(&pool, 2);
+  NaiveDominanceSum<double> naive(2);
+  auto pts = RandomPoints(4000, 2, 71);
+  std::vector<PointEntry<double>> first(pts.begin(), pts.begin() + 2000);
+  ASSERT_TRUE(tree.BulkLoad(first).ok());
+  for (const auto& e : first) naive.Insert(e.pt, e.value);
+  for (size_t i = 2000; i < pts.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(pts[i].pt, pts[i].value).ok());
+    naive.Insert(pts[i].pt, pts[i].value);
+  }
+  for (const Point& q : RandomQueries(200, 2, 10)) {
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-6);
+  }
+}
+
+TEST(BaTree, DeletionViaInverseValues) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 512);
+  BaTree<double> tree(&pool, 2);
+  auto pts = RandomPoints(1000, 2, 41);
+  for (const auto& e : pts) {
+    ASSERT_TRUE(tree.Insert(e.pt, e.value).ok());
+  }
+  NaiveDominanceSum<double> naive(2);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(tree.Insert(pts[i].pt, -pts[i].value).ok());
+    } else {
+      naive.Insert(pts[i].pt, pts[i].value);
+    }
+  }
+  for (const Point& q : RandomQueries(150, 2, 12)) {
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-6);
+  }
+}
+
+TEST(BaTree, SkewedInsertionOrderStressesSplits) {
+  // Sorted insertion order drives repeated splits on the same boundary and
+  // exercises the forced-split cascade.
+  MemPageFile file(512);
+  BufferPool pool(&file, 512);
+  BaTree<double> tree(&pool, 2);
+  NaiveDominanceSum<double> naive(2);
+  std::vector<PointEntry<double>> pts;
+  for (int i = 0; i < 1500; ++i) {
+    PointEntry<double> e{Point(i % 40, i / 40 + (i % 7) * 0.25), 1.0};
+    pts.push_back(e);
+  }
+  std::sort(pts.begin(), pts.end(),
+            [](const auto& a, const auto& b) { return LexLess(a.pt, b.pt, 2); });
+  for (const auto& e : pts) {
+    ASSERT_TRUE(tree.Insert(e.pt, e.value).ok());
+    naive.Insert(e.pt, e.value);
+  }
+  for (const Point& q : RandomQueries(150, 2, 13, 45.0)) {
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-6);
+  }
+}
+
+TEST(BaTree, ColumnsAndRowsOfDuplicateCoordinates) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 512);
+  BaTree<double> tree(&pool, 2);
+  NaiveDominanceSum<double> naive(2);
+  // Dense grid columns: many identical x values, many identical y values.
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 80; ++y) {
+      Point p(x, y);
+      ASSERT_TRUE(tree.Insert(p, 1.0).ok());
+      naive.Insert(p, 1.0);
+    }
+  }
+  for (const Point& q :
+       {Point(6, 40), Point(0, 0), Point(11, 79), Point(5.5, 200),
+        Point(-1, 50), Point(200, 200)}) {
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-9) << q.ToString(2);
+  }
+}
+
+TEST(BaTree, DestroyReleasesEverything) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 512);
+  uint64_t before = file.live_page_count();
+  BaTree<double> tree(&pool, 2);
+  ASSERT_TRUE(tree.BulkLoad(RandomPoints(3000, 2, 21)).ok());
+  uint64_t pages = 0;
+  ASSERT_TRUE(tree.PageCount(&pages).ok());
+  EXPECT_GT(pages, 20u);
+  EXPECT_EQ(file.live_page_count() - before, pages);
+  ASSERT_TRUE(tree.Destroy().ok());
+  EXPECT_EQ(file.live_page_count(), before);
+}
+
+TEST(BaTree, PolynomialValues) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 512);
+  BaTree<Poly2<1>> tree(&pool, 2);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> uc(0, 100);
+  std::vector<PointEntry<Poly2<1>>> pts;
+  for (int i = 0; i < 600; ++i) {
+    PointEntry<Poly2<1>> e;
+    e.pt = Point(std::floor(uc(rng)), std::floor(uc(rng)));
+    e.value.Set(1, 1, uc(rng));
+    e.value.Set(0, 0, uc(rng) - 50);
+    pts.push_back(e);
+    ASSERT_TRUE(tree.Insert(e.pt, e.value).ok());
+  }
+  NaiveDominanceSum<Poly2<1>> naive(2);
+  for (const auto& e : pts) naive.Insert(e.pt, e.value);
+  for (const Point& q : RandomQueries(60, 2, 14)) {
+    Poly2<1> got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    EXPECT_TRUE(got.NearlyEquals(naive.Query(q), 1e-6)) << q.ToString(2);
+  }
+}
+
+TEST(BaTree, MassiveCoalescingKeepsOneEntry) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 256);
+  BaTree<double> tree(&pool, 2);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(Point(3, 4), 1.0).ok());
+  }
+  std::vector<PointEntry<double>> all;
+  ASSERT_TRUE(tree.ScanAll(&all).ok());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].value, 500.0);
+  double s;
+  ASSERT_TRUE(tree.DominanceSum(Point(3, 4), &s).ok());
+  EXPECT_EQ(s, 500.0);
+}
+
+}  // namespace
+}  // namespace boxagg

@@ -1,0 +1,324 @@
+// Tests for the reduction layer: the 2^d corner-transform BoxSumIndex
+// (Lemma 1 / Theorem 2), the Edelsbrunner-Overmars baseline reduction
+// (Theorem 1), COUNT/AVG aggregation, and cross-validation of every
+// dominance-sum backend against the naive oracle and the aR-tree.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "batree/ba_tree.h"
+#include "core/box_sum_index.h"
+#include "core/naive.h"
+#include "ecdf/ecdf_btree.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "workload/generators.h"
+
+namespace boxagg {
+namespace {
+
+std::vector<BoxObject> World(int n, uint32_t seed, double avg_side = 0.03) {
+  workload::RectConfig cfg;
+  cfg.n = static_cast<size_t>(n);
+  cfg.avg_side = avg_side;
+  cfg.seed = seed;
+  return workload::UniformRects(cfg);
+}
+
+TEST(ReductionCounts, TheoremOneVersusTheoremTwo) {
+  // [13] needs 3^d - 1 dominance-sums; the corner transform needs 2^d.
+  EXPECT_EQ(EoQueryCount(1), 2u);
+  EXPECT_EQ(EoQueryCount(2), 8u);
+  EXPECT_EQ(EoQueryCount(3), 26u);  // the paper: "26 queries while ours 8"
+  EXPECT_EQ(EoQueryCount(4), 80u);
+  EXPECT_EQ(CornerQueryCount(2), 4u);
+  EXPECT_EQ(CornerQueryCount(3), 8u);
+  for (int d = 1; d <= 8; ++d) {
+    uint64_t three_pow = 1;
+    for (int i = 0; i < d; ++i) three_pow *= 3;
+    EXPECT_EQ(EoQueryCount(d), three_pow - 1) << d;
+    // Equal at d = 1; the corner transform wins strictly for d >= 2.
+    if (d == 1) {
+      EXPECT_EQ(CornerQueryCount(d), EoQueryCount(d));
+    } else {
+      EXPECT_LT(CornerQueryCount(d), EoQueryCount(d)) << d;
+    }
+  }
+}
+
+TEST(StrictlyBelowTest, ExactStrictInequality) {
+  double x = 0.37;
+  EXPECT_LT(StrictlyBelow(x), x);
+  // No double fits between StrictlyBelow(x) and x.
+  EXPECT_EQ(std::nextafter(StrictlyBelow(x), 1e300), x);
+}
+
+TEST(CornerTransform, StorageAndQueryCorners) {
+  Box b(Point(1, 2), Point(3, 4));
+  EXPECT_EQ(StorageCorner(b, 0b00, 2), Point(1, 2));
+  EXPECT_EQ(StorageCorner(b, 0b01, 2), Point(3, 2));
+  EXPECT_EQ(StorageCorner(b, 0b10, 2), Point(1, 4));
+  EXPECT_EQ(StorageCorner(b, 0b11, 2), Point(3, 4));
+  Box q(Point(10, 20), Point(30, 40));
+  Point q0 = QueryCorner(q, 0b00, 2);
+  EXPECT_EQ(q0, Point(30, 40));  // (hi_x, hi_y)
+  Point q3 = QueryCorner(q, 0b11, 2);
+  EXPECT_LT(q3[0], 10.0);
+  EXPECT_LT(q3[1], 20.0);
+  EXPECT_EQ(MaskSign(0b00), 1.0);
+  EXPECT_EQ(MaskSign(0b01), -1.0);
+  EXPECT_EQ(MaskSign(0b11), 1.0);
+}
+
+// The worked example of Fig. 3a with simple box-sum semantics: query
+// [5,20]x[3,15] intersects the value-4 and value-3 objects but not the
+// value-6 one; the simple box-sum is 7.
+TEST(BoxSumIndexTest, PaperFig3aSimpleAnswerIsSeven) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  BoxSumIndex<BaTree<double>> index(
+      2, [&] { return BaTree<double>(&pool, 2); });
+  ASSERT_TRUE(index.Insert(Box(Point(2, 10), Point(15, 26)), 4.0).ok());
+  ASSERT_TRUE(index.Insert(Box(Point(18, 4), Point(30, 10)), 3.0).ok());
+  ASSERT_TRUE(index.Insert(Box(Point(22, 18), Point(28, 26)), 6.0).ok());
+  double s;
+  ASSERT_TRUE(index.Query(Box(Point(5, 3), Point(20, 15)), &s).ok());
+  EXPECT_DOUBLE_EQ(s, 7.0);
+}
+
+TEST(BoxSumIndexTest, TouchingBoxesCountAsIntersecting) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  BoxSumIndex<BaTree<double>> index(
+      2, [&] { return BaTree<double>(&pool, 2); });
+  ASSERT_TRUE(index.Insert(Box(Point(0, 0), Point(1, 1)), 5.0).ok());
+  double s;
+  // Query touching at the corner point (1,1).
+  ASSERT_TRUE(index.Query(Box(Point(1, 1), Point(2, 2)), &s).ok());
+  EXPECT_DOUBLE_EQ(s, 5.0);
+  // Query strictly beyond.
+  ASSERT_TRUE(
+      index.Query(Box(Point(1.0000001, 1), Point(2, 2)), &s).ok());
+  EXPECT_DOUBLE_EQ(s, 0.0);
+  // Object strictly right of the query: the A^1 strictness matters.
+  ASSERT_TRUE(index.Query(Box(Point(-1, -1), Point(0, 0)), &s).ok());
+  EXPECT_DOUBLE_EQ(s, 5.0);  // touches at (0,0)
+}
+
+enum class Backend { kBu, kBq, kBat };
+
+struct CrossParam {
+  Backend backend;
+  bool bulk;
+  int n;
+  std::string Name() const {
+    std::string b = backend == Backend::kBu   ? "ECDFu"
+                    : backend == Backend::kBq ? "ECDFq"
+                                              : "BAT";
+    return b + (bulk ? "_bulk" : "_inc") + "_n" + std::to_string(n);
+  }
+};
+
+class BoxSumCross : public ::testing::TestWithParam<CrossParam> {};
+
+// Every backend, bulk and incremental, must agree with the naive oracle and
+// with an aR-tree over the same objects, across query sizes.
+TEST_P(BoxSumCross, AgreesWithOracleAndArTree) {
+  const CrossParam p = GetParam();
+  MemPageFile file(2048);
+  BufferPool pool(&file, 1024);
+  auto objs = World(p.n, 500u + static_cast<uint32_t>(p.n));
+  NaiveBoxSum naive(2);
+  for (const auto& o : objs) naive.Insert(o.box, o.value);
+  RStarTree<> artree(&pool, 2);
+  {
+    std::vector<RStarTree<>::Object> items;
+    for (const auto& o : objs) items.push_back({o.box, o.value});
+    ASSERT_TRUE(artree.BulkLoad(std::move(items)).ok());
+  }
+
+  auto run = [&](auto& index) {
+    if (p.bulk) {
+      ASSERT_TRUE(index.BulkLoad(objs).ok());
+    } else {
+      for (const auto& o : objs) {
+        ASSERT_TRUE(index.Insert(o.box, o.value).ok());
+      }
+    }
+    for (double qbs : {0.0001, 0.01, 0.25}) {
+      for (const Box& q : workload::QueryBoxes(25, qbs, 77)) {
+        double got, ar;
+        ASSERT_TRUE(index.Query(q, &got).ok());
+        ASSERT_TRUE(artree.AggregateQuery(q, true, &ar).ok());
+        double want = naive.Sum(q);
+        ASSERT_NEAR(got, want, 1e-6 + 1e-9 * std::abs(want)) << qbs;
+        ASSERT_NEAR(ar, want, 1e-6 + 1e-9 * std::abs(want)) << qbs;
+      }
+    }
+  };
+
+  switch (p.backend) {
+    case Backend::kBu: {
+      BoxSumIndex<EcdfBTree<double>> index(2, [&] {
+        return EcdfBTree<double>(&pool, 2, EcdfVariant::kUpdateOptimized);
+      });
+      run(index);
+      break;
+    }
+    case Backend::kBq: {
+      BoxSumIndex<EcdfBTree<double>> index(2, [&] {
+        return EcdfBTree<double>(&pool, 2, EcdfVariant::kQueryOptimized);
+      });
+      run(index);
+      break;
+    }
+    case Backend::kBat: {
+      BoxSumIndex<BaTree<double>> index(
+          2, [&] { return BaTree<double>(&pool, 2); });
+      run(index);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BoxSumCross,
+    ::testing::Values(CrossParam{Backend::kBu, false, 1200},
+                      CrossParam{Backend::kBu, true, 4000},
+                      CrossParam{Backend::kBq, false, 800},
+                      CrossParam{Backend::kBq, true, 4000},
+                      CrossParam{Backend::kBat, false, 1200},
+                      CrossParam{Backend::kBat, true, 4000}),
+    [](const ::testing::TestParamInfo<CrossParam>& info) {
+      return info.param.Name();
+    });
+
+TEST(EoReduction, MatchesOracleAndCornerTransform) {
+  MemPageFile file(2048);
+  BufferPool pool(&file, 1024);
+  auto objs = World(1500, 9);
+  NaiveBoxSum naive(2);
+  for (const auto& o : objs) naive.Insert(o.box, o.value);
+  EoBoxSumIndex<EcdfBTree<double>> eo(2, [&](int dims) {
+    return EcdfBTree<double>(&pool, dims, EcdfVariant::kUpdateOptimized);
+  });
+  EXPECT_EQ(eo.index_count(), 8u);  // 3^2 - 1
+  BoxSumIndex<EcdfBTree<double>> corner(2, [&] {
+    return EcdfBTree<double>(&pool, 2, EcdfVariant::kUpdateOptimized);
+  });
+  for (const auto& o : objs) {
+    ASSERT_TRUE(eo.Insert(o.box, o.value).ok());
+    ASSERT_TRUE(corner.Insert(o.box, o.value).ok());
+  }
+  for (double qbs : {0.0005, 0.05}) {
+    for (const Box& q : workload::QueryBoxes(30, qbs, 13)) {
+      double a, b;
+      ASSERT_TRUE(eo.Query(q, &a).ok());
+      ASSERT_TRUE(corner.Query(q, &b).ok());
+      double want = naive.Sum(q);
+      ASSERT_NEAR(a, want, 1e-6 + 1e-9 * std::abs(want));
+      ASSERT_NEAR(b, want, 1e-6 + 1e-9 * std::abs(want));
+    }
+  }
+}
+
+TEST(EoReduction, BulkLoadMatchesIncremental) {
+  MemPageFile file(2048);
+  BufferPool pool(&file, 1024);
+  auto objs = World(2000, 15);
+  EoBoxSumIndex<EcdfBTree<double>> bulk(2, [&](int dims) {
+    return EcdfBTree<double>(&pool, dims, EcdfVariant::kUpdateOptimized);
+  });
+  ASSERT_TRUE(bulk.BulkLoad(objs).ok());
+  NaiveBoxSum naive(2);
+  for (const auto& o : objs) naive.Insert(o.box, o.value);
+  for (const Box& q : workload::QueryBoxes(40, 0.01, 3)) {
+    double got;
+    ASSERT_TRUE(bulk.Query(q, &got).ok());
+    ASSERT_NEAR(got, naive.Sum(q), 1e-6 + 1e-9 * std::abs(naive.Sum(q)));
+  }
+}
+
+TEST(BoxAggregatorTest, SumCountAvg) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 512);
+  BoxAggregator<BaTree<double>> agg(2,
+                                    [&] { return BaTree<double>(&pool, 2); });
+  auto objs = World(500, 21);
+  NaiveBoxSum naive(2);
+  for (const auto& o : objs) {
+    ASSERT_TRUE(agg.Insert(o.box, o.value).ok());
+    naive.Insert(o.box, o.value);
+  }
+  for (const Box& q : workload::QueryBoxes(30, 0.02, 5)) {
+    double s, c, a;
+    ASSERT_TRUE(agg.Sum(q, &s).ok());
+    ASSERT_TRUE(agg.Count(q, &c).ok());
+    ASSERT_TRUE(agg.Avg(q, &a).ok());
+    double want_sum = naive.Sum(q);
+    uint64_t want_cnt = naive.Count(q);
+    ASSERT_NEAR(s, want_sum, 1e-6 + 1e-9 * std::abs(want_sum));
+    ASSERT_NEAR(c, static_cast<double>(want_cnt), 1e-6);
+    if (want_cnt > 0) {
+      ASSERT_NEAR(a, want_sum / static_cast<double>(want_cnt), 1e-6);
+    } else {
+      ASSERT_EQ(a, 0.0);
+    }
+  }
+}
+
+TEST(BoxSumIndexTest, EraseRemovesObjects) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 512);
+  BoxSumIndex<BaTree<double>> index(
+      2, [&] { return BaTree<double>(&pool, 2); });
+  auto objs = World(400, 33);
+  for (const auto& o : objs) {
+    ASSERT_TRUE(index.Insert(o.box, o.value).ok());
+  }
+  NaiveBoxSum naive(2);
+  for (size_t i = 0; i < objs.size(); ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(index.Erase(objs[i].box, objs[i].value).ok());
+    } else {
+      naive.Insert(objs[i].box, objs[i].value);
+    }
+  }
+  for (const Box& q : workload::QueryBoxes(30, 0.05, 6)) {
+    double got;
+    ASSERT_TRUE(index.Query(q, &got).ok());
+    ASSERT_NEAR(got, naive.Sum(q), 1e-6 + 1e-9 * std::abs(naive.Sum(q)));
+  }
+}
+
+TEST(BoxSumIndexTest, ThreeDimensionalObjects) {
+  // The pesticide example's shape: 2-d area x time interval = 3-d boxes.
+  MemPageFile file(2048);
+  BufferPool pool(&file, 1024);
+  BoxSumIndex<BaTree<double>> index(
+      3, [&] { return BaTree<double>(&pool, 3); });
+  EXPECT_EQ(index.index_count(), 8u);  // 2^3 dominance indexes
+  std::mt19937 rng(44);
+  std::uniform_real_distribution<double> u(0, 1);
+  NaiveBoxSum naive(3);
+  for (int i = 0; i < 600; ++i) {
+    Point lo(u(rng), u(rng), u(rng));
+    Point hi(lo[0] + u(rng) * 0.2, lo[1] + u(rng) * 0.2, lo[2] + u(rng) * 0.2);
+    Box b(lo, hi);
+    double v = u(rng) * 10;
+    ASSERT_TRUE(index.Insert(b, v).ok());
+    naive.Insert(b, v);
+  }
+  for (int i = 0; i < 40; ++i) {
+    Point lo(u(rng), u(rng), u(rng));
+    Point hi(lo[0] + 0.3, lo[1] + 0.3, lo[2] + 0.3);
+    Box q(lo, hi);
+    double got;
+    ASSERT_TRUE(index.Query(q, &got).ok());
+    ASSERT_NEAR(got, naive.Sum(q), 1e-6 + 1e-9 * std::abs(naive.Sum(q)));
+  }
+}
+
+}  // namespace
+}  // namespace boxagg

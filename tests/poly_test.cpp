@@ -1,0 +1,246 @@
+// Unit tests for Poly2 arithmetic and the corner-update construction of the
+// functional box-sum reduction (Sec. 3), including the paper's own worked
+// numbers from Figs. 3 and 5.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "poly/corner_updates.h"
+#include "poly/poly2.h"
+
+namespace boxagg {
+namespace {
+
+TEST(Poly2Test, DefaultIsZero) {
+  Poly2<3> p;
+  EXPECT_DOUBLE_EQ(p.Evaluate(3.7, -2.1), 0.0);
+  EXPECT_EQ(p.ToString(), "0");
+}
+
+TEST(Poly2Test, EvaluateMatchesDirectComputation) {
+  Poly2<3> p;
+  p.Set(0, 0, 5);    // 5
+  p.Set(1, 0, -2);   // -2x
+  p.Set(0, 2, 1);    // y^2
+  p.Set(2, 1, 0.5);  // 0.5 x^2 y
+  auto direct = [](double x, double y) {
+    return 5 - 2 * x + y * y + 0.5 * x * x * y;
+  };
+  for (double x : {-3.0, 0.0, 1.5, 7.0}) {
+    for (double y : {-1.0, 0.0, 2.5}) {
+      EXPECT_DOUBLE_EQ(p.Evaluate(x, y), direct(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(Poly2Test, GroupOperations) {
+  Poly2<2> a, b;
+  a.Set(1, 1, 3);
+  a.Set(0, 0, 1);
+  b.Set(1, 1, -3);
+  b.Set(2, 0, 4);
+  Poly2<2> s = a + b;
+  EXPECT_DOUBLE_EQ(s.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(2, 0), 4.0);
+  // a + b - b == a (inverse element; this is what deletion relies on)
+  Poly2<2> back = s - b;
+  EXPECT_TRUE(back.NearlyEquals(a, 1e-12));
+  Poly2<2> scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.At(1, 1), 6.0);
+}
+
+TEST(Poly2Test, ToStringShowsTerms) {
+  Poly2<1> p;
+  p.Set(1, 1, 4);
+  p.Set(1, 0, -40);
+  p.Set(0, 1, -8);
+  p.Set(0, 0, 80);
+  EXPECT_EQ(p.ToString(), "4*x^1*y^1 + -40*x^1 + -8*y^1 + 80");
+}
+
+TEST(Poly1Test, PartialIntegralOfMonomial) {
+  // P(t) = (t^3 - 2^3)/3 for e = 2, l = 2.
+  Poly1<4> p = PartialIntegral1D<4>(2, 2.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(5.0), (125.0 - 8.0) / 3.0);
+}
+
+TEST(Poly1Test, FullIntegral) {
+  EXPECT_DOUBLE_EQ(FullIntegral1D(0, 3.0, 7.0), 4.0);       // len
+  EXPECT_DOUBLE_EQ(FullIntegral1D(1, 0.0, 2.0), 2.0);       // t^2/2
+  EXPECT_DOUBLE_EQ(FullIntegral1D(2, -1.0, 1.0), 2.0 / 3);  // t^3/3
+}
+
+TEST(AccumulateProductTest, OuterProductOfCoefficients) {
+  Poly1<2> px, py;
+  px.c = {1.0, 2.0, 0.0};  // 1 + 2x
+  py.c = {0.0, 3.0, 0.0};  // 3y
+  Poly2<2> out;
+  AccumulateProduct(px, py, 2.0, &out);
+  // 2 * (1 + 2x)(3y) = 6y + 12xy
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 1), 12.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's worked example (Fig. 3a / Fig. 5b): object with constant value 4
+// on box [2,15] x [10,26]. Its low-corner insert tuple must be
+// <4, -40, -8, 80>, i.e. 4xy - 40x - 8y + 80; the corner (15,10) tuple
+// <-4, 40, 60, -600>.
+
+TEST(CornerUpdatesTest, PaperFig5bTuplesForValue4Object) {
+  Box box(Point(2, 10), Point(15, 26));
+  std::vector<Monomial2> f = {{4.0, 0, 0}};
+  auto updates = MakeCornerUpdates<1>(box, f);
+
+  // mask 0 = low corner (2, 10): v1 = 4(x-2)(y-10) = 4xy - 40x - 8y + 80.
+  EXPECT_EQ(updates[0].point, Point(2, 10));
+  EXPECT_DOUBLE_EQ(updates[0].value.At(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(updates[0].value.At(1, 0), -40.0);
+  EXPECT_DOUBLE_EQ(updates[0].value.At(0, 1), -8.0);
+  EXPECT_DOUBLE_EQ(updates[0].value.At(0, 0), 80.0);
+
+  // mask 1 = (15, 10): v2 = -4xy + 40x + 60y - 600.
+  EXPECT_EQ(updates[1].point, Point(15, 10));
+  EXPECT_DOUBLE_EQ(updates[1].value.At(1, 1), -4.0);
+  EXPECT_DOUBLE_EQ(updates[1].value.At(1, 0), 40.0);
+  EXPECT_DOUBLE_EQ(updates[1].value.At(0, 1), 60.0);
+  EXPECT_DOUBLE_EQ(updates[1].value.At(0, 0), -600.0);
+
+  // Evaluating v1 at q1 = (5, 15) must give 60 (paper, Sec. 3).
+  EXPECT_DOUBLE_EQ(updates[0].value.Evaluate(5, 15), 60.0);
+}
+
+TEST(CornerUpdatesTest, PaperAggregateAtQ2Is296) {
+  // Objects of Fig. 3a/5b: value 4 on [2,15]x[10,26] and value 3 on
+  // [18,30]x[4,10] (coordinates recovered from the paper's corner tuples:
+  // c3 = <3,-12,-54,216> = 3(x-18)(y-4), c4 = <-3,30,54,-540> =
+  // -3(x-18)(y-10)). The OIFBS at q2 = (20,15) aggregates the four corner
+  // tuples dominated by q2 into <0,18,52,-844> and evaluates to 296.
+  Box box4(Point(2, 10), Point(15, 26));
+  Box box3(Point(18, 4), Point(30, 10));
+  auto u4 = MakeCornerUpdates<1>(box4, {{4.0, 0, 0}});
+  auto u3 = MakeCornerUpdates<1>(box3, {{3.0, 0, 0}});
+
+  Point q2(20, 15);
+  Poly2<1> agg;
+  int dominated = 0;
+  for (const auto& u : u4) {
+    if (q2.Dominates(u.point, 2)) {
+      agg += u.value;
+      ++dominated;
+    }
+  }
+  for (const auto& u : u3) {
+    if (q2.Dominates(u.point, 2)) {
+      agg += u.value;
+      ++dominated;
+    }
+  }
+  EXPECT_EQ(dominated, 4);  // c1, c2, c3, c4 of the paper
+  // Aggregate tuple <xy, x, y, 1> = <0, 18, 52, -844>.
+  EXPECT_NEAR(agg.At(1, 1), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.At(1, 0), 18.0);
+  EXPECT_DOUBLE_EQ(agg.At(0, 1), 52.0);
+  EXPECT_DOUBLE_EQ(agg.At(0, 0), -844.0);
+  EXPECT_DOUBLE_EQ(agg.Evaluate(20, 15), 296.0);
+
+  // Full functional box-sum of query [5,20]x[3,15]: OIFBS(upper-right) -
+  // OIFBS(upper-left) - OIFBS(lower-right) + OIFBS(lower-left) = 296 - 60 -
+  // 0 + 0 = 236, the paper's answer.
+  auto oifbs = [&](const Point& p) {
+    Poly2<1> a;
+    for (const auto& u : u4) {
+      if (p.Dominates(u.point, 2)) a += u.value;
+    }
+    for (const auto& u : u3) {
+      if (p.Dominates(u.point, 2)) a += u.value;
+    }
+    return a.Evaluate(p[0], p[1]);
+  };
+  Box q(Point(5, 3), Point(20, 15));
+  double result = oifbs(q.Corner(3, 2)) - oifbs(q.Corner(2, 2)) -
+                  oifbs(q.Corner(1, 2)) + oifbs(q.Corner(0, 2));
+  EXPECT_DOUBLE_EQ(oifbs(q.Corner(2, 2)), 60.0);   // q1 = (5, 15)
+  EXPECT_DOUBLE_EQ(oifbs(q.Corner(1, 2)), 0.0);    // lower-right
+  EXPECT_DOUBLE_EQ(oifbs(q.Corner(0, 2)), 0.0);    // lower-left
+  EXPECT_DOUBLE_EQ(result, 236.0);
+}
+
+TEST(CornerUpdatesTest, Fig3bNonConstantFunctionIntegral) {
+  // Fig. 3b: object spans x in [5,20], y in [3,15] with f(x,y) = x-2
+  // (3 g/yd^2 at the left border, 18 at the right). The paper's query
+  // clipped to [15,20] x [7,11] gives (11-7) * int_{15}^{20} (x-2) dx = 310.
+  Box obj(Point(5, 3), Point(20, 15));
+  std::vector<Monomial2> f = {{1.0, 1, 0}, {-2.0, 0, 0}};  // x - 2
+  Box q(Point(15, 7), Point(30, 11));
+  EXPECT_DOUBLE_EQ(IntegralOverIntersection(obj, f, q), 310.0);
+
+  // Moving the query left to intersect the object's left border with the
+  // same intersection size gives 110 (paper).
+  Box q2(Point(0, 7), Point(10, 11));
+  EXPECT_DOUBLE_EQ(IntegralOverIntersection(obj, f, q2),
+                   4.0 * ((100.0 - 25.0) / 2.0 - 2.0 * 5.0));
+  EXPECT_DOUBLE_EQ(IntegralOverIntersection(obj, f, q2), 110.0);
+}
+
+TEST(CornerUpdatesTest, IntegralOverBoxBasics) {
+  Box b(Point(0, 0), Point(2, 3));
+  EXPECT_DOUBLE_EQ(IntegralOverBox(b, {{5.0, 0, 0}}), 30.0);  // 5 * area
+  // int_0^2 int_0^3 xy dy dx = (2^2/2)(3^2/2) = 9.
+  EXPECT_DOUBLE_EQ(IntegralOverBox(b, {{1.0, 1, 1}}), 9.0);
+  EXPECT_DOUBLE_EQ(IntegralOverIntersection(b, {{1.0, 0, 0}},
+                                            Box(Point(5, 5), Point(6, 6))),
+                   0.0);
+}
+
+// Property: for random objects and query corners, the sum of the four corner
+// polynomials evaluated at a point p that dominates the whole object equals
+// the object's full integral (the OIFBS "far" case), and evaluates to the
+// partial integral when p is inside the object.
+TEST(CornerUpdatesProperty, CornerSumsReproduceClippedIntegrals) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  for (int iter = 0; iter < 200; ++iter) {
+    double x1 = u(rng), x2 = x1 + 1 + u(rng) * 0.2;
+    double y1 = u(rng), y2 = y1 + 1 + u(rng) * 0.2;
+    Box obj(Point(x1, y1), Point(x2, y2));
+    std::vector<Monomial2> f = {{u(rng) - 50, 0, 0},
+                                {(u(rng) - 50) / 100, 1, 0},
+                                {(u(rng) - 50) / 100, 0, 1},
+                                {(u(rng) - 50) / 10000, 1, 1}};
+    auto updates = MakeCornerUpdates<2>(obj, f);
+
+    auto oifbs = [&](const Point& p) {
+      Poly2<2> agg;
+      for (const auto& upd : updates) {
+        if (p.Dominates(upd.point, 2)) agg += upd.value;
+      }
+      return agg.Evaluate(p[0], p[1]);
+    };
+
+    // p dominating the whole object: result is the full integral.
+    Point far(x2 + 10, y2 + 10);
+    EXPECT_NEAR(oifbs(far), IntegralOverBox(obj, f), 1e-6);
+
+    // p inside the object: result is the integral over [x1,p.x] x [y1,p.y].
+    Point inside((x1 + x2) / 2, (y1 + y2) / 2);
+    Box clipped(Point(x1, y1), inside);
+    EXPECT_NEAR(oifbs(inside), IntegralOverBox(clipped, f), 1e-6);
+
+    // p dominating in x only: integral over [x1,x2] x [y1,p.y].
+    Point mixed(x2 + 5, (y1 + y2) / 2);
+    Box strip(Point(x1, y1), Point(x2, mixed[1]));
+    EXPECT_NEAR(oifbs(mixed), IntegralOverBox(strip, f), 1e-6);
+
+    // p not dominating the low corner: zero contribution.
+    Point below(x1 - 1, y1 - 1);
+    EXPECT_DOUBLE_EQ(oifbs(below), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace boxagg

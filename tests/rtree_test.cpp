@@ -1,0 +1,260 @@
+// Tests for the R*-tree / aR-tree baseline: insertion with forced
+// reinsertion, R* splits, STR bulk loading, aggregate-pruned and plain range
+// aggregation, functional leaf integration, and structural invariants
+// (MBR containment, aggregate consistency).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/naive.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "workload/generators.h"
+
+namespace boxagg {
+namespace {
+
+std::vector<BoxObject> SmallWorld(int n, uint32_t seed) {
+  workload::RectConfig cfg;
+  cfg.n = static_cast<size_t>(n);
+  cfg.avg_side = 0.05;  // chunky boxes: plenty of intersections
+  cfg.seed = seed;
+  return workload::UniformRects(cfg);
+}
+
+TEST(RStarTree, EmptyTree) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  RStarTree<> tree(&pool, 2);
+  double s = -1;
+  ASSERT_TRUE(tree.AggregateQuery(workload::UnitSpace(), true, &s).ok());
+  EXPECT_EQ(s, 0.0);
+  uint64_t n = 5;
+  ASSERT_TRUE(tree.CountObjects(&n).ok());
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(RStarTree, FewObjectsExactSemantics) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  RStarTree<> tree(&pool, 2);
+  ASSERT_TRUE(tree.Insert(Box(Point(0, 0), Point(2, 2)), 5.0).ok());
+  ASSERT_TRUE(tree.Insert(Box(Point(3, 3), Point(4, 4)), 7.0).ok());
+  double s;
+  // Touching counts as intersecting (closed semantics).
+  ASSERT_TRUE(tree.AggregateQuery(Box(Point(2, 2), Point(3, 3)), true, &s).ok());
+  EXPECT_EQ(s, 12.0);
+  ASSERT_TRUE(
+      tree.AggregateQuery(Box(Point(2.1, 2.1), Point(2.9, 2.9)), true, &s)
+          .ok());
+  EXPECT_EQ(s, 0.0);
+  uint64_t c;
+  ASSERT_TRUE(tree.CountQuery(Box(Point(1, 1), Point(5, 5)), &c).ok());
+  EXPECT_EQ(c, 2u);
+}
+
+struct RtParam {
+  bool bulk;
+  int n;
+  uint32_t page_size;
+  std::string Name() const {
+    return std::string(bulk ? "bulk" : "inc") + "_n" + std::to_string(n) +
+           "_ps" + std::to_string(page_size);
+  }
+};
+
+class RStarSweep : public ::testing::TestWithParam<RtParam> {};
+
+TEST_P(RStarSweep, MatchesNaiveWithAndWithoutAggregates) {
+  const RtParam p = GetParam();
+  MemPageFile file(p.page_size);
+  BufferPool pool(&file, 512);
+  RStarTree<> tree(&pool, 2);
+  NaiveBoxSum naive(2);
+  auto objs = SmallWorld(p.n, 1234u + static_cast<uint32_t>(p.n));
+  if (p.bulk) {
+    std::vector<RStarTree<>::Object> items;
+    for (const auto& o : objs) items.push_back({o.box, o.value});
+    ASSERT_TRUE(tree.BulkLoad(std::move(items)).ok());
+  } else {
+    for (const auto& o : objs) {
+      ASSERT_TRUE(tree.Insert(o.box, o.value).ok());
+    }
+  }
+  for (const auto& o : objs) naive.Insert(o.box, o.value);
+
+  uint64_t stored = 0;
+  ASSERT_TRUE(tree.CountObjects(&stored).ok());
+  EXPECT_EQ(stored, objs.size());
+  double total;
+  ASSERT_TRUE(tree.TotalAggregate(&total).ok());
+  double naive_total = 0;
+  for (const auto& o : objs) naive_total += o.value;
+  EXPECT_NEAR(total, naive_total, 1e-6 * std::abs(naive_total));
+
+  for (const Box& q : workload::QueryBoxes(60, 0.01, 9)) {
+    double with_agg, without_agg;
+    ASSERT_TRUE(tree.AggregateQuery(q, true, &with_agg).ok());
+    ASSERT_TRUE(tree.AggregateQuery(q, false, &without_agg).ok());
+    double want = naive.Sum(q);
+    ASSERT_NEAR(with_agg, want, 1e-6 + 1e-9 * std::abs(want));
+    ASSERT_NEAR(without_agg, want, 1e-6 + 1e-9 * std::abs(want));
+    uint64_t c;
+    ASSERT_TRUE(tree.CountQuery(q, &c).ok());
+    ASSERT_EQ(c, naive.Count(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RStarSweep,
+    ::testing::Values(RtParam{false, 500, 512}, RtParam{false, 3000, 1024},
+                      RtParam{true, 3000, 512}, RtParam{true, 8000, 1024},
+                      RtParam{false, 2000, 4096}, RtParam{true, 8000, 4096}),
+    [](const ::testing::TestParamInfo<RtParam>& info) {
+      return info.param.Name();
+    });
+
+TEST(RStarTree, AggregatePruningSavesIos) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 64);  // small pool so page visits show up as I/Os
+  RStarTree<> tree(&pool, 2);
+  std::vector<RStarTree<>::Object> items;
+  workload::RectConfig cfg;
+  cfg.n = 20000;
+  cfg.avg_side = 0.001;
+  for (const auto& o : workload::UniformRects(cfg)) {
+    items.push_back({o.box, o.value});
+  }
+  ASSERT_TRUE(tree.BulkLoad(std::move(items)).ok());
+  Box big = Box(Point(0.1, 0.1), Point(0.9, 0.9));
+  ASSERT_TRUE(pool.Reset().ok());
+  IoStats before = pool.stats();
+  double s1;
+  ASSERT_TRUE(tree.AggregateQuery(big, true, &s1).ok());
+  uint64_t ios_agg = pool.stats().Since(before).physical_reads;
+  ASSERT_TRUE(pool.Reset().ok());
+  before = pool.stats();
+  double s2;
+  ASSERT_TRUE(tree.AggregateQuery(big, false, &s2).ok());
+  uint64_t ios_plain = pool.stats().Since(before).physical_reads;
+  EXPECT_NEAR(s1, s2, 1e-6 * std::abs(s2));
+  // The aR-tree must prune drastically on a large contained query.
+  EXPECT_LT(ios_agg * 5, ios_plain);
+}
+
+TEST(RStarTree, FunctionalTraitsIntegrateIntersections) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 256);
+  RStarTree<FunctionalObjectTraits> tree(&pool, 2);
+  NaiveFunctionalBoxSum naive;
+  auto objs = SmallWorld(800, 77);
+  auto fobjs = workload::MakeFunctional(objs, /*degree=*/2, 5);
+  for (const auto& o : fobjs) {
+    Poly2<2> payload;
+    for (const auto& m : o.f) payload.Add(m.p, m.q, m.a);
+    ASSERT_TRUE(tree.Insert(o.box, payload).ok());
+    naive.Insert(o.box, o.f);
+  }
+  for (const Box& q : workload::QueryBoxes(40, 0.02, 11)) {
+    double with_agg, without_agg;
+    ASSERT_TRUE(tree.AggregateQuery(q, true, &with_agg).ok());
+    ASSERT_TRUE(tree.AggregateQuery(q, false, &without_agg).ok());
+    double want = naive.Sum(q);
+    ASSERT_NEAR(with_agg, want, 1e-9 + 1e-7 * std::abs(want));
+    ASSERT_NEAR(without_agg, want, 1e-9 + 1e-7 * std::abs(want));
+  }
+}
+
+TEST(RStarTree, DestroyReleasesPages) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 256);
+  uint64_t before = file.live_page_count();
+  RStarTree<> tree(&pool, 2);
+  for (const auto& o : SmallWorld(2000, 3)) {
+    ASSERT_TRUE(tree.Insert(o.box, o.value).ok());
+  }
+  uint64_t pages = 0;
+  ASSERT_TRUE(tree.PageCount(&pages).ok());
+  EXPECT_GT(pages, 10u);
+  EXPECT_EQ(file.live_page_count() - before, pages);
+  ASSERT_TRUE(tree.Destroy().ok());
+  EXPECT_EQ(file.live_page_count(), before);
+}
+
+TEST(WorkloadGenerators, UniformRectsRespectConfig) {
+  workload::RectConfig cfg;
+  cfg.n = 5000;
+  cfg.avg_side = 1e-3;
+  auto objs = workload::UniformRects(cfg);
+  ASSERT_EQ(objs.size(), cfg.n);
+  double side_sum = 0;
+  for (const auto& o : objs) {
+    EXPECT_GE(o.box.lo[0], 0.0);
+    EXPECT_LE(o.box.hi[0], 1.0);
+    EXPECT_GE(o.box.lo[1], 0.0);
+    EXPECT_LE(o.box.hi[1], 1.0);
+    EXPECT_LE(o.box.lo[0], o.box.hi[0]);
+    EXPECT_GE(o.value, cfg.value_min);
+    EXPECT_LE(o.value, cfg.value_max);
+    side_sum += o.box.hi[0] - o.box.lo[0];
+  }
+  // Mean side near avg_side (clamping shaves a negligible amount).
+  EXPECT_NEAR(side_sum / static_cast<double>(cfg.n), cfg.avg_side,
+              cfg.avg_side * 0.1);
+}
+
+TEST(WorkloadGenerators, QueryBoxesHaveRequestedArea) {
+  for (double qbs : {0.0001, 0.001, 0.01, 0.1}) {
+    auto qs = workload::QueryBoxes(50, qbs, 7);
+    ASSERT_EQ(qs.size(), 50u);
+    for (const Box& q : qs) {
+      EXPECT_NEAR(q.Volume(2), qbs, qbs * 1e-9);
+      EXPECT_TRUE(workload::UnitSpace().Contains(q, 2));
+    }
+  }
+}
+
+TEST(WorkloadGenerators, DeterministicUnderSeed) {
+  workload::RectConfig cfg;
+  cfg.n = 100;
+  auto a = workload::UniformRects(cfg);
+  auto b = workload::UniformRects(cfg);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].box, b[i].box);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(WorkloadGenerators, ClusteredRectsAreSkewed) {
+  workload::RectConfig cfg;
+  cfg.n = 20000;
+  cfg.seed = 9;
+  auto objs = workload::ClusteredRects(cfg, 4, 0.02);
+  // Occupancy histogram over a coarse grid should be far from uniform.
+  std::array<int, 16> grid{};
+  for (const auto& o : objs) {
+    int gx = std::min(3, static_cast<int>(o.box.lo[0] * 4));
+    int gy = std::min(3, static_cast<int>(o.box.lo[1] * 4));
+    grid[static_cast<size_t>(gy * 4 + gx)]++;
+  }
+  int mx = *std::max_element(grid.begin(), grid.end());
+  EXPECT_GT(mx, static_cast<int>(cfg.n) / 16 * 3);
+}
+
+TEST(WorkloadGenerators, FunctionalDegreesMatchRequest) {
+  auto objs = SmallWorld(10, 2);
+  auto d0 = workload::MakeFunctional(objs, 0, 1);
+  auto d2 = workload::MakeFunctional(objs, 2, 1);
+  for (size_t i = 0; i < objs.size(); ++i) {
+    EXPECT_EQ(d0[i].f.size(), 1u);
+    EXPECT_EQ(d0[i].f[0].a, objs[i].value);
+    EXPECT_EQ(d2[i].f.size(), 6u);
+    for (const auto& m : d2[i].f) {
+      EXPECT_LE(m.p + m.q, 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boxagg

@@ -1,0 +1,365 @@
+// Unit tests for the paged storage engine: PageFile backends, allocation,
+// BufferPool LRU behaviour, pinning, dirty write-back, and I/O accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace boxagg {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status e = Status::IoError("disk on fire");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), Status::Code::kIoError);
+  EXPECT_EQ(e.ToString(), "IoError: disk on fire");
+}
+
+TEST(PageTest, TypedReadWriteRoundTrip) {
+  Page p(4096);
+  p.WriteAt<uint32_t>(0, 0xdeadbeef);
+  p.WriteAt<double>(8, 3.25);
+  p.WriteAt<uint16_t>(100, 7);
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 0xdeadbeefu);
+  EXPECT_EQ(p.ReadAt<double>(8), 3.25);
+  EXPECT_EQ(p.ReadAt<uint16_t>(100), 7);
+}
+
+TEST(PageTest, ZeroClearsEverything) {
+  Page p(512);
+  p.WriteAt<uint64_t>(64, ~uint64_t{0});
+  p.Zero();
+  EXPECT_EQ(p.ReadAt<uint64_t>(64), 0u);
+}
+
+template <typename FileFactory>
+void AllocateReadWriteCycle(FileFactory make_file) {
+  auto file = make_file();
+  PageId a, b;
+  ASSERT_TRUE(file->Allocate(&a).ok());
+  ASSERT_TRUE(file->Allocate(&b).ok());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(file->page_count(), 2u);
+
+  Page w(file->page_size());
+  w.WriteAt<uint64_t>(0, 42);
+  ASSERT_TRUE(file->WritePage(a, w).ok());
+  w.WriteAt<uint64_t>(0, 43);
+  ASSERT_TRUE(file->WritePage(b, w).ok());
+
+  Page r(file->page_size());
+  ASSERT_TRUE(file->ReadPage(a, &r).ok());
+  EXPECT_EQ(r.ReadAt<uint64_t>(0), 42u);
+  ASSERT_TRUE(file->ReadPage(b, &r).ok());
+  EXPECT_EQ(r.ReadAt<uint64_t>(0), 43u);
+
+  // Freed pages are recycled before the file grows.
+  ASSERT_TRUE(file->Free(a).ok());
+  PageId c;
+  ASSERT_TRUE(file->Allocate(&c).ok());
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(file->page_count(), 2u);
+}
+
+TEST(MemPageFileTest, AllocateReadWriteCycle) {
+  AllocateReadWriteCycle(
+      [] { return std::make_unique<MemPageFile>(uint32_t{4096}); });
+}
+
+TEST(FilePageFileTest, AllocateReadWriteCycle) {
+  std::string path = ::testing::TempDir() + "/boxagg_pf_test.dat";
+  AllocateReadWriteCycle([&] {
+    std::unique_ptr<FilePageFile> f;
+    EXPECT_TRUE(FilePageFile::Open(path, 4096, /*truncate=*/true, &f).ok());
+    return f;
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FilePageFileTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/boxagg_pf_reopen.dat";
+  {
+    std::unique_ptr<FilePageFile> f;
+    ASSERT_TRUE(FilePageFile::Open(path, 4096, true, &f).ok());
+    PageId a;
+    ASSERT_TRUE(f->Allocate(&a).ok());
+    Page w(4096);
+    w.WriteAt<double>(16, 2.5);
+    ASSERT_TRUE(f->WritePage(a, w).ok());
+  }
+  {
+    std::unique_ptr<FilePageFile> f;
+    ASSERT_TRUE(FilePageFile::Open(path, 4096, false, &f).ok());
+    EXPECT_EQ(f->page_count(), 1u);
+    Page r(4096);
+    ASSERT_TRUE(f->ReadPage(0, &r).ok());
+    EXPECT_EQ(r.ReadAt<double>(16), 2.5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageFileTest, ReadOutOfRangeFails) {
+  std::string path = ::testing::TempDir() + "/boxagg_pf_oob.dat";
+  std::unique_ptr<FilePageFile> f;
+  ASSERT_TRUE(FilePageFile::Open(path, 4096, true, &f).ok());
+  Page r(4096);
+  EXPECT_FALSE(f->ReadPage(5, &r).ok());
+  std::remove(path.c_str());
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : file_(4096), pool_(&file_, 16) {}
+  MemPageFile file_;
+  BufferPool pool_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroedAndPinned) {
+  PageGuard g;
+  ASSERT_TRUE(pool_.New(&g).ok());
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.page()->ReadAt<uint64_t>(0), 0u);
+  EXPECT_EQ(pool_.resident(), 1u);
+}
+
+TEST_F(BufferPoolTest, FetchHitDoesNoPhysicalRead) {
+  PageId id;
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    id = g.id();
+    g.page()->WriteAt<uint32_t>(0, 99);
+    g.MarkDirty();
+  }
+  IoStats before = pool_.stats();
+  PageGuard g;
+  ASSERT_TRUE(pool_.Fetch(id, &g).ok());
+  EXPECT_EQ(g.page()->ReadAt<uint32_t>(0), 99u);
+  IoStats d = pool_.stats().Since(before);
+  EXPECT_EQ(d.physical_reads, 0u);
+  EXPECT_EQ(d.buffer_hits, 1u);
+  EXPECT_EQ(d.logical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPagesAndRereads) {
+  // Create more pages than pool capacity; the coldest must get evicted and
+  // dirty contents must survive the round trip through the file.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 40; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    g.page()->WriteAt<int>(0, i);
+    g.MarkDirty();
+    ids.push_back(g.id());
+  }
+  EXPECT_LE(pool_.resident(), pool_.capacity());
+  EXPECT_GT(pool_.stats().physical_writes, 0u);
+
+  IoStats before = pool_.stats();
+  for (int i = 0; i < 40; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool_.Fetch(ids[static_cast<size_t>(i)], &g).ok());
+    EXPECT_EQ(g.page()->ReadAt<int>(0), i);
+  }
+  EXPECT_GT(pool_.stats().Since(before).physical_reads, 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  PageGuard pinned;
+  ASSERT_TRUE(pool_.New(&pinned).ok());
+  pinned.page()->WriteAt<int>(0, 12345);
+  pinned.MarkDirty();
+  Page* raw = pinned.page();
+  for (int i = 0; i < 100; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    g.MarkDirty();
+  }
+  // The pinned frame must still hold our page.
+  EXPECT_EQ(raw->ReadAt<int>(0), 12345);
+  EXPECT_EQ(pinned.page(), raw);
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  std::vector<PageGuard> guards(pool_.capacity());
+  for (auto& g : guards) {
+    ASSERT_TRUE(pool_.New(&g).ok());
+  }
+  PageGuard extra;
+  Status s = pool_.New(&extra);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNoSpace);
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdestFirst) {
+  // Fill the pool, then touch all but one page; the untouched page should be
+  // the one that gets evicted when a new page arrives.
+  std::vector<PageId> ids;
+  for (size_t i = 0; i < pool_.capacity(); ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    g.MarkDirty();
+    ids.push_back(g.id());
+  }
+  // Touch everything except ids[0].
+  for (size_t i = 1; i < ids.size(); ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool_.Fetch(ids[i], &g).ok());
+  }
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+  }
+  // ids[1] must still be resident (check it first: fetching the evicted
+  // ids[0] would itself evict the then-coldest page) ...
+  IoStats before = pool_.stats();
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool_.Fetch(ids[1], &g).ok());
+  }
+  EXPECT_EQ(pool_.stats().Since(before).physical_reads, 0u);
+  // ... while fetching ids[0] is a physical read (it was the eviction
+  // victim).
+  before = pool_.stats();
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool_.Fetch(ids[0], &g).ok());
+  }
+  EXPECT_EQ(pool_.stats().Since(before).physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, DeleteRecyclesPage) {
+  PageId id;
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    id = g.id();
+    g.page()->WriteAt<int>(0, 7);
+    g.MarkDirty();
+  }
+  ASSERT_TRUE(pool_.Delete(id).ok());
+  // The id comes back on reallocation, zero-filled.
+  PageGuard g;
+  ASSERT_TRUE(pool_.New(&g).ok());
+  EXPECT_EQ(g.id(), id);
+  EXPECT_EQ(g.page()->ReadAt<int>(0), 0);
+}
+
+TEST_F(BufferPoolTest, DeletePinnedFails) {
+  PageGuard g;
+  ASSERT_TRUE(pool_.New(&g).ok());
+  EXPECT_FALSE(pool_.Delete(g.id()).ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsEverything) {
+  PageId id;
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    id = g.id();
+    g.page()->WriteAt<int>(8, -5);
+    g.MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  Page direct(4096);
+  ASSERT_TRUE(file_.ReadPage(id, &direct).ok());
+  EXPECT_EQ(direct.ReadAt<int>(8), -5);
+}
+
+TEST_F(BufferPoolTest, ResetEmptiesPool) {
+  for (int i = 0; i < 5; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool_.New(&g).ok());
+    g.MarkDirty();
+  }
+  ASSERT_TRUE(pool_.Reset().ok());
+  EXPECT_EQ(pool_.resident(), 0u);
+  // Every subsequent fetch is a physical read.
+  IoStats before = pool_.stats();
+  PageGuard g;
+  ASSERT_TRUE(pool_.Fetch(0, &g).ok());
+  EXPECT_EQ(pool_.stats().Since(before).physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, MovedGuardTransfersPin) {
+  PageGuard a;
+  ASSERT_TRUE(pool_.New(&a).ok());
+  PageId id = a.id();
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.id(), id);
+  b.Release();
+  // After release the page is evictable; Delete must succeed.
+  EXPECT_TRUE(pool_.Delete(id).ok());
+}
+
+TEST(BufferPoolSizing, CapacityForMegabytesMatchesPaperSetup) {
+  // Paper setup: 8KB pages, 10MB buffer -> 1280 resident pages.
+  EXPECT_EQ(BufferPool::CapacityForMegabytes(10, 8192), 1280u);
+}
+
+TEST(IoStatsTest, SinceComputesComponentwiseDelta) {
+  IoStats a;
+  a.physical_reads = 10;
+  a.physical_writes = 4;
+  a.logical_reads = 50;
+  a.buffer_hits = 40;
+  IoStats b = a;
+  b.physical_reads = 13;
+  b.logical_reads = 60;
+  b.buffer_hits = 47;
+  IoStats d = b.Since(a);
+  EXPECT_EQ(d.physical_reads, 3u);
+  EXPECT_EQ(d.physical_writes, 0u);
+  EXPECT_EQ(d.logical_reads, 10u);
+  EXPECT_EQ(d.buffer_hits, 7u);
+  EXPECT_EQ(b.TotalIos(), 17u);
+}
+
+// Randomized consistency check: a pool over a file must behave exactly like a
+// big in-memory array of pages, regardless of access order and pool size.
+TEST(BufferPoolProperty, RandomWorkloadMatchesDirectFile) {
+  std::mt19937 rng(7);
+  for (size_t capacity : {8u, 9u, 33u}) {
+    MemPageFile file(512);
+    BufferPool pool(&file, capacity);
+    std::vector<std::vector<int>> shadow;  // shadow[i][0..3] ints per page
+    for (int step = 0; step < 3000; ++step) {
+      int op = static_cast<int>(rng() % 3);
+      if (shadow.empty() || op == 0) {
+        PageGuard g;
+        ASSERT_TRUE(pool.New(&g).ok());
+        int v = static_cast<int>(rng() % 1000);
+        g.page()->WriteAt<int>(0, v);
+        g.MarkDirty();
+        ASSERT_EQ(g.id(), shadow.size());
+        shadow.push_back({v});
+      } else {
+        size_t id = rng() % shadow.size();
+        PageGuard g;
+        ASSERT_TRUE(pool.Fetch(static_cast<PageId>(id), &g).ok());
+        ASSERT_EQ(g.page()->ReadAt<int>(0), shadow[id][0]) << "page " << id;
+        if (op == 2) {
+          int v = static_cast<int>(rng() % 1000);
+          g.page()->WriteAt<int>(0, v);
+          g.MarkDirty();
+          shadow[id][0] = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boxagg

@@ -1,0 +1,120 @@
+// Tests for the temporal aggregation wrapper: cumulative and instantaneous
+// SUM/COUNT/AVG over interval records as the 1-d box-sum special case,
+// cross-checked against a linear-scan oracle.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "batree/packed_ba_tree.h"
+#include "storage/buffer_pool.h"
+#include "temporal/temporal_agg.h"
+
+namespace boxagg {
+namespace {
+
+struct Record {
+  Interval iv;
+  double value;
+};
+
+double OracleSum(const std::vector<Record>& recs, const Interval& q) {
+  double s = 0;
+  for (const auto& r : recs) {
+    if (r.iv.start <= q.end && q.start <= r.iv.end) s += r.value;
+  }
+  return s;
+}
+
+uint64_t OracleCount(const std::vector<Record>& recs, const Interval& q) {
+  uint64_t c = 0;
+  for (const auto& r : recs) {
+    if (r.iv.start <= q.end && q.start <= r.iv.end) ++c;
+  }
+  return c;
+}
+
+class TemporalTest : public ::testing::Test {
+ protected:
+  TemporalTest()
+      : file_(1024),
+        pool_(&file_, 512),
+        agg_([this] { return PackedBaTree<double>(&pool_, 1); }) {}
+
+  MemPageFile file_;
+  BufferPool pool_;
+  TemporalAggregator<PackedBaTree<double>> agg_;
+};
+
+TEST_F(TemporalTest, BasicCumulativeSemantics) {
+  // Three meetings: [9,10], [9.5,12], [14,15], costs 1/2/4.
+  ASSERT_TRUE(agg_.Insert({9, 10}, 1).ok());
+  ASSERT_TRUE(agg_.Insert({9.5, 12}, 2).ok());
+  ASSERT_TRUE(agg_.Insert({14, 15}, 4).ok());
+  double s;
+  ASSERT_TRUE(agg_.Sum({9, 10}, &s).ok());
+  EXPECT_EQ(s, 3.0);  // first two intersect
+  ASSERT_TRUE(agg_.Sum({12, 14}, &s).ok());
+  EXPECT_EQ(s, 6.0);  // touching counts (closed intervals)
+  ASSERT_TRUE(agg_.Sum({13, 13.5}, &s).ok());
+  EXPECT_EQ(s, 0.0);
+  ASSERT_TRUE(agg_.Sum({0, 24}, &s).ok());
+  EXPECT_EQ(s, 7.0);
+}
+
+TEST_F(TemporalTest, InstantaneousSemantics) {
+  ASSERT_TRUE(agg_.Insert({9, 10}, 1).ok());
+  ASSERT_TRUE(agg_.Insert({9.5, 12}, 2).ok());
+  double s, c;
+  ASSERT_TRUE(agg_.SumAt(9.75, &s).ok());
+  EXPECT_EQ(s, 3.0);
+  ASSERT_TRUE(agg_.SumAt(11, &s).ok());
+  EXPECT_EQ(s, 2.0);
+  ASSERT_TRUE(agg_.SumAt(10, &s).ok());  // right endpoint inclusive
+  EXPECT_EQ(s, 3.0);
+  ASSERT_TRUE(agg_.CountAt(9.75, &c).ok());
+  EXPECT_EQ(c, 2.0);
+}
+
+TEST_F(TemporalTest, AvgAndErase) {
+  ASSERT_TRUE(agg_.Insert({0, 10}, 10).ok());
+  ASSERT_TRUE(agg_.Insert({5, 15}, 20).ok());
+  double a;
+  ASSERT_TRUE(agg_.Avg({7, 8}, &a).ok());
+  EXPECT_EQ(a, 15.0);
+  ASSERT_TRUE(agg_.Erase({0, 10}, 10).ok());
+  ASSERT_TRUE(agg_.Avg({7, 8}, &a).ok());
+  EXPECT_EQ(a, 20.0);
+  ASSERT_TRUE(agg_.Avg({100, 101}, &a).ok());
+  EXPECT_EQ(a, 0.0);
+}
+
+TEST_F(TemporalTest, RejectsInvertedInterval) {
+  EXPECT_FALSE(agg_.Insert({5, 3}, 1.0).ok());
+}
+
+TEST_F(TemporalTest, RandomizedAgainstOracle) {
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> ut(0, 1000);
+  std::uniform_real_distribution<double> ud(0, 50);
+  std::uniform_real_distribution<double> uv(1, 9);
+  std::vector<Record> recs;
+  for (int i = 0; i < 3000; ++i) {
+    double t = ut(rng);
+    Record r{{t, t + ud(rng)}, uv(rng)};
+    ASSERT_TRUE(agg_.Insert(r.iv, r.value).ok());
+    recs.push_back(r);
+  }
+  for (int i = 0; i < 300; ++i) {
+    double t = ut(rng);
+    Interval q{t, t + ud(rng)};
+    double s, c;
+    ASSERT_TRUE(agg_.Sum(q, &s).ok());
+    ASSERT_TRUE(agg_.Count(q, &c).ok());
+    ASSERT_NEAR(s, OracleSum(recs, q), 1e-7);
+    ASSERT_EQ(static_cast<uint64_t>(c + 0.5), OracleCount(recs, q));
+  }
+}
+
+}  // namespace
+}  // namespace boxagg

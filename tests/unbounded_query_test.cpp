@@ -1,0 +1,137 @@
+// Unbounded (half-space / strip) query boxes: queries whose box extends to
+// +/- infinity on some sides. The corner transform handles these naturally —
+// an infinite corner coordinate makes the corresponding dominance condition
+// vacuous — so "all objects west of x = c" or "everything after time t"
+// work without special cases. These tests pin that behaviour down across
+// backends.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "batree/packed_ba_tree.h"
+#include "core/box_sum_index.h"
+#include "core/naive.h"
+#include "ecdf/ecdf_btree.h"
+#include "storage/buffer_pool.h"
+#include "workload/generators.h"
+
+namespace boxagg {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class UnboundedQueryTest : public ::testing::Test {
+ protected:
+  UnboundedQueryTest()
+      : file_(2048),
+        pool_(&file_, 1024),
+        index_(2, [this] { return PackedBaTree<double>(&pool_, 2); }) {
+    workload::RectConfig cfg;
+    cfg.n = 2000;
+    cfg.avg_side = 0.05;
+    objs_ = workload::UniformRects(cfg);
+    for (const auto& o : objs_) {
+      naive_.Insert(o.box, o.value);
+      EXPECT_TRUE(index_.Insert(o.box, o.value).ok());
+    }
+  }
+
+  double Naive(const Box& q) { return naive_.Sum(q); }
+  double Indexed(const Box& q) {
+    double s = 0;
+    EXPECT_TRUE(index_.Query(q, &s).ok());
+    return s;
+  }
+
+  MemPageFile file_;
+  BufferPool pool_;
+  NaiveBoxSum naive_{2};
+  std::vector<BoxObject> objs_;
+  BoxSumIndex<PackedBaTree<double>> index_;
+};
+
+TEST_F(UnboundedQueryTest, HalfPlaneWest) {
+  Box q(Point(-kInf, -kInf), Point(0.3, kInf));
+  EXPECT_NEAR(Indexed(q), Naive(q), 1e-7);
+}
+
+TEST_F(UnboundedQueryTest, HalfPlaneNorth) {
+  Box q(Point(-kInf, 0.7), Point(kInf, kInf));
+  EXPECT_NEAR(Indexed(q), Naive(q), 1e-7);
+}
+
+TEST_F(UnboundedQueryTest, VerticalStrip) {
+  Box q(Point(0.4, -kInf), Point(0.6, kInf));
+  EXPECT_NEAR(Indexed(q), Naive(q), 1e-7);
+}
+
+TEST_F(UnboundedQueryTest, QuadrantFromPoint) {
+  Box q(Point(0.5, 0.5), Point(kInf, kInf));
+  EXPECT_NEAR(Indexed(q), Naive(q), 1e-7);
+}
+
+TEST_F(UnboundedQueryTest, WholeSpaceEqualsTotal) {
+  Box q = Box::Universe(2);
+  double total = 0;
+  for (const auto& o : objs_) total += o.value;
+  EXPECT_NEAR(Indexed(q), total, 1e-6);
+}
+
+TEST_F(UnboundedQueryTest, EmptyHalfPlane) {
+  Box q(Point(-kInf, -kInf), Point(-5.0, kInf));  // left of all data
+  EXPECT_NEAR(Indexed(q), 0.0, 1e-12);
+}
+
+TEST(UnboundedQueryEcdf, StripsAcrossBackends) {
+  MemPageFile file(2048);
+  BufferPool pool(&file, 1024);
+  workload::RectConfig cfg;
+  cfg.n = 1500;
+  cfg.avg_side = 0.04;
+  auto objs = workload::UniformRects(cfg);
+  NaiveBoxSum naive(2);
+  BoxSumIndex<EcdfBTree<double>> index(2, [&] {
+    return EcdfBTree<double>(&pool, 2, EcdfVariant::kUpdateOptimized);
+  });
+  for (const auto& o : objs) {
+    naive.Insert(o.box, o.value);
+    ASSERT_TRUE(index.Insert(o.box, o.value).ok());
+  }
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> u(0, 1);
+  for (int i = 0; i < 40; ++i) {
+    double lo = u(rng), hi = lo + u(rng) * 0.2;
+    Box strips[] = {
+        Box(Point(lo, -kInf), Point(hi, kInf)),     // vertical strip
+        Box(Point(-kInf, lo), Point(kInf, hi)),     // horizontal strip
+        Box(Point(lo, lo), Point(kInf, kInf)),      // quadrant
+        Box(Point(-kInf, -kInf), Point(lo, hi)),    // SW quadrant-ish
+    };
+    for (const Box& q : strips) {
+      double got;
+      ASSERT_TRUE(index.Query(q, &got).ok());
+      ASSERT_NEAR(got, naive.Sum(q), 1e-7 + 1e-9 * std::abs(naive.Sum(q)));
+    }
+  }
+}
+
+TEST(UnboundedQueryTemporal, OpenEndedTimePredicates) {
+  // "Everything since t" / "everything until t" on the 1-d special case.
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  BoxSumIndex<PackedBaTree<double>> index(
+      1, [&] { return PackedBaTree<double>(&pool, 1); });
+  ASSERT_TRUE(index.Insert(Box(Point(1.0), Point(3.0)), 10).ok());
+  ASSERT_TRUE(index.Insert(Box(Point(5.0), Point(8.0)), 20).ok());
+  double s;
+  ASSERT_TRUE(index.Query(Box(Point(4.0), Point(kInf)), &s).ok());
+  EXPECT_EQ(s, 20.0);  // since t=4
+  ASSERT_TRUE(index.Query(Box(Point(-kInf), Point(4.0)), &s).ok());
+  EXPECT_EQ(s, 10.0);  // until t=4
+  ASSERT_TRUE(index.Query(Box(Point(-kInf), Point(kInf)), &s).ok());
+  EXPECT_EQ(s, 30.0);
+}
+
+}  // namespace
+}  // namespace boxagg

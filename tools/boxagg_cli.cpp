@@ -1,0 +1,240 @@
+// boxagg_cli: build and query persistent box-sum indexes from the command
+// line — the downstream-user workflow (CSV in, disk index out, ad-hoc
+// queries) without writing any C++.
+//
+//   boxagg_cli gen   data.csv [n] [avg_side] [seed]   synthesize a dataset
+//   boxagg_cli build data.csv index.bag               bulk-load 2x4 packed
+//                                                     BA-trees (SUM + COUNT)
+//   boxagg_cli query index.bag xlo ylo xhi yhi        SUM / COUNT / AVG
+//   boxagg_cli stats index.bag                        size & structure info
+//
+// The index file is a PageFile whose page 0 is a superblock holding the
+// magic, dimensionality, and the roots of the eight dominance indexes.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batree/packed_ba_tree.h"
+#include "core/box_sum_index.h"
+#include "storage/buffer_pool.h"
+#include "workload/generators.h"
+
+using namespace boxagg;
+
+namespace {
+
+constexpr uint64_t kMagic = 0xb0cca99a66700201ull;  // "boxagg" v1
+constexpr int kDims = 2;
+constexpr uint32_t kNumRoots = 8;  // 4 sum corners + 4 count corners
+
+int Die(const std::string& msg) {
+  std::fprintf(stderr, "boxagg_cli: %s\n", msg.c_str());
+  return 1;
+}
+
+int DieIf(const Status& s, const char* what) {
+  if (s.ok()) return 0;
+  return Die(std::string(what) + ": " + s.ToString());
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 1) return Die("gen: missing output csv");
+  workload::RectConfig cfg;
+  cfg.n = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  cfg.avg_side = argc >= 3 ? std::strtod(argv[2], nullptr) : 1e-3;
+  cfg.seed = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  auto objs = workload::UniformRects(cfg);
+  std::ofstream out(argv[0]);
+  if (!out) return Die("gen: cannot open output file");
+  out << "xlo,ylo,xhi,yhi,value\n";
+  for (const auto& o : objs) {
+    out << o.box.lo[0] << ',' << o.box.lo[1] << ',' << o.box.hi[0] << ','
+        << o.box.hi[1] << ',' << o.value << '\n';
+  }
+  std::printf("wrote %zu objects to %s\n", objs.size(), argv[0]);
+  return 0;
+}
+
+bool ParseCsv(const std::string& path, std::vector<BoxObject>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && line.find("xlo") != std::string::npos) {
+      first = false;
+      continue;  // header
+    }
+    first = false;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    BoxObject o;
+    char comma;
+    if (!(ss >> o.box.lo[0] >> comma >> o.box.lo[1] >> comma >>
+          o.box.hi[0] >> comma >> o.box.hi[1] >> comma >> o.value)) {
+      return false;
+    }
+    out->push_back(o);
+  }
+  return true;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) return Die("build: usage: build data.csv index.bag");
+  std::vector<BoxObject> objs;
+  if (!ParseCsv(argv[0], &objs)) return Die("build: cannot parse csv");
+  std::printf("loaded %zu objects from %s\n", objs.size(), argv[0]);
+
+  std::unique_ptr<FilePageFile> file;
+  if (DieIf(FilePageFile::Open(argv[1], kDefaultPageSize, /*truncate=*/true,
+                               &file),
+            "open index")) {
+    return 1;
+  }
+  BufferPool pool(file.get(),
+                  BufferPool::CapacityForMegabytes(64, kDefaultPageSize));
+  // Reserve page 0 as the superblock before the trees allocate anything.
+  PageGuard super;
+  if (DieIf(pool.New(&super), "allocate superblock")) return 1;
+  if (super.id() != 0) return Die("superblock not at page 0");
+  super.MarkDirty();
+  super.Release();
+
+  std::vector<PageId> roots;
+  {
+    BoxSumIndex<PackedBaTree<double>> sums(
+        kDims, [&] { return PackedBaTree<double>(&pool, kDims); });
+    if (DieIf(sums.BulkLoad(objs), "bulk load sums")) return 1;
+    BoxSumIndex<PackedBaTree<double>> counts(
+        kDims, [&] { return PackedBaTree<double>(&pool, kDims); });
+    for (auto& o : objs) o.value = 1.0;
+    if (DieIf(counts.BulkLoad(objs), "bulk load counts")) return 1;
+    for (uint32_t s = 0; s < 4; ++s) roots.push_back(sums.index(s).root());
+    for (uint32_t s = 0; s < 4; ++s) roots.push_back(counts.index(s).root());
+  }
+  {
+    PageGuard g;
+    if (DieIf(pool.Fetch(0, &g), "fetch superblock")) return 1;
+    g.page()->WriteAt<uint64_t>(0, kMagic);
+    g.page()->WriteAt<uint32_t>(8, kDims);
+    g.page()->WriteAt<uint32_t>(12, kNumRoots);
+    for (uint32_t i = 0; i < kNumRoots; ++i) {
+      g.page()->WriteAt<uint64_t>(16 + 8 * i, roots[i]);
+    }
+    g.MarkDirty();
+  }
+  if (DieIf(pool.FlushAll(), "flush")) return 1;
+  std::printf("built %s: %" PRIu64 " pages (%.1f MB)\n", argv[1],
+              file->live_page_count(),
+              static_cast<double>(file->size_bytes()) / (1024 * 1024));
+  return 0;
+}
+
+int OpenIndex(const char* path, std::unique_ptr<FilePageFile>* file,
+              std::unique_ptr<BufferPool>* pool,
+              std::vector<PageId>* roots) {
+  if (DieIf(FilePageFile::Open(path, kDefaultPageSize, /*truncate=*/false,
+                               file),
+            "open index")) {
+    return 1;
+  }
+  *pool = std::make_unique<BufferPool>(
+      file->get(), BufferPool::CapacityForMegabytes(10, kDefaultPageSize));
+  PageGuard g;
+  if (DieIf((*pool)->Fetch(0, &g), "read superblock")) return 1;
+  if (g.page()->ReadAt<uint64_t>(0) != kMagic) {
+    return Die("not a boxagg index file");
+  }
+  if (g.page()->ReadAt<uint32_t>(8) != kDims ||
+      g.page()->ReadAt<uint32_t>(12) != kNumRoots) {
+    return Die("unsupported index layout");
+  }
+  for (uint32_t i = 0; i < kNumRoots; ++i) {
+    roots->push_back(g.page()->ReadAt<uint64_t>(16 + 8 * i));
+  }
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) {
+    return Die("query: usage: query index.bag xlo ylo xhi yhi");
+  }
+  std::unique_ptr<FilePageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::vector<PageId> roots;
+  if (OpenIndex(argv[0], &file, &pool, &roots)) return 1;
+
+  uint32_t next_sum = 0, next_count = 4;
+  BoxSumIndex<PackedBaTree<double>> sums(kDims, [&] {
+    return PackedBaTree<double>(pool.get(), kDims, roots[next_sum++]);
+  });
+  BoxSumIndex<PackedBaTree<double>> counts(kDims, [&] {
+    return PackedBaTree<double>(pool.get(), kDims, roots[next_count++]);
+  });
+
+  Box q;
+  q.lo[0] = std::strtod(argv[1], nullptr);
+  q.lo[1] = std::strtod(argv[2], nullptr);
+  q.hi[0] = std::strtod(argv[3], nullptr);
+  q.hi[1] = std::strtod(argv[4], nullptr);
+  double sum, count;
+  IoStats before = pool->stats();
+  if (DieIf(sums.Query(q, &sum), "sum query")) return 1;
+  if (DieIf(counts.Query(q, &count), "count query")) return 1;
+  IoStats d = pool->stats().Since(before);
+  std::printf("query %s\n", q.ToString(kDims).c_str());
+  std::printf("  SUM   = %.6f\n", sum);
+  std::printf("  COUNT = %.0f\n", count);
+  std::printf("  AVG   = %.6f\n", count < 0.5 ? 0.0 : sum / count);
+  std::printf("  cost  = %" PRIu64 " physical I/Os\n", d.TotalIos());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 1) return Die("stats: usage: stats index.bag");
+  std::unique_ptr<FilePageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::vector<PageId> roots;
+  if (OpenIndex(argv[0], &file, &pool, &roots)) return 1;
+  std::printf("index file: %s\n", argv[0]);
+  std::printf("  pages: %" PRIu64 " (%.1f MB), page size %u\n",
+              file->live_page_count(),
+              static_cast<double>(file->size_bytes()) / (1024 * 1024),
+              file->page_size());
+  const char* names[kNumRoots] = {"sum[ll]",   "sum[hl]",   "sum[lh]",
+                                  "sum[hh]",   "count[ll]", "count[hl]",
+                                  "count[lh]", "count[hh]"};
+  for (uint32_t i = 0; i < kNumRoots; ++i) {
+    PackedBaTree<double> t(pool.get(), kDims, roots[i]);
+    uint64_t pages = 0;
+    if (DieIf(t.PageCount(&pages), "page count")) return 1;
+    std::printf("  %-10s root=%" PRIu64 " pages=%" PRIu64 "\n", names[i],
+                roots[i], pages);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: boxagg_cli gen|build|query|stats ...\n"
+                 "  gen   out.csv [n] [avg_side] [seed]\n"
+                 "  build data.csv index.bag\n"
+                 "  query index.bag xlo ylo xhi yhi\n"
+                 "  stats index.bag\n");
+    return 1;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+  if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
+  if (cmd == "query") return CmdQuery(argc - 2, argv + 2);
+  if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
+  return Die("unknown command: " + cmd);
+}

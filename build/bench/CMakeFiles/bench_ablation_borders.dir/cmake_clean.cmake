@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_borders.dir/bench_ablation_borders.cpp.o"
+  "CMakeFiles/bench_ablation_borders.dir/bench_ablation_borders.cpp.o.d"
+  "bench_ablation_borders"
+  "bench_ablation_borders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_borders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

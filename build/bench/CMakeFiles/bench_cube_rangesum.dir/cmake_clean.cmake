@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cube_rangesum.dir/bench_cube_rangesum.cpp.o"
+  "CMakeFiles/bench_cube_rangesum.dir/bench_cube_rangesum.cpp.o.d"
+  "bench_cube_rangesum"
+  "bench_cube_rangesum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cube_rangesum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9c_functional.dir/bench_fig9c_functional.cpp.o"
+  "CMakeFiles/bench_fig9c_functional.dir/bench_fig9c_functional.cpp.o.d"
+  "bench_fig9c_functional"
+  "bench_fig9c_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9c_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

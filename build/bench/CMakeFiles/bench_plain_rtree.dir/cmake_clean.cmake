@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plain_rtree.dir/bench_plain_rtree.cpp.o"
+  "CMakeFiles/bench_plain_rtree.dir/bench_plain_rtree.cpp.o.d"
+  "bench_plain_rtree"
+  "bench_plain_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plain_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

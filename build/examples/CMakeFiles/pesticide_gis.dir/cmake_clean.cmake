@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pesticide_gis.dir/pesticide_gis.cpp.o"
+  "CMakeFiles/pesticide_gis.dir/pesticide_gis.cpp.o.d"
+  "pesticide_gis"
+  "pesticide_gis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pesticide_gis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/boxagg.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/boxagg.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/boxagg.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/boxagg.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/boxagg.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/boxagg.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

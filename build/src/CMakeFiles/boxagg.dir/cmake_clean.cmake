@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boxagg.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/boxagg.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/boxagg.dir/storage/page_file.cc.o"
+  "CMakeFiles/boxagg.dir/storage/page_file.cc.o.d"
+  "CMakeFiles/boxagg.dir/workload/generators.cc.o"
+  "CMakeFiles/boxagg.dir/workload/generators.cc.o.d"
+  "libboxagg.a"
+  "libboxagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boxagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

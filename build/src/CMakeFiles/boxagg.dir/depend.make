@@ -1,0 +1,2 @@
+# Empty dependencies file for boxagg.
+# This may be replaced when dependencies are built.

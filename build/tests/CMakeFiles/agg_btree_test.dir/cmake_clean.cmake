@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_btree_test.dir/agg_btree_test.cpp.o"
+  "CMakeFiles/agg_btree_test.dir/agg_btree_test.cpp.o.d"
+  "agg_btree_test"
+  "agg_btree_test.pdb"
+  "agg_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_tree_test.dir/ba_tree_test.cpp.o"
+  "CMakeFiles/ba_tree_test.dir/ba_tree_test.cpp.o.d"
+  "ba_tree_test"
+  "ba_tree_test.pdb"
+  "ba_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_sum_test.dir/box_sum_test.cpp.o"
+  "CMakeFiles/box_sum_test.dir/box_sum_test.cpp.o.d"
+  "box_sum_test"
+  "box_sum_test.pdb"
+  "box_sum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_box_sum_test.dir/functional_box_sum_test.cpp.o"
+  "CMakeFiles/functional_box_sum_test.dir/functional_box_sum_test.cpp.o.d"
+  "functional_box_sum_test"
+  "functional_box_sum_test.pdb"
+  "functional_box_sum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_box_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_ba_tree_test.dir/packed_ba_tree_test.cpp.o"
+  "CMakeFiles/packed_ba_tree_test.dir/packed_ba_tree_test.cpp.o.d"
+  "packed_ba_tree_test"
+  "packed_ba_tree_test.pdb"
+  "packed_ba_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_ba_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

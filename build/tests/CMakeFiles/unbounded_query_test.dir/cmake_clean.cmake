@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbounded_query_test.dir/unbounded_query_test.cpp.o"
+  "CMakeFiles/unbounded_query_test.dir/unbounded_query_test.cpp.o.d"
+  "unbounded_query_test"
+  "unbounded_query_test.pdb"
+  "unbounded_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbounded_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boxagg_cli.dir/boxagg_cli.cpp.o"
+  "CMakeFiles/boxagg_cli.dir/boxagg_cli.cpp.o.d"
+  "boxagg_cli"
+  "boxagg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boxagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

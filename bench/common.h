@@ -14,6 +14,10 @@
 //   BOXAGG_DISK       1 = file-backed PageFile     (default 0, in-memory;
 //                     I/O *counts* are identical, only wall time differs)
 //   BOXAGG_SEED       workload seed                (default 42)
+//   BOXAGG_SHARDS     buffer-pool shards           (default 1, the paper-
+//                     fidelity mode; >1 enables concurrent readers)
+//   BOXAGG_THREADS    max worker threads for the parallel benches
+//                     (default 8)
 
 #ifndef BOXAGG_BENCH_COMMON_H_
 #define BOXAGG_BENCH_COMMON_H_
@@ -40,6 +44,8 @@ struct Config {
   size_t buffer_mb = 10;
   bool disk = false;
   uint64_t seed = 42;
+  size_t shards = 1;
+  size_t threads = 8;
 
   static Config FromEnv() {
     Config c;
@@ -49,6 +55,8 @@ struct Config {
     if (const char* v = std::getenv("BOXAGG_BUFFER_MB")) c.buffer_mb = std::strtoull(v, nullptr, 10);
     if (const char* v = std::getenv("BOXAGG_DISK")) c.disk = std::atoi(v) != 0;
     if (const char* v = std::getenv("BOXAGG_SEED")) c.seed = std::strtoull(v, nullptr, 10);
+    if (const char* v = std::getenv("BOXAGG_SHARDS")) c.shards = std::strtoull(v, nullptr, 10);
+    if (const char* v = std::getenv("BOXAGG_THREADS")) c.threads = std::strtoull(v, nullptr, 10);
     return c;
   }
 
@@ -60,9 +68,10 @@ struct Config {
     std::printf("== %s ==\n", experiment);
     std::printf(
         "config: n=%zu queries=%zu page=%uB buffer=%zuMB (%zu pages) "
-        "backend=%s seed=%llu\n",
+        "backend=%s seed=%llu shards=%zu\n",
         n, queries, page_size, buffer_mb, BufferPages(),
-        disk ? "file" : "memory", static_cast<unsigned long long>(seed));
+        disk ? "file" : "memory", static_cast<unsigned long long>(seed),
+        shards);
   }
 };
 
@@ -85,7 +94,8 @@ class Storage {
     } else {
       file_ = std::make_unique<MemPageFile>(cfg.page_size);
     }
-    pool_ = std::make_unique<BufferPool>(file_.get(), cfg.BufferPages());
+    pool_ = std::make_unique<BufferPool>(file_.get(), cfg.BufferPages(),
+                                         cfg.shards);
   }
 
   ~Storage() {

@@ -1,0 +1,93 @@
+#include "exec/parallel_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace boxagg {
+namespace exec {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+}  // namespace
+
+ParallelQueryExecutor::ParallelQueryExecutor(size_t threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {}
+
+ParallelQueryExecutor::~ParallelQueryExecutor() = default;
+
+Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
+                                       const std::vector<Box>& queries,
+                                       std::vector<double>* results,
+                                       BatchExecStats* stats) {
+  const size_t n = queries.size();
+  results->assign(n, 0.0);
+  if (stats) *stats = BatchExecStats{};
+  if (n == 0) return Status::OK();
+
+  const size_t workers = pool_->size();
+  // Dynamic chunking: small enough to balance skewed queries, large enough
+  // to amortize the claim.
+  const size_t chunk = std::max<size_t>(1, n / (workers * 8));
+
+  std::atomic<size_t> next{0};
+  std::vector<double> latencies(stats ? n : 0);
+
+  // First-error capture + completion latch.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t workers_done = 0;
+  Status first_error = Status::OK();
+
+  auto t0 = Clock::now();
+  for (size_t w = 0; w < workers; ++w) {
+    pool_->Submit([&, record = stats != nullptr] {
+      Status local = Status::OK();
+      for (;;) {
+        size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= n) break;
+        size_t hi = std::min(n, lo + chunk);
+        for (size_t i = lo; i < hi; ++i) {
+          auto q0 = record ? Clock::now() : Clock::time_point{};
+          Status s = fn(queries[i], &(*results)[i]);
+          if (record) latencies[i] = MicrosBetween(q0, Clock::now());
+          if (!s.ok() && local.ok()) local = s;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (!local.ok() && first_error.ok()) first_error = local;
+      if (++workers_done == workers) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return workers_done == workers; });
+  }
+  auto t1 = Clock::now();
+
+  if (stats) {
+    stats->threads = workers;
+    stats->queries = n;
+    stats->wall_ms = MicrosBetween(t0, t1) / 1000.0;
+    stats->queries_per_sec =
+        stats->wall_ms > 0 ? 1000.0 * static_cast<double>(n) / stats->wall_ms
+                           : 0;
+    double sum = 0;
+    for (double l : latencies) sum += l;
+    stats->latency_mean_us = sum / static_cast<double>(n);
+    std::sort(latencies.begin(), latencies.end());
+    stats->latency_p50_us = latencies[n / 2];
+    stats->latency_p99_us = latencies[n - 1 - (n - 1) / 100];
+    stats->latency_max_us = latencies.back();
+  }
+  return first_error;
+}
+
+}  // namespace exec
+}  // namespace boxagg

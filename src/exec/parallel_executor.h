@@ -1,0 +1,73 @@
+// ParallelQueryExecutor: fans a batch of independent box queries out across
+// a ThreadPool and collects per-query results plus aggregate latency and
+// throughput statistics.
+//
+// This is the concurrent read path motivated by the paper's experiments
+// (Sec. 6 replays large batches of independent box-sum queries against a
+// read-mostly index). Queries are pure reads: the only shared mutable state
+// they touch is the sharded BufferPool, which is thread-safe for Fetch.
+// Any index exposing a box query is adapted through QueryFn (see
+// query_adapters.h); results are deterministic — each query slot is computed
+// by exactly one worker with the same arithmetic as a sequential run, so
+// parallel output is byte-identical to the sequential oracle.
+
+#ifndef BOXAGG_EXEC_PARALLEL_EXECUTOR_H_
+#define BOXAGG_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "geom/box.h"
+#include "storage/status.h"
+
+namespace boxagg {
+namespace exec {
+
+/// A read-only query against some index: fills *out for the given box.
+using QueryFn = std::function<Status(const Box&, double*)>;
+
+/// \brief Aggregate statistics for one executed batch.
+struct BatchExecStats {
+  size_t threads = 0;        ///< workers used
+  size_t queries = 0;        ///< batch size
+  double wall_ms = 0;        ///< wall-clock time for the whole batch
+  double queries_per_sec = 0;
+  // Per-query latency distribution, microseconds.
+  double latency_mean_us = 0;
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+  double latency_max_us = 0;
+};
+
+/// \brief Executes query batches on an owned ThreadPool.
+///
+/// The executor is reusable: construct once per thread count, run many
+/// batches. RunBatch blocks the caller until the batch completes.
+class ParallelQueryExecutor {
+ public:
+  explicit ParallelQueryExecutor(size_t threads);
+  ~ParallelQueryExecutor();
+
+  ParallelQueryExecutor(const ParallelQueryExecutor&) = delete;
+  ParallelQueryExecutor& operator=(const ParallelQueryExecutor&) = delete;
+
+  size_t threads() const { return pool_->size(); }
+
+  /// Runs `fn` over every box in `queries`, writing results[i] for
+  /// queries[i]. Returns the first query error encountered (remaining
+  /// queries still run to completion). `stats` is optional.
+  Status RunBatch(const QueryFn& fn, const std::vector<Box>& queries,
+                  std::vector<double>* results,
+                  BatchExecStats* stats = nullptr);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace exec
+}  // namespace boxagg
+
+#endif  // BOXAGG_EXEC_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,57 @@
+// ThreadPool: a fixed-size worker pool with a single FIFO task queue.
+//
+// The execution substrate for the parallel query layer (see
+// parallel_executor.h). Deliberately minimal: tasks are type-erased
+// std::function<void()>, submission is thread-safe, and the destructor
+// drains the queue before joining so no submitted task is lost.
+
+#ifndef BOXAGG_EXEC_THREAD_POOL_H_
+#define BOXAGG_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace boxagg {
+namespace exec {
+
+/// \brief Fixed pool of worker threads consuming a shared task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Safe from any thread.
+  void Submit(std::function<void()> task);
+
+  size_t size() const { return workers_.size(); }
+
+  /// Number of hardware threads, with a sane floor for odd environments.
+  static size_t HardwareThreads() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace boxagg
+
+#endif  // BOXAGG_EXEC_THREAD_POOL_H_

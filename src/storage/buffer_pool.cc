@@ -2,37 +2,75 @@
 
 namespace boxagg {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
-    : file_(file), capacity_(capacity < 8 ? 8 : capacity) {}
+namespace {
+// Seed-compatible floor: the original single-shard pool clamped its total
+// capacity to at least 8 frames (enough for one root-to-leaf pin chain).
+constexpr size_t kMinShardFrames = 8;
+}  // namespace
+
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
+    : file_(file) {
+  if (shards == 0) shards = 1;
+  if (capacity < kMinShardFrames) capacity = kMinShardFrames;
+  shards_.reserve(shards);
+  size_t total = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->index = static_cast<uint32_t>(i);
+    // Distribute capacity as evenly as possible; every shard keeps at least
+    // the seed's floor so a single shard can always hold one pin chain.
+    size_t cap = capacity / shards + (i < capacity % shards ? 1 : 0);
+    s->capacity = cap < kMinShardFrames ? kMinShardFrames : cap;
+    total += s->capacity;
+    // Pre-size to capacity: avoids rehash/realloc churn while the pool warms
+    // up (frames are allocated lazily but never exceed capacity).
+    s->frames.reserve(s->capacity);
+    s->frame_storage.reserve(s->capacity);
+    s->free_frames.reserve(s->capacity);
+    shards_.push_back(std::move(s));
+  }
+  capacity_ = total;
+}
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
 
+size_t BufferPool::resident() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->frames.size();
+  }
+  return n;
+}
+
 Status BufferPool::Fetch(PageId id, PageGuard* out) {
-  ++stats_.logical_reads;
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.buffer_hits;
+  stats_.AddLogicalRead();
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(id);
+  if (it != s.frames.end()) {
+    stats_.AddBufferHit();
     Frame* f = it->second;
     if (f->in_lru) {
-      lru_.erase(f->lru_pos);
+      s.lru.erase(f->lru_pos);
       f->in_lru = false;
     }
-    ++f->pin_count;
+    f->pin_count.fetch_add(1, std::memory_order_relaxed);
     *out = PageGuard(this, f);
     return Status::OK();
   }
   Frame* f = nullptr;
-  BOXAGG_RETURN_NOT_OK(GetFreeFrame(&f));
-  if (Status s = file_->ReadPage(id, &f->page); !s.ok()) {
-    free_frames_.push_back(f);  // don't leak the frame on a failed read
-    return s;
+  BOXAGG_RETURN_NOT_OK(GetFreeFrame(s, &f));
+  if (Status st = file_->ReadPage(id, &f->page); !st.ok()) {
+    s.free_frames.push_back(f);  // don't leak the frame on a failed read
+    return st;
   }
-  ++stats_.physical_reads;
+  stats_.AddPhysicalRead();
   f->id = id;
-  f->pin_count = 1;
-  f->dirty = false;
+  f->pin_count.store(1, std::memory_order_relaxed);
+  f->dirty.store(false, std::memory_order_relaxed);
   f->in_lru = false;
-  frames_[id] = f;
+  s.frames[id] = f;
   *out = PageGuard(this, f);
   return Status::OK();
 }
@@ -40,54 +78,65 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
 Status BufferPool::New(PageGuard* out) {
   PageId id;
   BOXAGG_RETURN_NOT_OK(file_->Allocate(&id));
+  Shard& s = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
   // A freed-then-reused page may still be resident with stale contents.
-  auto it = frames_.find(id);
+  auto it = s.frames.find(id);
   Frame* f = nullptr;
-  if (it != frames_.end()) {
+  if (it != s.frames.end()) {
     f = it->second;
-    assert(f->pin_count == 0);
+    assert(f->pin_count.load(std::memory_order_relaxed) == 0);
     if (f->in_lru) {
-      lru_.erase(f->lru_pos);
+      s.lru.erase(f->lru_pos);
       f->in_lru = false;
     }
   } else {
-    BOXAGG_RETURN_NOT_OK(GetFreeFrame(&f));
+    BOXAGG_RETURN_NOT_OK(GetFreeFrame(s, &f));
     f->id = id;
-    frames_[id] = f;
+    s.frames[id] = f;
   }
   f->page.Zero();
-  f->pin_count = 1;
-  f->dirty = true;  // must reach disk even if never touched again
+  f->pin_count.store(1, std::memory_order_relaxed);
+  // Must reach disk even if never touched again.
+  f->dirty.store(true, std::memory_order_relaxed);
   f->in_lru = false;
   *out = PageGuard(this, f);
   return Status::OK();
 }
 
 Status BufferPool::Delete(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame* f = it->second;
-    if (f->pin_count != 0) {
-      return Status::InvalidArgument("Delete of pinned page");
+  Shard& s = *shards_[ShardOf(id)];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.frames.find(id);
+    if (it != s.frames.end()) {
+      Frame* f = it->second;
+      if (f->pin_count.load(std::memory_order_relaxed) != 0) {
+        return Status::InvalidArgument("Delete of pinned page");
+      }
+      if (f->in_lru) {
+        s.lru.erase(f->lru_pos);
+        f->in_lru = false;
+      }
+      f->id = kInvalidPageId;
+      f->dirty.store(false, std::memory_order_relaxed);
+      s.frames.erase(it);
+      s.free_frames.push_back(f);
     }
-    if (f->in_lru) {
-      lru_.erase(f->lru_pos);
-      f->in_lru = false;
-    }
-    f->id = kInvalidPageId;
-    f->dirty = false;
-    frames_.erase(it);
-    free_frames_.push_back(f);
   }
   return file_->Free(id);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, f] : frames_) {
-    if (f->dirty) {
-      BOXAGG_RETURN_NOT_OK(file_->WritePage(id, f->page));
-      ++stats_.physical_writes;
-      f->dirty = false;
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [id, f] : s.frames) {
+      if (f->dirty.load(std::memory_order_relaxed)) {
+        BOXAGG_RETURN_NOT_OK(file_->WritePage(id, f->page));
+        stats_.AddPhysicalWrite();
+        f->dirty.store(false, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();
@@ -95,74 +144,81 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::Reset() {
   BOXAGG_RETURN_NOT_OK(FlushAll());
-  for (auto& [id, f] : frames_) {
-    if (f->pin_count != 0) {
-      return Status::InvalidArgument("Reset with pinned pages");
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [id, f] : s.frames) {
+      if (f->pin_count.load(std::memory_order_relaxed) != 0) {
+        return Status::InvalidArgument("Reset with pinned pages");
+      }
+      f->id = kInvalidPageId;
+      f->in_lru = false;
+      s.free_frames.push_back(f);
     }
-    f->id = kInvalidPageId;
-    f->in_lru = false;
-    free_frames_.push_back(f);
+    s.frames.clear();
+    s.lru.clear();
   }
-  frames_.clear();
-  lru_.clear();
   return Status::OK();
 }
 
 void BufferPool::Unpin(Frame* f, bool dirty) {
-  assert(f->pin_count > 0);
-  if (dirty) f->dirty = true;
-  if (--f->pin_count == 0) {
-    Touch(f);
+  Shard& s = *shards_[f->shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  assert(f->pin_count.load(std::memory_order_relaxed) > 0);
+  if (dirty) f->dirty.store(true, std::memory_order_relaxed);
+  if (f->pin_count.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    Touch(s, f);
   }
 }
 
-void BufferPool::Touch(Frame* f) {
-  if (f->in_lru) lru_.erase(f->lru_pos);
-  lru_.push_back(f);  // back = hottest
-  f->lru_pos = std::prev(lru_.end());
+void BufferPool::Touch(Shard& s, Frame* f) {
+  if (f->in_lru) s.lru.erase(f->lru_pos);
+  s.lru.push_back(f);  // back = hottest
+  f->lru_pos = std::prev(s.lru.end());
   f->in_lru = true;
 }
 
-Status BufferPool::GetFreeFrame(Frame** out) {
-  if (!free_frames_.empty()) {
-    *out = free_frames_.back();
-    free_frames_.pop_back();
+Status BufferPool::GetFreeFrame(Shard& s, Frame** out) {
+  if (!s.free_frames.empty()) {
+    *out = s.free_frames.back();
+    s.free_frames.pop_back();
     return Status::OK();
   }
-  if (frame_storage_.size() < capacity_) {
-    frame_storage_.push_back(std::make_unique<Frame>(file_->page_size()));
-    *out = frame_storage_.back().get();
+  if (s.frame_storage.size() < s.capacity) {
+    s.frame_storage.push_back(
+        std::make_unique<Frame>(file_->page_size(), s.index));
+    *out = s.frame_storage.back().get();
     return Status::OK();
   }
-  BOXAGG_RETURN_NOT_OK(EvictOne());
-  if (free_frames_.empty()) {
+  BOXAGG_RETURN_NOT_OK(EvictOne(s));
+  if (s.free_frames.empty()) {
     return Status::NoSpace("buffer pool exhausted (all pages pinned)");
   }
-  *out = free_frames_.back();
-  free_frames_.pop_back();
+  *out = s.free_frames.back();
+  s.free_frames.pop_back();
   return Status::OK();
 }
 
-Status BufferPool::EvictOne() {
-  if (lru_.empty()) {
+Status BufferPool::EvictOne(Shard& s) {
+  if (s.lru.empty()) {
     return Status::NoSpace("buffer pool exhausted (all pages pinned)");
   }
-  Frame* f = lru_.front();
-  lru_.pop_front();
+  Frame* f = s.lru.front();
+  s.lru.pop_front();
   f->in_lru = false;
-  if (f->dirty) {
-    if (Status s = file_->WritePage(f->id, f->page); !s.ok()) {
+  if (f->dirty.load(std::memory_order_relaxed)) {
+    if (Status st = file_->WritePage(f->id, f->page); !st.ok()) {
       // Keep the frame resident and evictable so a transient I/O failure
       // does not permanently shrink the pool.
-      Touch(f);
-      return s;
+      Touch(s, f);
+      return st;
     }
-    ++stats_.physical_writes;
-    f->dirty = false;
+    stats_.AddPhysicalWrite();
+    f->dirty.store(false, std::memory_order_relaxed);
   }
-  frames_.erase(f->id);
+  s.frames.erase(f->id);
   f->id = kInvalidPageId;
-  free_frames_.push_back(f);
+  s.free_frames.push_back(f);
   return Status::OK();
 }
 

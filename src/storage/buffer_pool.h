@@ -4,13 +4,26 @@
 // The paper's setup (Sec. 6): 8 KB pages, 10 MB LRU buffer. A query's cost is
 // the number of buffer misses (physical reads) plus dirty-page write-backs it
 // causes.
+//
+// Concurrency: the pool is sharded. Frames are partitioned into `shards`
+// independent sub-pools by a hash of the PageId; each shard has its own
+// mutex, page table, LRU list, and free list, so concurrent readers on
+// different shards never contend. With shards == 1 (the default) the pool
+// performs exactly the seed implementation's operation sequence — one LRU,
+// one eviction order — so single-threaded paper-fidelity I/O counts are
+// bit-identical. Fetch is safe from any number of threads; New/Delete
+// mutate the PageFile's allocation state and must not run concurrently
+// with other pool calls (writes/inserts remain single-threaded, see
+// DESIGN.md "Concurrency model").
 
 #ifndef BOXAGG_STORAGE_BUFFER_POOL_H_
 #define BOXAGG_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cassert>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,30 +36,35 @@ namespace boxagg {
 
 class PageGuard;
 
-/// \brief LRU buffer manager.
+/// \brief Sharded LRU buffer manager.
 ///
 /// Frames hold pages; a frame with pin_count > 0 is never evicted. Eviction
-/// order is least-recently-unpinned first. All page access by index code goes
-/// through Fetch/New, returning pinned PageGuard handles.
+/// order within a shard is least-recently-unpinned first. All page access by
+/// index code goes through Fetch/New, returning pinned PageGuard handles.
 class BufferPool {
  public:
   /// \param file     backing store (not owned)
-  /// \param capacity maximum number of resident pages (>= max simultaneous
-  ///                 pins of any operation; indexes pin O(depth) pages)
-  BufferPool(PageFile* file, size_t capacity);
+  /// \param capacity maximum number of resident pages across all shards
+  ///                 (>= max simultaneous pins of any operation; indexes pin
+  ///                 O(depth) pages)
+  /// \param shards   number of independently locked sub-pools; 1 reproduces
+  ///                 the exact global LRU of the single-threaded seed
+  BufferPool(PageFile* file, size_t capacity, size_t shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from the file on a miss.
+  /// Pins page `id`, reading it from the file on a miss. Thread-safe.
   Status Fetch(PageId id, PageGuard* out);
 
   /// Allocates a fresh page in the file, pins it zero-filled and dirty.
+  /// Not safe concurrently with any other pool call.
   Status New(PageGuard* out);
 
   /// Drops page `id` from the pool (must be unpinned) and frees it in the
-  /// file. Dirty contents are discarded — the page is dead.
+  /// file. Dirty contents are discarded — the page is dead. Not safe
+  /// concurrently with any other pool call.
   Status Delete(PageId id);
 
   /// Writes back all dirty pages (counted as physical writes).
@@ -55,12 +73,13 @@ class BufferPool {
   /// Writes back and evicts everything; the pool becomes empty.
   Status Reset();
 
-  const IoStats& stats() const { return stats_; }
-  IoStats* mutable_stats() { return &stats_; }
+  /// Plain-POD snapshot of the I/O counters (relaxed-atomic reads).
+  IoStats stats() const { return stats_.Snapshot(); }
 
   PageFile* file() { return file_; }
   size_t capacity() const { return capacity_; }
-  size_t resident() const { return frames_.size(); }
+  size_t shard_count() const { return shards_.size(); }
+  size_t resident() const;
 
   /// Pool sized to `mb` megabytes of `page_size`-byte pages (paper: 10 MB).
   static size_t CapacityForMegabytes(size_t mb, uint32_t page_size) {
@@ -71,28 +90,48 @@ class BufferPool {
   friend class PageGuard;
 
   struct Frame {
-    explicit Frame(uint32_t page_size) : page(page_size) {}
+    Frame(uint32_t page_size, uint32_t shard_idx)
+        : page(page_size), shard(shard_idx) {}
     Page page;
     PageId id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    // Position in lru_ when pin_count == 0; lru_.end() sentinel otherwise.
+    std::atomic<int> pin_count{0};
+    std::atomic<bool> dirty{false};
+    // Position in the owning shard's lru when pin_count == 0 and in_lru.
     std::list<Frame*>::iterator lru_pos;
     bool in_lru = false;
+    const uint32_t shard;  // owning shard; frames never migrate
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, Frame*> frames;
+    std::list<Frame*> lru;  // front = coldest (evict first)
+    std::vector<std::unique_ptr<Frame>> frame_storage;
+    std::vector<Frame*> free_frames;
+    size_t capacity = 0;
+    uint32_t index = 0;  // position in shards_, stamped into new Frames
+  };
+
+  size_t ShardOf(PageId id) const {
+    if (shards_.size() == 1) return 0;
+    // splitmix64 finalizer: spreads sequential PageIds across shards.
+    uint64_t x = id + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x % shards_.size());
+  }
+
   void Unpin(Frame* f, bool dirty);
-  Status GetFreeFrame(Frame** out);
-  Status EvictOne();
-  void Touch(Frame* f);
+  // All three require s.mu to be held by the caller.
+  Status GetFreeFrame(Shard& s, Frame** out);
+  Status EvictOne(Shard& s);
+  void Touch(Shard& s, Frame* f);
 
   PageFile* file_;
   size_t capacity_;
-  IoStats stats_;
-  std::unordered_map<PageId, Frame*> frames_;
-  std::list<Frame*> lru_;  // front = coldest (evict first)
-  std::vector<std::unique_ptr<Frame>> frame_storage_;
-  std::vector<Frame*> free_frames_;
+  AtomicIoStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// \brief RAII pin on a buffered page.

@@ -2,17 +2,23 @@
 //
 // The paper reports query cost as the number of physical page I/Os under an
 // LRU buffer (Sec. 6), and "execution time" as CPU time plus #I/Os x 10ms.
-// IoStats is owned by the BufferPool and incremented on every physical read
-// and write; benches snapshot/diff it around query batches.
+// The BufferPool owns an AtomicIoStats, incremented (relaxed) on every
+// logical and physical page access so concurrent readers can share one pool;
+// benches snapshot/diff the plain-POD IoStats view around query batches.
 
 #ifndef BOXAGG_STORAGE_IO_STATS_H_
 #define BOXAGG_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace boxagg {
 
 /// \brief Counters for physical and logical page traffic.
+///
+/// Plain-POD snapshot type: copyable, comparable by component, used by every
+/// bench and test. Invariant (checked by tests): after any workload,
+/// logical_reads == buffer_hits + physical_reads.
 struct IoStats {
   uint64_t physical_reads = 0;   ///< pages fetched from the PageFile
   uint64_t physical_writes = 0;  ///< dirty pages flushed to the PageFile
@@ -33,6 +39,47 @@ struct IoStats {
     d.buffer_hits = buffer_hits - earlier.buffer_hits;
     return d;
   }
+};
+
+/// \brief Thread-safe I/O counters: relaxed atomic increments, POD snapshot.
+///
+/// Relaxed ordering is sufficient — the counters are statistics, not
+/// synchronization; cross-counter invariants hold exactly at any quiescent
+/// point (no Fetch in flight) because each Fetch bumps logical_reads and
+/// exactly one of buffer_hits / physical_reads under the shard lock.
+class AtomicIoStats {
+ public:
+  void AddPhysicalRead() { Inc(physical_reads_); }
+  void AddPhysicalWrite() { Inc(physical_writes_); }
+  void AddLogicalRead() { Inc(logical_reads_); }
+  void AddBufferHit() { Inc(buffer_hits_); }
+
+  /// Plain-POD view; feed it to IoStats::Since for batch deltas.
+  IoStats Snapshot() const {
+    IoStats s;
+    s.physical_reads = physical_reads_.load(std::memory_order_relaxed);
+    s.physical_writes = physical_writes_.load(std::memory_order_relaxed);
+    s.logical_reads = logical_reads_.load(std::memory_order_relaxed);
+    s.buffer_hits = buffer_hits_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    physical_reads_.store(0, std::memory_order_relaxed);
+    physical_writes_.store(0, std::memory_order_relaxed);
+    logical_reads_.store(0, std::memory_order_relaxed);
+    buffer_hits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void Inc(std::atomic<uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> physical_reads_{0};
+  std::atomic<uint64_t> physical_writes_{0};
+  std::atomic<uint64_t> logical_reads_{0};
+  std::atomic<uint64_t> buffer_hits_{0};
 };
 
 /// Per-I/O latency charged by the paper's cost model (Sec. 6): 10 ms.

@@ -22,7 +22,11 @@ namespace boxagg {
 
 /// \brief Abstract store of fixed-size pages.
 ///
-/// Thread-compatibility: single-threaded, like the rest of the library.
+/// Thread-compatibility: concurrent ReadPage/WritePage calls are safe as
+/// long as no Allocate/Free/Extend runs at the same time and no two threads
+/// write the same page (the sharded BufferPool guarantees both on its read
+/// path — each page belongs to exactly one shard). Allocation and freeing
+/// remain single-threaded, like all index mutation.
 class PageFile {
  public:
   explicit PageFile(uint32_t page_size) : page_size_(page_size) {}

@@ -1,0 +1,121 @@
+// IoStats invariant tests: after any mixed Fetch/New/Delete workload the
+// accounting identity  logical_reads == buffer_hits + physical_reads  must
+// hold, and Since() must round-trip component-wise. Also covers the
+// AtomicIoStats snapshot used by the sharded BufferPool.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page_file.h"
+
+namespace boxagg {
+namespace {
+
+void ExpectInvariant(const IoStats& s) {
+  EXPECT_EQ(s.logical_reads, s.buffer_hits + s.physical_reads)
+      << "logical=" << s.logical_reads << " hits=" << s.buffer_hits
+      << " physical=" << s.physical_reads;
+}
+
+// Drives a randomized mix of New/Fetch/Delete (with dirtying) through a
+// small pool so evictions, write-backs, recycled pages, and misses all
+// occur, then checks the identity. Repeated for several shard counts — the
+// identity is shard-independent.
+TEST(IoStatsInvariant, MixedWorkloadKeepsAccountingIdentity) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    MemPageFile file(512);
+    BufferPool pool(&file, 16, shards);
+    std::mt19937 rng(1234 + shards);
+    std::vector<PageId> live;
+    for (int step = 0; step < 5000; ++step) {
+      int op = static_cast<int>(rng() % 10);
+      if (live.empty() || op < 3) {  // New
+        PageGuard g;
+        ASSERT_TRUE(pool.New(&g).ok());
+        g.page()->WriteAt<int>(0, step);
+        g.MarkDirty();
+        live.push_back(g.id());
+      } else if (op < 9) {  // Fetch, sometimes dirtying
+        size_t pick = rng() % live.size();
+        PageGuard g;
+        ASSERT_TRUE(pool.Fetch(live[pick], &g).ok());
+        if (op % 2 == 0) {
+          g.page()->WriteAt<int>(4, step);
+          g.MarkDirty();
+        }
+      } else {  // Delete
+        size_t pick = rng() % live.size();
+        ASSERT_TRUE(pool.Delete(live[pick]).ok());
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+    ExpectInvariant(pool.stats());
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ExpectInvariant(pool.stats());  // flushes only add physical_writes
+  }
+}
+
+TEST(IoStatsInvariant, SinceRoundTripsComponentwise) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 8);
+  IoStats t0 = pool.stats();
+  std::vector<PageId> ids;
+  for (int i = 0; i < 30; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.New(&g).ok());
+    g.MarkDirty();
+    ids.push_back(g.id());
+  }
+  IoStats t1 = pool.stats();
+  for (PageId id : ids) {
+    PageGuard g;
+    ASSERT_TRUE(pool.Fetch(id, &g).ok());
+  }
+  IoStats t2 = pool.stats();
+
+  // now == earlier + Since(earlier), component by component.
+  IoStats d1 = t1.Since(t0);
+  IoStats d2 = t2.Since(t1);
+  EXPECT_EQ(t2.physical_reads, t0.physical_reads + d1.physical_reads + d2.physical_reads);
+  EXPECT_EQ(t2.physical_writes, t0.physical_writes + d1.physical_writes + d2.physical_writes);
+  EXPECT_EQ(t2.logical_reads, t0.logical_reads + d1.logical_reads + d2.logical_reads);
+  EXPECT_EQ(t2.buffer_hits, t0.buffer_hits + d1.buffer_hits + d2.buffer_hits);
+  // Deltas of the full window equal the sum of sub-window deltas.
+  IoStats whole = t2.Since(t0);
+  EXPECT_EQ(whole.physical_reads, d1.physical_reads + d2.physical_reads);
+  EXPECT_EQ(whole.physical_writes, d1.physical_writes + d2.physical_writes);
+  EXPECT_EQ(whole.logical_reads, d1.logical_reads + d2.logical_reads);
+  EXPECT_EQ(whole.buffer_hits, d1.buffer_hits + d2.buffer_hits);
+  // Since(self) is zero.
+  IoStats zero = t2.Since(t2);
+  EXPECT_EQ(zero.physical_reads, 0u);
+  EXPECT_EQ(zero.physical_writes, 0u);
+  EXPECT_EQ(zero.logical_reads, 0u);
+  EXPECT_EQ(zero.buffer_hits, 0u);
+  EXPECT_EQ(zero.TotalIos(), 0u);
+}
+
+TEST(AtomicIoStats, SnapshotAndResetRoundTrip) {
+  AtomicIoStats a;
+  for (int i = 0; i < 5; ++i) a.AddLogicalRead();
+  for (int i = 0; i < 3; ++i) a.AddBufferHit();
+  for (int i = 0; i < 2; ++i) a.AddPhysicalRead();
+  a.AddPhysicalWrite();
+  IoStats s = a.Snapshot();
+  EXPECT_EQ(s.logical_reads, 5u);
+  EXPECT_EQ(s.buffer_hits, 3u);
+  EXPECT_EQ(s.physical_reads, 2u);
+  EXPECT_EQ(s.physical_writes, 1u);
+  ExpectInvariant(s);
+  a.Reset();
+  IoStats z = a.Snapshot();
+  EXPECT_EQ(z.TotalIos(), 0u);
+  EXPECT_EQ(z.logical_reads, 0u);
+}
+
+}  // namespace
+}  // namespace boxagg

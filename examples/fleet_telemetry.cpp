@@ -72,16 +72,16 @@ int main() {
 
   // A correction arrives: the first 100 segments were duplicates.
   for (size_t i = 0; i < 100; ++i) {
-    fuel.Erase(segments[i].box, segments[i].fuel_l).ok();
+    IgnoreStatus(fuel.Erase(segments[i].box, segments[i].fuel_l));
   }
   std::printf("retracted 100 duplicate segments from the aggregate index\n");
 
   // District dashboard: downtown (10..20 km square), rush hour 17:00-18:00.
   Box downtown_rush(Point(10, 10, 1020), Point(20, 20, 1080));
-  double litres, trips, avg;
-  fuel.Sum(downtown_rush, &litres).ok();
-  fuel.Count(downtown_rush, &trips).ok();
-  fuel.Avg(downtown_rush, &avg).ok();
+  double litres = 0, trips = 0, avg = 0;
+  IgnoreStatus(fuel.Sum(downtown_rush, &litres));
+  IgnoreStatus(fuel.Count(downtown_rush, &trips));
+  IgnoreStatus(fuel.Avg(downtown_rush, &avg));
   std::printf("downtown 17:00-18:00: %.1f L over %.0f trips (avg %.2f L)\n",
               litres, trips, avg);
 
@@ -95,15 +95,15 @@ int main() {
     dashboards.push_back(
         Box(Point(x, y, t), Point(x + 10, y + 10, t + 60)));
   }
-  ba_pool.Reset().ok();
-  ar_pool.Reset().ok();
+  IgnoreStatus(ba_pool.Reset());
+  IgnoreStatus(ar_pool.Reset());
   IoStats ba0 = ba_pool.stats(), ar0 = ar_pool.stats();
   double ba_sum = 0, ar_sum = 0;
   for (const Box& q : dashboards) {
     double r;
-    fuel.Sum(q, &r).ok();
+    IgnoreStatus(fuel.Sum(q, &r));
     ba_sum += r;
-    artree.AggregateQuery(q, true, &r).ok();
+    IgnoreStatus(artree.AggregateQuery(q, true, &r));
     ar_sum += r;
   }
   std::printf("dashboard refresh (100 box-sums):\n");

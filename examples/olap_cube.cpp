@@ -49,7 +49,7 @@ int main() {
   auto range_sum = [&](double plo, double phi, double dlo, double dhi) {
     auto prefix = [&](double p, double d) {
       double s = 0;
-      cube.DominanceSum(Point(p, d), &s).ok();
+      IgnoreStatus(cube.DominanceSum(Point(p, d), &s));
       return s;
     };
     return prefix(phi, dhi) - prefix(plo - 1, dhi) - prefix(phi, dlo - 1) +
@@ -62,18 +62,18 @@ int main() {
 
   // Late-arriving correction: product 150 returns 10,000 of revenue on day
   // 120 — a negative update, O(log^2) I/Os, no cube rebuild.
-  cube.Insert(Point(150, 120), -10000.0).ok();
+  IgnoreStatus(cube.Insert(Point(150, 120), -10000.0));
   std::printf("after a -10000 correction: %.2f\n",
               range_sum(100, 200, 91, 181));
 
   // Dominance-sum = cumulative "running total up to (product, day)".
   double running;
-  cube.DominanceSum(Point(499, 181), &running).ok();
+  IgnoreStatus(cube.DominanceSum(Point(499, 181), &running));
   std::printf("running total through product 499, day 181: %.2f\n", running);
 
   std::printf("cube pages: ");
   uint64_t pages = 0;
-  cube.PageCount(&pages).ok();
+  IgnoreStatus(cube.PageCount(&pages));
   std::printf("%llu (%.1f MB)\n", static_cast<unsigned long long>(pages),
               static_cast<double>(pages) * kDefaultPageSize / (1024.0 * 1024));
   return 0;

@@ -59,7 +59,7 @@ int main() {
   }
 
   double total;
-  volumes.Query(orange_county_march, &total).ok();
+  IgnoreStatus(volumes.Query(orange_county_march, &total));
   std::printf(
       "Q: total volume of pesticide sprayed in Orange County in March 1999\n");
   std::printf("   index answer: %.1f gallons (direct check: %.1f)\n", total,
@@ -71,24 +71,24 @@ int main() {
   // The paper's uneven spray: field x in [5,20], y in [3,15], rate
   // f(x,y) = x - 2 grams per square yard (3 g at the left edge, 18 g at the
   // right).
-  rates.Insert(Box(Point(5, 3), Point(20, 15)), {{1.0, 1, 0}, {-2.0, 0, 0}})
-      .ok();
+  IgnoreStatus(rates.Insert(Box(Point(5, 3), Point(20, 15)),
+                            {{1.0, 1, 0}, {-2.0, 0, 0}}));
   // A second, uniformly sprayed field: 2 g per square yard.
-  rates.Insert(Box(Point(30, 30), Point(40, 42)), {{2.0, 0, 0}}).ok();
+  IgnoreStatus(rates.Insert(Box(Point(30, 30), Point(40, 42)), {{2.0, 0, 0}}));
 
   double grams;
-  rates.Query(Box(Point(15, 7), Point(30, 11)), &grams).ok();
+  IgnoreStatus(rates.Query(Box(Point(15, 7), Point(30, 11)), &grams));
   std::printf(
       "Q: grams sprayed inside [15,30]x[7,11] (clips the uneven field)\n");
   std::printf("   functional answer: %.1f g (paper's Fig. 3b: 310)\n", grams);
 
-  rates.Query(Box(Point(0, 7), Point(10, 11)), &grams).ok();
+  IgnoreStatus(rates.Query(Box(Point(0, 7), Point(10, 11)), &grams));
   std::printf(
       "   same intersection size at the field's left border: %.1f g "
       "(paper: 110)\n",
       grams);
 
-  rates.Query(Box(Point(0, 0), Point(50, 50)), &grams).ok();
+  IgnoreStatus(rates.Query(Box(Point(0, 0), Point(50, 50)), &grams));
   // Full integrals: int_5^20 (x-2) dx * 12 = 157.5 * 12 = 1890; plus
   // 2 g * 10 * 12 = 240.
   std::printf("   whole region: %.1f g (1890 + 240 = 2130 expected)\n",

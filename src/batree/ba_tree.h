@@ -44,9 +44,11 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "bptree/agg_btree.h"
+#include "check/checkable.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
 #include "storage/buffer_pool.h"
@@ -250,6 +252,28 @@ class BaTree {
     std::vector<Entry> pts;
     BOXAGG_RETURN_NOT_OK(ValidateRec(root_, &pts));
     return SelfOracle(pts);
+  }
+
+  /// Deep structural audit: a superset of Validate() that additionally
+  /// checks page types and fill bounds against the raw pages, walks the
+  /// page graph through every border tree down to the 1-d AggBTree base
+  /// case (full invariant check there), and threads `ctx` so cycles and
+  /// cross-structure page sharing are caught. The self-oracle probe sample
+  /// runs only at the top level (ctx->check_oracle); border trees get the
+  /// structural pass, since the oracle's root-to-leaf queries already
+  /// exercise their sums.
+  Status CheckConsistency(CheckContext* ctx = nullptr) const {
+    CheckContext local;
+    if (ctx == nullptr) ctx = &local;
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.CheckConsistency(ctx);
+    }
+    std::vector<Entry> pts;
+    BOXAGG_RETURN_NOT_OK(CheckRec(root_, ctx, &pts));
+    if (ctx->check_oracle) return SelfOracle(pts);
+    return Status::OK();
   }
 
   /// Frees every page (main branch and all borders recursively).
@@ -1012,6 +1036,85 @@ class BaTree {
       }
     }
     return Status::OK();
+  }
+
+  // ValidateRec with page-level checks and border recursion; collects the
+  // subtree's leaf points like ValidateRec does.
+  Status CheckRec(PageId pid, CheckContext* ctx,
+                  std::vector<Entry>* out) const {
+    BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "ba-tree"));
+    std::vector<Record> recs;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      const uint16_t type = Type(p);
+      if (type != kLeaf && type != kInternal) {
+        return CorruptionAt(pid,
+                            "ba-tree: bad node type " + std::to_string(type));
+      }
+      const uint32_t n = Count(p);
+      if (type == kLeaf) {
+        if (n > LeafCapacity()) {
+          return CorruptionAt(
+              pid, "ba-tree: leaf count " + std::to_string(n) +
+                       " exceeds capacity " + std::to_string(LeafCapacity()));
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          Entry e;
+          e.pt = LeafPoint(p, i);
+          ReadLeafValue(p, i, &e.value);
+          out->push_back(e);
+        }
+        return Status::OK();
+      }
+      if (n == 0 || n > InternalCapacity()) {
+        return CorruptionAt(pid, "ba-tree: record count " + std::to_string(n) +
+                                     " outside [1, " +
+                                     std::to_string(InternalCapacity()) + "]");
+      }
+      recs.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) recs.push_back(ReadRecord(p, i));
+    }
+    const size_t begin = out->size();
+    for (const Record& r : recs) {
+      const size_t lo = out->size();
+      BOXAGG_RETURN_NOT_OK(CheckRec(r.child, ctx, out));
+      for (size_t k = lo; k < out->size(); ++k) {
+        if (!r.box.ContainsPointHalfOpen((*out)[k].pt, dims_)) {
+          return CorruptionAt(pid,
+                              "ba-tree: subtree point escapes its record box");
+        }
+      }
+      for (int b = 0; b < dims_; ++b) {
+        BOXAGG_RETURN_NOT_OK(
+            CheckBorderTree(r.border[static_cast<size_t>(b)], ctx));
+      }
+    }
+    for (size_t k = begin; k < out->size(); ++k) {
+      int owners = 0;
+      for (const Record& r : recs) {
+        if (r.box.ContainsPointHalfOpen((*out)[k].pt, dims_)) ++owners;
+      }
+      if (owners != 1) {
+        return CorruptionAt(pid,
+                            "ba-tree: record boxes do not tile the node scope");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Structural audit of one border tree (a (dims-1)-dimensional BA-tree or
+  /// the AggBTree base case); no oracle — see CheckConsistency.
+  Status CheckBorderTree(PageId broot, CheckContext* ctx) const {
+    if (broot == kInvalidPageId) return Status::OK();
+    if (dims_ - 1 == 1) {
+      AggBTree<V> base(pool_, broot);
+      return base.CheckConsistency(ctx);
+    }
+    BaTree sub(pool_, dims_ - 1, broot);
+    std::vector<Entry> scratch;
+    return sub.CheckRec(broot, ctx, &scratch);
   }
 
   /// Queries a probe sample and compares against a scan of the collected

@@ -37,9 +37,11 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "bptree/agg_btree.h"
+#include "check/checkable.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
 #include "storage/buffer_pool.h"
@@ -260,6 +262,27 @@ class PackedBaTree {
     std::vector<Entry> pts;
     BOXAGG_RETURN_NOT_OK(ValidateRec(root_, &pts));
     return SelfOracle(pts);
+  }
+
+  /// Deep structural audit: Validate()'s containment/tiling and (when
+  /// ctx->check_oracle) self-oracle checks, plus raw packed-page layout
+  /// verification — record array and border heap must not overlap, every
+  /// inline border block must lie inside the heap with a sane entry count
+  /// and strictly sorted entries, and spilled border trees are audited
+  /// recursively down to the AggBTree base case. `ctx` threads the page
+  /// ownership set across structures (see src/check/checkable.h).
+  Status CheckConsistency(CheckContext* ctx = nullptr) const {
+    CheckContext local;
+    if (ctx == nullptr) ctx = &local;
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.CheckConsistency(ctx);
+    }
+    std::vector<Entry> pts;
+    BOXAGG_RETURN_NOT_OK(CheckRec(root_, ctx, &pts));
+    if (ctx->check_oracle) return SelfOracle(pts);
+    return Status::OK();
   }
 
   /// Frees every page.
@@ -1139,6 +1162,148 @@ class PackedBaTree {
       }
     }
     return Status::OK();
+  }
+
+  // ---- verification --------------------------------------------------------
+
+  /// Raw-layout checks of one packed internal page, then the ValidateRec
+  /// walk with border recursion. Collects leaf points like ValidateRec.
+  Status CheckRec(PageId pid, CheckContext* ctx,
+                  std::vector<Entry>* out) const {
+    BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "packed-ba-tree"));
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      const uint16_t type = PageType(p);
+      if (type == kLeaf) {
+        uint32_t n = LeafCount(p);
+        if (n > LeafCapacity()) {
+          return CorruptionAt(
+              pid, "packed-ba-tree: leaf count " + std::to_string(n) +
+                       " exceeds capacity " + std::to_string(LeafCapacity()));
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          Entry e;
+          e.pt = LeafPoint(p, i);
+          ReadLeafValue(p, i, &e.value);
+          out->push_back(e);
+        }
+        return Status::OK();
+      }
+      if (type != kInternal) {
+        return CorruptionAt(
+            pid, "packed-ba-tree: bad node type " + std::to_string(type));
+      }
+      BOXAGG_RETURN_NOT_OK(CheckPackedLayout(pid, p));
+    }
+    std::vector<RecImage> recs;
+    BOXAGG_RETURN_NOT_OK(LoadNode(pid, &recs));
+    const size_t begin = out->size();
+    for (const RecImage& r : recs) {
+      const size_t lo = out->size();
+      BOXAGG_RETURN_NOT_OK(CheckRec(r.child, ctx, out));
+      for (size_t k = lo; k < out->size(); ++k) {
+        if (!r.box.ContainsPointHalfOpen((*out)[k].pt, dims_)) {
+          return CorruptionAt(
+              pid, "packed-ba-tree: subtree point escapes its record box");
+        }
+      }
+      for (int b = 0; b < dims_; ++b) {
+        const BorderImage& bi = r.border[static_cast<size_t>(b)];
+        if (bi.IsTree()) {
+          BOXAGG_RETURN_NOT_OK(CheckBorderTree(bi.tree, ctx));
+        }
+      }
+    }
+    for (size_t k = begin; k < out->size(); ++k) {
+      int owners = 0;
+      for (const RecImage& r : recs) {
+        if (r.box.ContainsPointHalfOpen((*out)[k].pt, dims_)) ++owners;
+      }
+      if (owners != 1) {
+        return CorruptionAt(
+            pid, "packed-ba-tree: record boxes do not tile the node scope");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Byte-level invariants of a packed internal page: records below the
+  /// heap, heap blocks inside [heap_start, page_size), counts within the
+  /// inline cap, blocks pairwise disjoint, entries strictly sorted.
+  Status CheckPackedLayout(PageId pid, const Page* p) const {
+    const uint32_t page_size = pool_->file()->page_size();
+    const uint32_t n = IntCount(p);
+    const uint32_t heap = p->ReadAt<uint32_t>(8);
+    if (n == 0) {
+      return CorruptionAt(pid, "packed-ba-tree: empty internal node");
+    }
+    if (RecOff(n) > heap || heap > page_size) {
+      return CorruptionAt(
+          pid, "packed-ba-tree: record array (" + std::to_string(RecOff(n)) +
+                   " bytes) overlaps border heap at " + std::to_string(heap));
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> blocks;  // (off, end)
+    for (uint32_t i = 0; i < n; ++i) {
+      for (int b = 0; b < dims_; ++b) {
+        const uint64_t ref = RecBorderRef(p, i, b);
+        if (ref == kEmptyRef || !IsInlineRef(ref)) continue;
+        const uint32_t off = InlineOffset(ref);
+        if (off < heap || off + kBlockHeader > page_size) {
+          return CorruptionAt(pid,
+                              "packed-ba-tree: inline border block at " +
+                                  std::to_string(off) + " outside the heap");
+        }
+        const uint32_t cnt = BlockCount(p, off);
+        if (cnt == 0 || cnt > kMaxInlineEntries) {
+          return CorruptionAt(
+              pid, "packed-ba-tree: inline border entry count " +
+                       std::to_string(cnt) + " outside [1, " +
+                       std::to_string(kMaxInlineEntries) + "]");
+        }
+        const uint32_t end = off + kBlockHeader + cnt * BorderEntrySize();
+        if (end > page_size) {
+          return CorruptionAt(
+              pid, "packed-ba-tree: inline border block overruns the page");
+        }
+        blocks.push_back({off, end});
+        Point prev;
+        for (uint32_t k = 0; k < cnt; ++k) {
+          Point pt;
+          V v;
+          ReadBlockEntry(p, off, k, &pt, &v);
+          if (k > 0 && !LexLess(prev, pt, dims_ - 1)) {
+            return CorruptionAt(
+                pid, "packed-ba-tree: inline border entries not strictly "
+                     "sorted");
+          }
+          prev = pt;
+        }
+      }
+    }
+    std::sort(blocks.begin(), blocks.end());
+    for (size_t i = 1; i < blocks.size(); ++i) {
+      if (blocks[i].first < blocks[i - 1].second) {
+        return CorruptionAt(
+            pid, "packed-ba-tree: inline border blocks overlap at " +
+                     std::to_string(blocks[i].first));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Structural audit of a spilled border tree; no oracle here — the
+  /// top-level oracle's queries exercise border sums end to end.
+  Status CheckBorderTree(PageId broot, CheckContext* ctx) const {
+    if (broot == kInvalidPageId) return Status::OK();
+    if (dims_ - 1 == 1) {
+      AggBTree<V> base(pool_, broot);
+      return base.CheckConsistency(ctx);
+    }
+    PackedBaTree sub(pool_, dims_ - 1, broot);
+    std::vector<Entry> scratch;
+    return sub.CheckRec(broot, ctx, &scratch);
   }
 
   Status SelfOracle(const std::vector<Entry>& pts) const {

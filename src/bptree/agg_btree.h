@@ -23,9 +23,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "check/checkable.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -249,6 +251,21 @@ class AggBTree {
     BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
     root_ = kInvalidPageId;
     return Status::OK();
+  }
+
+  /// Deep structural audit: page types, fill bounds, strictly increasing
+  /// keys/lowkeys, routing bounds (every subtree's keys stay inside its
+  /// record's [lowkey_i, lowkey_{i+1}) range; entry 0's lowkey acts as
+  /// -infinity), uniform leaf depth, and the subtree-sum identity every
+  /// internal record must satisfy for DominanceSum's prefix shortcut to be
+  /// correct. Pass a shared `ctx` to audit several structures over one file
+  /// (cross-structure page-ownership checks); nullptr uses a local context.
+  Status CheckConsistency(CheckContext* ctx = nullptr) const {
+    CheckContext local;
+    if (ctx == nullptr) ctx = &local;
+    if (root_ == kInvalidPageId) return Status::OK();
+    SubtreeFacts facts;
+    return CheckRec(root_, /*is_root=*/true, ctx, &facts);
   }
 
  private:
@@ -516,6 +533,101 @@ class AggBTree {
       for (uint32_t i = 0; i < n; ++i) {
         BOXAGG_RETURN_NOT_OK(PageCountRec(InternalChild(p, i), out));
       }
+    }
+    return Status::OK();
+  }
+
+  // ---- verification -------------------------------------------------------
+
+  /// What CheckRec learns about a subtree, checked against the parent record.
+  struct SubtreeFacts {
+    double min_key = 0.0;
+    double max_key = 0.0;
+    V sum{};
+    uint32_t depth = 0;  // 0 at leaves; must be uniform across siblings
+  };
+
+  Status CheckRec(PageId pid, bool is_root, CheckContext* ctx,
+                  SubtreeFacts* out) const {
+    BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "agg-btree"));
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    const uint16_t type = Type(p);
+    if (type != kLeaf && type != kInternal) {
+      return CorruptionAt(pid,
+                          "agg-btree: bad node type " + std::to_string(type));
+    }
+    const uint32_t page_size = pool_->file()->page_size();
+    const uint32_t cap =
+        type == kLeaf ? LeafCapacity(page_size) : InternalCapacity(page_size);
+    const uint32_t n = Count(p);
+    if (n == 0 || n > cap) {
+      return CorruptionAt(pid, "agg-btree: entry count " + std::to_string(n) +
+                                   " outside [1, " + std::to_string(cap) +
+                                   "]");
+    }
+    if (!is_root && n < 2) {
+      return CorruptionAt(pid, "agg-btree: underfull non-root node");
+    }
+
+    if (type == kLeaf) {
+      out->sum = V{};
+      for (uint32_t i = 0; i < n; ++i) {
+        if (i > 0 && !(LeafKey(p, i - 1) < LeafKey(p, i))) {
+          return CorruptionAt(
+              pid, "agg-btree: leaf keys not strictly increasing at entry " +
+                       std::to_string(i));
+        }
+        V v;
+        ReadLeafValue(p, i, &v);
+        out->sum += v;
+      }
+      out->min_key = LeafKey(p, 0);
+      out->max_key = LeafKey(p, n - 1);
+      out->depth = 0;
+      return Status::OK();
+    }
+
+    out->sum = V{};
+    for (uint32_t i = 0; i < n; ++i) {
+      const double lowkey = InternalLowKey(p, i);
+      if (i > 0 && !(InternalLowKey(p, i - 1) < lowkey)) {
+        return CorruptionAt(
+            pid, "agg-btree: internal lowkeys not strictly increasing at "
+                 "entry " +
+                     std::to_string(i));
+      }
+      SubtreeFacts child;
+      BOXAGG_RETURN_NOT_OK(
+          CheckRec(InternalChild(p, i), /*is_root=*/false, ctx, &child));
+      // Entry 0's lowkey can be stale after inserts of smaller keys (routing
+      // treats it as -infinity), so only entries i >= 1 bound from below.
+      if (i > 0 && child.min_key < lowkey) {
+        return CorruptionAt(pid, "agg-btree: subtree of entry " +
+                                     std::to_string(i) +
+                                     " holds a key below its lowkey");
+      }
+      if (i + 1 < n && child.max_key >= InternalLowKey(p, i + 1)) {
+        return CorruptionAt(pid, "agg-btree: subtree of entry " +
+                                     std::to_string(i) +
+                                     " reaches into the next record's range");
+      }
+      V stored;
+      ReadInternalSum(p, i, &stored);
+      if (AggDrift(stored, child.sum) > kAggDriftTolerance) {
+        return CorruptionAt(pid, "agg-btree: record aggregate of entry " +
+                                     std::to_string(i) +
+                                     " != recomputed subtree sum");
+      }
+      if (i == 0) {
+        out->depth = child.depth + 1;
+        out->min_key = child.min_key;
+      } else if (child.depth + 1 != out->depth) {
+        return CorruptionAt(pid, "agg-btree: leaves at unequal depths");
+      }
+      out->max_key = child.max_key;
+      out->sum += child.sum;
     }
     return Status::OK();
   }

@@ -1,0 +1,142 @@
+// Checkable: the repo-wide structural-verification layer.
+//
+// Every disk index and the storage engine itself expose
+// CheckConsistency(CheckContext*), a deep structural audit that re-derives
+// each structure's invariants from its raw pages and reports the first
+// violation as Status::Corruption with page-level diagnostics. The paper's
+// structures are only as trustworthy as their invariants — the aggregate
+// B+-tree's subtree-sum identity, the ECDF-B-tree border/projection
+// consistency (Sec. 4), the BA-tree border augmentation (Sec. 5), the
+// aR-tree MBR/aggregate identities — and an aggregate index with a drifted
+// invariant returns plausible-but-wrong sums that no query-level test can
+// distinguish from correct ones.
+//
+// The CheckContext threads a page-visit set through every structure checked
+// against the same file, so page-graph corruption (two structures sharing a
+// page, a cycle, a dangling child pointer re-entering an already-owned
+// subtree) is detected across structure boundaries — this is what
+// boxagg_fsck runs over a whole index file.
+
+#ifndef BOXAGG_CHECK_CHECKABLE_H_
+#define BOXAGG_CHECK_CHECKABLE_H_
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/status.h"
+
+namespace boxagg {
+
+/// Builds a Status::Corruption carrying the page id where the invariant
+/// broke, so fsck output and test failures point at the offending page.
+inline Status CorruptionAt(PageId pid, const std::string& what) {
+  return Status::Corruption("page " + std::to_string(pid) + ": " + what);
+}
+
+/// \brief Shared state for one verification pass.
+///
+/// A single context may be threaded through many structures that live in the
+/// same PageFile; the visited set then catches pages claimed by two owners.
+struct CheckContext {
+  /// Every page visited so far; a revisit within one pass is corruption
+  /// (cycle or a page owned by two structures).
+  std::unordered_set<PageId> visited;
+
+  /// Run the (slower) self-oracle query sampling where a structure offers
+  /// one. Structure-only passes (e.g. fsck over huge files) may disable it.
+  bool check_oracle = true;
+
+  /// When set, BufferPool::CheckConsistency treats any pinned frame as
+  /// corruption. Quiescent points (end of a batch, fsck, pool teardown) own
+  /// no PageGuards, so a surviving pin there is a leaked guard.
+  bool expect_unpinned = false;
+
+  /// Marks `pid` visited; Corruption if it was already seen in this pass.
+  Status Visit(PageId pid, const char* structure) {
+    if (!visited.insert(pid).second) {
+      return CorruptionAt(pid, std::string(structure) +
+                                   ": page reached twice (cycle or shared "
+                                   "ownership)");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Interface over anything that can audit its own invariants.
+///
+/// The index handles are value-semantic templates; RunChecks works on any
+/// mix of them via this interface (see MakeCheckable below).
+class Checkable {
+ public:
+  virtual ~Checkable() = default;
+
+  /// Human-readable name for reports ("agg-btree", "buffer-pool", ...).
+  virtual const char* CheckName() const = 0;
+
+  /// Deep structural audit; OK or Status::Corruption with page diagnostics.
+  virtual Status CheckConsistency(CheckContext* ctx) const = 0;
+};
+
+/// Adapter: wraps a reference to any object exposing
+/// CheckConsistency(CheckContext*) as a Checkable (no ownership taken).
+template <class T>
+class CheckableRef final : public Checkable {
+ public:
+  CheckableRef(const T* target, const char* name)
+      : target_(target), name_(name) {}
+
+  const char* CheckName() const override { return name_; }
+  Status CheckConsistency(CheckContext* ctx) const override {
+    return target_->CheckConsistency(ctx);
+  }
+
+ private:
+  const T* target_;
+  const char* name_;
+};
+
+template <class T>
+CheckableRef<T> MakeCheckable(const T* target, const char* name) {
+  return CheckableRef<T>(target, name);
+}
+
+/// Runs every check against one shared context, stopping at the first
+/// failure and prefixing it with the failing structure's name.
+inline Status RunChecks(const std::vector<const Checkable*>& checks,
+                        CheckContext* ctx) {
+  for (const Checkable* c : checks) {
+    if (Status st = c->CheckConsistency(ctx); !st.ok()) {
+      return Status::Corruption(std::string(c->CheckName()) + ": " +
+                                st.message());
+    }
+  }
+  return Status::OK();
+}
+
+/// Absolute drift between two aggregate values: |a - b| summed over
+/// components. Aggregates are rebuilt in a different addition order than the
+/// stored ones, so checks compare with a tolerance instead of bit equality.
+template <class V>
+double AggDrift(const V& a, const V& b) {
+  V d = a;
+  d -= b;
+  if constexpr (std::is_same_v<V, double>) {
+    return std::abs(d);
+  } else {
+    double s = 0;
+    for (double c : d.c) s += std::abs(c);
+    return s;
+  }
+}
+
+/// Tolerance for subtree-sum identities; generous relative to the unit-scale
+/// values the tests and benches insert, tight enough to catch any real
+/// drift (a lost or double-counted entry shifts sums by >= one value).
+inline constexpr double kAggDriftTolerance = 1e-6;
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_CHECK_CHECKABLE_H_

@@ -1,0 +1,93 @@
+#include "check/fsck.h"
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "batree/packed_ba_tree.h"
+#include "check/checkable.h"
+#include "core/bag_format.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace boxagg {
+
+Status FsckIndexFile(const std::string& path, const FsckOptions& options,
+                     FsckReport* report) {
+  FsckReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = FsckReport{};
+
+  std::unique_ptr<FilePageFile> file;
+  BOXAGG_RETURN_NOT_OK(
+      FilePageFile::Open(path, options.page_size, /*truncate=*/false, &file));
+  report->file_pages = file->page_count();
+  if (file->page_count() == 0) {
+    return Status::Corruption("empty file (no superblock)");
+  }
+
+  // The pool must hold a root-to-leaf pin chain per nesting level of border
+  // trees; 16 MB is far beyond any tree the format can describe.
+  BufferPool pool(file.get(),
+                  BufferPool::CapacityForMegabytes(16, options.page_size));
+
+  BagSuperblock sb;
+  {
+    PageGuard super;
+    BOXAGG_RETURN_NOT_OK(pool.Fetch(0, &super));
+    BOXAGG_RETURN_NOT_OK(ReadBagSuperblock(*super.page(), &sb));
+  }
+  report->dims = sb.dims;
+  report->roots = sb.roots;
+
+  CheckContext ctx;
+  ctx.check_oracle = options.check_oracle;
+  BOXAGG_RETURN_NOT_OK(ctx.Visit(0, "superblock"));
+  for (size_t i = 0; i < sb.roots.size(); ++i) {
+    if (sb.roots[i] == kInvalidPageId) {
+      report->notes.push_back("root " + std::to_string(i) +
+                              " is empty (no pages)");
+      continue;
+    }
+    if (sb.roots[i] >= file->page_count()) {
+      return CorruptionAt(sb.roots[i],
+                          "root " + std::to_string(i) +
+                              " points beyond the end of the file");
+    }
+    PackedBaTree<double> tree(&pool, static_cast<int>(sb.dims), sb.roots[i]);
+    if (Status st = tree.CheckConsistency(&ctx); !st.ok()) {
+      return Status::Corruption("root " + std::to_string(i) + ": " +
+                                st.message());
+    }
+  }
+  report->visited_pages = ctx.visited.size();
+
+  // Storage-engine accounting. Every fsck guard is released by now, so any
+  // surviving pin would be a leak inside the checkers themselves.
+  ctx.expect_unpinned = true;
+  BOXAGG_RETURN_NOT_OK(pool.CheckConsistency(&ctx));
+  BOXAGG_RETURN_NOT_OK(file->CheckConsistency(&ctx));
+
+  // Reachability: every allocated page should be page 0, owned by a tree,
+  // or on the (session-local) free list.
+  std::unordered_set<PageId> free_pages(file->free_list().begin(),
+                                        file->free_list().end());
+  uint64_t orphans = 0;
+  PageId first_orphan = kInvalidPageId;
+  for (PageId pid = 0; pid < file->page_count(); ++pid) {
+    if (ctx.visited.count(pid) || free_pages.count(pid)) continue;
+    if (first_orphan == kInvalidPageId) first_orphan = pid;
+    ++orphans;
+  }
+  report->orphan_pages = orphans;
+  if (orphans > 0) {
+    const std::string what =
+        std::to_string(orphans) + " allocated page(s) reachable from no root "
+        "(first: page " + std::to_string(first_orphan) + ")";
+    if (options.strict_orphans) return Status::Corruption(what);
+    report->notes.push_back(what);
+  }
+  return Status::OK();
+}
+
+}  // namespace boxagg

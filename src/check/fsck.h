@@ -1,0 +1,50 @@
+// boxagg_fsck core: opens a .bag index file and runs every validator over it
+// — superblock sanity, a CheckConsistency pass on each root tree with one
+// shared page-visit set (catching cross-tree page sharing), buffer-pool and
+// page-file accounting, and a final reachability sweep for orphaned pages.
+//
+// Library form so the CLI (tools/boxagg_fsck.cpp) and the corruption-
+// injection tests share one implementation.
+
+#ifndef BOXAGG_CHECK_FSCK_H_
+#define BOXAGG_CHECK_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/status.h"
+
+namespace boxagg {
+
+struct FsckOptions {
+  /// Run each tree's query self-oracle on top of the structural checks.
+  bool check_oracle = true;
+  /// Treat unreachable (orphaned) pages as corruption instead of a note.
+  /// Off by default: a crashed build legitimately leaves dead pages behind,
+  /// and the trees over the reachable pages are still fully usable.
+  bool strict_orphans = false;
+  uint32_t page_size = kDefaultPageSize;
+};
+
+struct FsckReport {
+  uint64_t file_pages = 0;    ///< total pages in the file (incl. superblock)
+  uint64_t visited_pages = 0; ///< pages owned by some root tree + page 0
+  uint64_t orphan_pages = 0;  ///< allocated but reachable from no root
+  uint32_t dims = 0;
+  std::vector<PageId> roots;
+  std::vector<std::string> notes;  ///< non-fatal observations
+};
+
+/// Verifies the index file at `path`. OK if every check passes;
+/// Status::Corruption (with page-level diagnostics) on the first violation;
+/// IoError if the file cannot be opened. `report` (optional) is filled with
+/// whatever was learned before the verdict, so callers can print context
+/// even for corrupt files.
+Status FsckIndexFile(const std::string& path, const FsckOptions& options,
+                     FsckReport* report = nullptr);
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_CHECK_FSCK_H_

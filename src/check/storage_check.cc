@@ -1,0 +1,145 @@
+// Storage-engine CheckConsistency implementations: the sharded BufferPool's
+// frame/LRU/free-list accounting and the PageFile's allocation state.
+//
+// They live in src/check/ (not storage/) so the storage layer keeps zero
+// dependencies on the verification layer beyond a CheckContext forward
+// declaration in its headers.
+
+#include <string>
+#include <unordered_set>
+
+#include "check/checkable.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace boxagg {
+
+namespace {
+
+Status ShardCorruption(size_t shard, const std::string& what) {
+  return Status::Corruption("buffer-pool shard " + std::to_string(shard) +
+                            ": " + what);
+}
+
+}  // namespace
+
+Status BufferPool::CheckConsistency(CheckContext* ctx) const {
+  CheckContext local;
+  if (ctx == nullptr) ctx = &local;
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& s = *shards_[si];
+    std::lock_guard<std::mutex> lock(s.mu);
+
+    // Every lazily allocated frame is exactly one of: resident (page table)
+    // or free. A frame in neither is leaked; one in both is double-owned.
+    if (s.frames.size() + s.free_frames.size() != s.frame_storage.size()) {
+      return ShardCorruption(
+          si, "frame accounting mismatch: " + std::to_string(s.frames.size()) +
+                  " resident + " + std::to_string(s.free_frames.size()) +
+                  " free != " + std::to_string(s.frame_storage.size()) +
+                  " allocated");
+    }
+    if (s.frame_storage.size() > s.capacity) {
+      return ShardCorruption(
+          si, "allocated " + std::to_string(s.frame_storage.size()) +
+                  " frames, capacity " + std::to_string(s.capacity));
+    }
+
+    size_t in_lru_frames = 0;
+    for (const auto& [id, f] : s.frames) {
+      if (f == nullptr) {
+        return ShardCorruption(si, "null frame pointer in page table");
+      }
+      if (f->id != id) {
+        return CorruptionAt(id, "frame id " + std::to_string(f->id) +
+                                    " disagrees with its page-table key");
+      }
+      if (ShardOf(id) != si || f->shard != si) {
+        return CorruptionAt(id, "page resident in shard " +
+                                    std::to_string(si) +
+                                    " but hashes to shard " +
+                                    std::to_string(ShardOf(id)));
+      }
+      const int pins = f->pin_count.load(std::memory_order_relaxed);
+      if (pins < 0) {
+        return CorruptionAt(id,
+                            "negative pin count " + std::to_string(pins));
+      }
+      if (ctx->expect_unpinned && pins > 0) {
+        return CorruptionAt(id, "still pinned (" + std::to_string(pins) +
+                                    " pins) at a quiescent point — leaked "
+                                    "PageGuard");
+      }
+      // Unpin re-links a frame into the LRU the moment its last pin drops,
+      // and Fetch/New unlink before pinning, so residency splits exactly:
+      // pinned <=> off-LRU.
+      if (f->in_lru != (pins == 0)) {
+        return CorruptionAt(
+            id, f->in_lru ? "in LRU while pinned (evictable under a guard)"
+                          : "unpinned but not in LRU (never evictable)");
+      }
+      if (f->in_lru) ++in_lru_frames;
+    }
+
+    if (s.lru.size() != in_lru_frames) {
+      return ShardCorruption(
+          si, "LRU list holds " + std::to_string(s.lru.size()) +
+                  " frames but " + std::to_string(in_lru_frames) +
+                  " resident frames claim membership");
+    }
+    for (auto it = s.lru.begin(); it != s.lru.end(); ++it) {
+      Frame* f = *it;
+      if (f == nullptr) return ShardCorruption(si, "null frame in LRU list");
+      if (!f->in_lru || f->lru_pos != it) {
+        return CorruptionAt(f->id, "stale LRU position (lru_pos does not "
+                                   "point back at the list node)");
+      }
+      auto res = s.frames.find(f->id);
+      if (res == s.frames.end() || res->second != f) {
+        return ShardCorruption(si, "LRU frame for page " +
+                                       std::to_string(f->id) +
+                                       " is not in the page table");
+      }
+    }
+
+    for (const Frame* f : s.free_frames) {
+      if (f == nullptr) return ShardCorruption(si, "null frame in free list");
+      if (f->id != kInvalidPageId) {
+        return ShardCorruption(si, "free frame still carries page " +
+                                       std::to_string(f->id));
+      }
+      if (f->pin_count.load(std::memory_order_relaxed) != 0) {
+        return ShardCorruption(si, "free frame has a non-zero pin count");
+      }
+      if (f->in_lru) {
+        return ShardCorruption(si, "free frame still linked into the LRU");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PageFile::CheckConsistency(CheckContext* ctx) const {
+  (void)ctx;  // allocation state is global, not part of the page graph
+  if (free_list_.size() > page_count_) {
+    return Status::Corruption(
+        "page-file free list holds " + std::to_string(free_list_.size()) +
+        " pages but only " + std::to_string(page_count_) +
+        " were ever allocated");
+  }
+  std::unordered_set<PageId> seen;
+  seen.reserve(free_list_.size());
+  for (PageId id : free_list_) {
+    if (id >= page_count_) {
+      return CorruptionAt(id, "on the free list but beyond the end of the "
+                              "file (page_count " +
+                                  std::to_string(page_count_) + ")");
+    }
+    if (!seen.insert(id).second) {
+      return CorruptionAt(id, "freed twice (duplicate free-list entry)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace boxagg

@@ -1,0 +1,89 @@
+// On-disk layout of a .bag index file, shared by boxagg_cli (writer),
+// boxagg_fsck (verifier), and the fsck tests.
+//
+// A .bag file is a PageFile whose page 0 is a superblock; every other page
+// belongs to exactly one of the root trees (or sits on the in-memory free
+// list while the file is open). Layout of page 0:
+//
+//   offset 0   u64  magic        0xb0cca99a66700201 ("boxagg" v1)
+//   offset 8   u32  dims         extensional dimensionality d
+//   offset 12  u32  num_roots    tree-root count (CLI writes 2 * 2^d:
+//                                2^d SUM corners then 2^d COUNT corners)
+//   offset 16  u64  roots[i]     PackedBaTree<double> root page ids
+//
+// The reader treats every root uniformly — SUM vs COUNT only changes the
+// values stored, not the structure — so fsck needs nothing but (dims, roots).
+
+#ifndef BOXAGG_CORE_BAG_FORMAT_H_
+#define BOXAGG_CORE_BAG_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "storage/page.h"
+#include "storage/status.h"
+
+namespace boxagg {
+
+inline constexpr uint64_t kBagMagic = 0xb0cca99a66700201ull;  // "boxagg" v1
+
+inline constexpr uint32_t kBagOffMagic = 0;
+inline constexpr uint32_t kBagOffDims = 8;
+inline constexpr uint32_t kBagOffNumRoots = 12;
+inline constexpr uint32_t kBagOffRoots = 16;
+
+/// Decoded superblock contents.
+struct BagSuperblock {
+  uint32_t dims = 0;
+  std::vector<PageId> roots;
+};
+
+/// Largest root count a superblock page can hold.
+inline uint32_t BagMaxRoots(uint32_t page_size) {
+  return (page_size - kBagOffRoots) / 8;
+}
+
+/// Parses and sanity-checks page 0. Corruption on a bad magic, an
+/// out-of-range dimensionality, or a root array that cannot fit the page.
+inline Status ReadBagSuperblock(const Page& p, BagSuperblock* out) {
+  if (p.ReadAt<uint64_t>(kBagOffMagic) != kBagMagic) {
+    return Status::Corruption("superblock magic mismatch (not a .bag file)");
+  }
+  const uint32_t dims = p.ReadAt<uint32_t>(kBagOffDims);
+  if (dims < 1 || dims > static_cast<uint32_t>(kMaxDims)) {
+    return Status::Corruption("superblock dims " + std::to_string(dims) +
+                              " outside [1, " + std::to_string(kMaxDims) +
+                              "]");
+  }
+  const uint32_t num_roots = p.ReadAt<uint32_t>(kBagOffNumRoots);
+  if (num_roots == 0 || num_roots > BagMaxRoots(p.size())) {
+    return Status::Corruption("superblock root count " +
+                              std::to_string(num_roots) +
+                              " outside [1, " +
+                              std::to_string(BagMaxRoots(p.size())) + "]");
+  }
+  out->dims = dims;
+  out->roots.clear();
+  out->roots.reserve(num_roots);
+  for (uint32_t i = 0; i < num_roots; ++i) {
+    out->roots.push_back(p.ReadAt<uint64_t>(kBagOffRoots + 8 * i));
+  }
+  return Status::OK();
+}
+
+/// Writes a superblock into (pre-zeroed) page 0.
+inline void WriteBagSuperblock(Page* p, const BagSuperblock& sb) {
+  p->WriteAt<uint64_t>(kBagOffMagic, kBagMagic);
+  p->WriteAt<uint32_t>(kBagOffDims, sb.dims);
+  p->WriteAt<uint32_t>(kBagOffNumRoots,
+                       static_cast<uint32_t>(sb.roots.size()));
+  for (uint32_t i = 0; i < sb.roots.size(); ++i) {
+    p->WriteAt<uint64_t>(kBagOffRoots + 8 * i, sb.roots[i]);
+  }
+}
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_CORE_BAG_FORMAT_H_

@@ -33,9 +33,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bptree/agg_btree.h"
+#include "check/checkable.h"
 #include "core/point_entry.h"
 #include "geom/point.h"
 #include "storage/buffer_pool.h"
@@ -349,6 +351,25 @@ class EcdfBTree {
     return Status::OK();
   }
 
+  /// Deep structural audit of the main branch and every border, recursively
+  /// down to the 1-d AggBTree base case. Beyond the B+-tree invariants
+  /// (types, fill, ordering, routing bounds, depth uniformity, record sums),
+  /// this verifies the variant's border identity of Sec. 4 / Fig. 6: a Bu
+  /// border's total equals its own record's subtree sum; a Bq border's total
+  /// equals the prefix sum of records 0..i. A drifted border answers
+  /// dominance queries plausibly but wrong — no query-level test catches it.
+  Status CheckConsistency(CheckContext* ctx = nullptr) const {
+    CheckContext local;
+    if (ctx == nullptr) ctx = &local;
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (dims_ == 1) {
+      AggBTree<V> base(pool_, root_);
+      return base.CheckConsistency(ctx);
+    }
+    SubtreeFacts facts;
+    return CheckRec(root_, /*is_root=*/true, ctx, &facts);
+  }
+
  private:
   static constexpr uint16_t kLeaf = 3;
   static constexpr uint16_t kInternal = 4;
@@ -432,6 +453,120 @@ class EcdfBTree {
       }
     }
     return lo - 1;
+  }
+
+  // ---- verification -------------------------------------------------------
+
+  struct SubtreeFacts {
+    double min_key = 0.0;  // dim-0 extrema of the subtree's points
+    double max_key = 0.0;
+    V sum{};
+    uint32_t depth = 0;
+  };
+
+  Status CheckRec(PageId pid, bool is_root, CheckContext* ctx,
+                  SubtreeFacts* out) const {
+    BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "ecdf-btree"));
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    const uint16_t type = Type(p);
+    if (type != kLeaf && type != kInternal) {
+      return CorruptionAt(pid,
+                          "ecdf-btree: bad node type " + std::to_string(type));
+    }
+    const uint32_t page_size = pool_->file()->page_size();
+    const uint32_t cap =
+        type == kLeaf ? LeafCapacity(page_size) : InternalCapacity(page_size);
+    const uint32_t n = Count(p);
+    if (n == 0 || n > cap) {
+      return CorruptionAt(pid, "ecdf-btree: entry count " + std::to_string(n) +
+                                   " outside [1, " + std::to_string(cap) +
+                                   "]");
+    }
+    if (!is_root && n < 2) {
+      return CorruptionAt(pid, "ecdf-btree: underfull non-root node");
+    }
+
+    if (type == kLeaf) {
+      out->sum = V{};
+      for (uint32_t i = 0; i < n; ++i) {
+        if (i > 0 &&
+            !LexLess(LeafPoint(p, i - 1), LeafPoint(p, i), dims_)) {
+          return CorruptionAt(
+              pid, "ecdf-btree: leaf points not strictly increasing "
+                   "(lexicographic) at entry " +
+                       std::to_string(i));
+        }
+        V v;
+        ReadLeafValue(p, i, &v);
+        out->sum += v;
+      }
+      out->min_key = LeafPoint(p, 0)[0];
+      out->max_key = LeafPoint(p, n - 1)[0];
+      out->depth = 0;
+      return Status::OK();
+    }
+
+    out->sum = V{};
+    V prefix{};  // running sum of records 0..i, the Bq border identity target
+    for (uint32_t i = 0; i < n; ++i) {
+      const double lowkey = InternalLowKey(p, i);
+      // Points sharing a dim-0 coordinate may straddle a split boundary, so
+      // lowkeys are only non-decreasing (unlike the coalesced 1-d tree).
+      if (i > 0 && InternalLowKey(p, i - 1) > lowkey) {
+        return CorruptionAt(
+            pid, "ecdf-btree: internal lowkeys decreasing at entry " +
+                     std::to_string(i));
+      }
+      SubtreeFacts child;
+      BOXAGG_RETURN_NOT_OK(
+          CheckRec(InternalChild(p, i), /*is_root=*/false, ctx, &child));
+      if (i > 0 && child.min_key < lowkey) {
+        return CorruptionAt(pid, "ecdf-btree: subtree of entry " +
+                                     std::to_string(i) +
+                                     " holds a key below its lowkey");
+      }
+      if (i + 1 < n && child.max_key > InternalLowKey(p, i + 1)) {
+        return CorruptionAt(pid, "ecdf-btree: subtree of entry " +
+                                     std::to_string(i) +
+                                     " reaches past the next record's lowkey");
+      }
+      V stored;
+      ReadInternalSum(p, i, &stored);
+      if (AggDrift(stored, child.sum) > kAggDriftTolerance) {
+        return CorruptionAt(pid, "ecdf-btree: record aggregate of entry " +
+                                     std::to_string(i) +
+                                     " != recomputed subtree sum");
+      }
+      if (i == 0) {
+        out->depth = child.depth + 1;
+        out->min_key = child.min_key;
+      } else if (child.depth + 1 != out->depth) {
+        return CorruptionAt(pid, "ecdf-btree: leaves at unequal depths");
+      }
+      out->max_key = child.max_key;
+      out->sum += child.sum;
+      prefix += child.sum;
+
+      // Border: audit its own structure, then the variant identity.
+      EcdfBTree border(pool_, dims_ - 1, variant_, InternalBorder(p, i));
+      BOXAGG_RETURN_NOT_OK(border.CheckConsistency(ctx));
+      V border_total;
+      BOXAGG_RETURN_NOT_OK(border.TotalSum(&border_total));
+      const V& want =
+          variant_ == EcdfVariant::kUpdateOptimized ? child.sum : prefix;
+      if (AggDrift(border_total, want) > kAggDriftTolerance) {
+        return CorruptionAt(
+            pid, std::string("ecdf-btree: border of entry ") +
+                     std::to_string(i) + " total != covered subtree sum (" +
+                     (variant_ == EcdfVariant::kUpdateOptimized
+                          ? "Bu: subtree(e_i)"
+                          : "Bq: prefix e_0..e_i") +
+                     ")");
+      }
+    }
+    return Status::OK();
   }
 
   // ---- border helpers -----------------------------------------------------

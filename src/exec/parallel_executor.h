@@ -54,7 +54,7 @@ class ParallelQueryExecutor {
   ParallelQueryExecutor(const ParallelQueryExecutor&) = delete;
   ParallelQueryExecutor& operator=(const ParallelQueryExecutor&) = delete;
 
-  size_t threads() const { return pool_->size(); }
+  [[nodiscard]] size_t threads() const { return pool_->size(); }
 
   /// Runs `fn` over every box in `queries`, writing results[i] for
   /// queries[i]. Returns the first query error encountered (remaining

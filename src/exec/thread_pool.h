@@ -33,7 +33,7 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker. Safe from any thread.
   void Submit(std::function<void()> task);
 
-  size_t size() const { return workers_.size(); }
+  [[nodiscard]] size_t size() const { return workers_.size(); }
 
   /// Number of hardware threads, with a sane floor for odd environments.
   static size_t HardwareThreads() {

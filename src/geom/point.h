@@ -46,7 +46,7 @@ struct Point {
 
   /// True iff this point dominates `q` in the first `dims` dimensions:
   /// this[i] >= q[i] for all i (Sec. 2). Dominance is non-strict.
-  bool Dominates(const Point& q, int dims) const {
+  [[nodiscard]] bool Dominates(const Point& q, int dims) const {
     for (int i = 0; i < dims; ++i) {
       if (coord[static_cast<size_t>(i)] < q.coord[static_cast<size_t>(i)]) {
         return false;
@@ -57,7 +57,7 @@ struct Point {
 
   /// Returns this point with dimension `drop` removed (dimensions above it
   /// shift down by one). Used when projecting into a (d-1)-dim border tree.
-  Point DropDim(int drop, int dims) const {
+  [[nodiscard]] Point DropDim(int drop, int dims) const {
     assert(drop >= 0 && drop < dims);
     Point r;
     int k = 0;
@@ -70,7 +70,7 @@ struct Point {
 
   /// Inverse of DropDim: returns this (dims-1)-dimensional point with `value`
   /// spliced in at dimension `at` (dimensions at and above shift up by one).
-  Point InsertDim(int at, double value, int dims) const {
+  [[nodiscard]] Point InsertDim(int at, double value, int dims) const {
     assert(at >= 0 && at < dims);
     Point r;
     int k = 0;
@@ -99,7 +99,7 @@ struct Point {
     return p;
   }
 
-  std::string ToString(int dims) const {
+  [[nodiscard]] std::string ToString(int dims) const {
     std::ostringstream os;
     os << "(";
     for (int i = 0; i < dims; ++i) {

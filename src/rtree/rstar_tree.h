@@ -35,8 +35,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "check/checkable.h"
 #include "geom/box.h"
 #include "poly/corner_updates.h"
 #include "poly/poly2.h"
@@ -276,6 +278,24 @@ class RStarTree {
     root_ = kInvalidPageId;
     root_level_ = 0;
     return Status::OK();
+  }
+
+  /// Deep structural audit: node types and the level chain (leaf iff level
+  /// 0, child level == parent level - 1, root level matches the handle),
+  /// fan-out bounds, the MBR identity, and the aggregate identity the
+  /// aR-tree pruning shortcut depends on (a pruned subtree contributes its
+  /// stored aggregate unvisited). R* maintenance recomputes parent boxes as
+  /// exact unions, so the MBR check demands equality over the tree's `dims`
+  /// coordinates, not mere containment — a merely-containing stale box
+  /// still answers queries but breaks aR pruning tightness silently.
+  Status CheckConsistency(CheckContext* ctx = nullptr) const {
+    CheckContext local;
+    if (ctx == nullptr) ctx = &local;
+    if (root_ == kInvalidPageId) return Status::OK();
+    Box mbr;
+    double agg = 0;
+    return CheckRec(root_, static_cast<int>(root_level_), /*is_root=*/true,
+                    ctx, &mbr, &agg);
   }
 
  private:
@@ -811,6 +831,92 @@ class RStarTree {
         *box = box->Union(InternalBox(p, i), dims_);
         *agg += InternalAgg(p, i);
       }
+    }
+    return Status::OK();
+  }
+
+  // ---- verification -------------------------------------------------------
+
+  /// Exact equality of two boxes over the first `dims_` coordinates (unused
+  /// trailing coordinates of the fixed-size Box may legitimately differ).
+  bool BoxesEqual(const Box& a, const Box& b) const {
+    for (int d = 0; d < dims_; ++d) {
+      if (a.lo[d] != b.lo[d] || a.hi[d] != b.hi[d]) return false;
+    }
+    return true;
+  }
+
+  Status CheckRec(PageId pid, int level, bool is_root, CheckContext* ctx,
+                  Box* mbr, double* agg) const {
+    BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "rstar-tree"));
+    PageGuard g;
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    const Page* p = g.page();
+    const uint16_t type = Type(p);
+    if (type != kLeafType && type != kInternalType) {
+      return CorruptionAt(pid,
+                          "rstar-tree: bad node type " + std::to_string(type));
+    }
+    if ((type == kLeafType) != (level == 0)) {
+      return CorruptionAt(pid, "rstar-tree: node type does not match level " +
+                                   std::to_string(level));
+    }
+    if (Level(p) != level) {
+      return CorruptionAt(
+          pid, "rstar-tree: stored level " + std::to_string(Level(p)) +
+                   " != expected " + std::to_string(level));
+    }
+    const uint32_t cap =
+        type == kLeafType ? LeafCapacity() : InternalCapacity();
+    const uint32_t n = Count(p);
+    if (n == 0 || n > cap) {
+      return CorruptionAt(pid, "rstar-tree: entry count " + std::to_string(n) +
+                                   " outside [1, " + std::to_string(cap) +
+                                   "]");
+    }
+    if (!is_root && n < 2) {
+      return CorruptionAt(pid, "rstar-tree: underfull non-root node");
+    }
+
+    *agg = 0;
+    if (type == kLeafType) {
+      *mbr = LeafBox(p, 0);
+      for (uint32_t i = 0; i < n; ++i) {
+        Box b = LeafBox(p, i);
+        for (int d = 0; d < dims_; ++d) {
+          if (!(b.lo[d] <= b.hi[d])) {
+            return CorruptionAt(pid, "rstar-tree: inverted object box at "
+                                     "entry " +
+                                         std::to_string(i));
+          }
+        }
+        *mbr = mbr->Union(b, dims_);
+        Payload pl;
+        ReadLeafPayload(p, i, &pl);
+        *agg += Traits::FullAggregate(b, pl, dims_);
+      }
+      return Status::OK();
+    }
+
+    *mbr = InternalBox(p, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      Box child_mbr;
+      double child_agg = 0;
+      BOXAGG_RETURN_NOT_OK(CheckRec(InternalChild(p, i), level - 1,
+                                    /*is_root=*/false, ctx, &child_mbr,
+                                    &child_agg));
+      if (!BoxesEqual(InternalBox(p, i), child_mbr)) {
+        return CorruptionAt(pid, "rstar-tree: entry " + std::to_string(i) +
+                                     " box != exact union of child entries "
+                                     "(stale MBR)");
+      }
+      if (std::abs(InternalAgg(p, i) - child_agg) > kAggDriftTolerance) {
+        return CorruptionAt(pid, "rstar-tree: entry " + std::to_string(i) +
+                                     " aggregate != recomputed subtree "
+                                     "aggregate");
+      }
+      *mbr = mbr->Union(child_mbr, dims_);
+      *agg += child_agg;
     }
     return Status::OK();
   }

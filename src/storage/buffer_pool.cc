@@ -32,7 +32,23 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
   capacity_ = total;
 }
 
-BufferPool::~BufferPool() { FlushAll().ok(); }
+BufferPool::~BufferPool() {
+  // A pinned frame here means a PageGuard outlived the pool — it now holds a
+  // dangling frame pointer. Debug builds fail fast at the teardown site.
+  assert(PinnedFrames() == 0 && "PageGuard leaked past BufferPool teardown");
+  IgnoreStatus(FlushAll());
+}
+
+size_t BufferPool::PinnedFrames() const {
+  size_t n = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    for (const auto& [id, f] : sp->frames) {
+      if (f->pin_count.load(std::memory_order_relaxed) > 0) ++n;
+    }
+  }
+  return n;
+}
 
 size_t BufferPool::resident() const {
   size_t n = 0;

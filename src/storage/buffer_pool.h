@@ -35,6 +35,7 @@
 namespace boxagg {
 
 class PageGuard;
+struct CheckContext;
 
 /// \brief Sharded LRU buffer manager.
 ///
@@ -74,12 +75,24 @@ class BufferPool {
   Status Reset();
 
   /// Plain-POD snapshot of the I/O counters (relaxed-atomic reads).
-  IoStats stats() const { return stats_.Snapshot(); }
+  [[nodiscard]] IoStats stats() const { return stats_.Snapshot(); }
 
   PageFile* file() { return file_; }
-  size_t capacity() const { return capacity_; }
-  size_t shard_count() const { return shards_.size(); }
-  size_t resident() const;
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] size_t resident() const;
+
+  /// Number of frames with a non-zero pin count across all shards. Zero at
+  /// every quiescent point — a non-zero value there is a leaked PageGuard.
+  [[nodiscard]] size_t PinnedFrames() const;
+
+  /// Audits the pool's internal accounting shard by shard: page-table keys
+  /// match frame ids and hash to the owning shard, LRU membership mirrors
+  /// the in_lru flags and holds exactly the unpinned resident frames, free
+  /// frames carry no page, and no shard exceeds its capacity. With
+  /// ctx->expect_unpinned set, any pinned frame is reported as a leak.
+  /// Implemented in src/check/storage_check.cc.
+  Status CheckConsistency(CheckContext* ctx = nullptr) const;
 
   /// Pool sized to `mb` megabytes of `page_size`-byte pages (paper: 10 MB).
   static size_t CapacityForMegabytes(size_t mb, uint32_t page_size) {
@@ -160,8 +173,8 @@ class PageGuard {
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
 
-  bool valid() const { return frame_ != nullptr; }
-  PageId id() const {
+  [[nodiscard]] bool valid() const { return frame_ != nullptr; }
+  [[nodiscard]] PageId id() const {
     assert(frame_);
     return frame_->id;
   }

@@ -26,12 +26,12 @@ struct IoStats {
   uint64_t buffer_hits = 0;      ///< fetches served from the buffer pool
 
   /// Total physical I/Os — the paper's query-cost metric.
-  uint64_t TotalIos() const { return physical_reads + physical_writes; }
+  [[nodiscard]] uint64_t TotalIos() const { return physical_reads + physical_writes; }
 
   void Reset() { *this = IoStats{}; }
 
   /// Component-wise difference (now - earlier); used to cost a query batch.
-  IoStats Since(const IoStats& earlier) const {
+  [[nodiscard]] IoStats Since(const IoStats& earlier) const {
     IoStats d;
     d.physical_reads = physical_reads - earlier.physical_reads;
     d.physical_writes = physical_writes - earlier.physical_writes;
@@ -55,7 +55,7 @@ class AtomicIoStats {
   void AddBufferHit() { Inc(buffer_hits_); }
 
   /// Plain-POD view; feed it to IoStats::Since for batch deltas.
-  IoStats Snapshot() const {
+  [[nodiscard]] IoStats Snapshot() const {
     IoStats s;
     s.physical_reads = physical_reads_.load(std::memory_order_relaxed);
     s.physical_writes = physical_writes_.load(std::memory_order_relaxed);

@@ -31,13 +31,13 @@ class Page {
  public:
   explicit Page(uint32_t size) : data_(size, 0) {}
 
-  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  [[nodiscard]] uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
   uint8_t* data() { return data_.data(); }
-  const uint8_t* data() const { return data_.data(); }
+  [[nodiscard]] const uint8_t* data() const { return data_.data(); }
 
   /// Copies a trivially-copyable value out of the page at byte offset `off`.
   template <typename T>
-  T ReadAt(uint32_t off) const {
+  [[nodiscard]] T ReadAt(uint32_t off) const {
     static_assert(std::is_trivially_copyable_v<T>);
     assert(off + sizeof(T) <= data_.size());
     T v;

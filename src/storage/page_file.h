@@ -20,6 +20,8 @@
 
 namespace boxagg {
 
+struct CheckContext;
+
 /// \brief Abstract store of fixed-size pages.
 ///
 /// Thread-compatibility: concurrent ReadPage/WritePage calls are safe as
@@ -35,16 +37,20 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  uint32_t page_size() const { return page_size_; }
+  [[nodiscard]] uint32_t page_size() const { return page_size_; }
 
   /// Number of pages ever allocated (including freed ones still on disk).
-  uint64_t page_count() const { return page_count_; }
+  [[nodiscard]] uint64_t page_count() const { return page_count_; }
 
   /// Pages currently allocated and not on the free list.
-  uint64_t live_page_count() const { return page_count_ - free_list_.size(); }
+  [[nodiscard]] uint64_t live_page_count() const {
+    return page_count_ - free_list_.size();
+  }
 
   /// Total bytes of the underlying store (page_count * page_size).
-  uint64_t size_bytes() const { return page_count_ * uint64_t{page_size_}; }
+  [[nodiscard]] uint64_t size_bytes() const {
+    return page_count_ * uint64_t{page_size_};
+  }
 
   /// Allocates a page (reusing a freed one if available) and returns its id.
   Status Allocate(PageId* out);
@@ -57,6 +63,16 @@ class PageFile {
 
   /// Writes `page` to page `id`.
   virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Freed page ids awaiting reuse (read-only view for verification tools).
+  [[nodiscard]] const std::vector<PageId>& free_list() const {
+    return free_list_;
+  }
+
+  /// Audits the allocation state: every free-list id was actually allocated
+  /// (< page_count) and no id is freed twice. Implemented in
+  /// src/check/storage_check.cc.
+  Status CheckConsistency(CheckContext* ctx = nullptr) const;
 
  protected:
   /// Grows the backing store to hold `new_count` pages.

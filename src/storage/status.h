@@ -17,7 +17,12 @@ namespace boxagg {
 ///
 /// A Status either is OK (the default) or carries an error code plus a
 /// human-readable message. Statuses are cheap to copy when OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides I/O failures and — worse
+/// for an aggregate index — corruption reports. Call sites that genuinely
+/// cannot act on a failure must say so with an explicit `.ok()` (or an
+/// assert), never by ignoring the value.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -47,12 +52,12 @@ class Status {
     return Status(Code::kNoSpace, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<code>: <message>" for logs and test failures.
-  std::string ToString() const {
+  [[nodiscard]] std::string ToString() const {
     if (ok()) return "OK";
     const char* name = "Unknown";
     switch (code_) {
@@ -72,6 +77,11 @@ class Status {
   Code code_ = Code::kOk;
   std::string message_;
 };
+
+/// Explicit sink for a Status at call sites that genuinely cannot act on a
+/// failure (best-effort flushes in destructors, demo code). Grep-able, unlike
+/// a bare void cast, so the ignore audit stays one search away.
+inline void IgnoreStatus(const Status&) {}
 
 }  // namespace boxagg
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "batree/packed_ba_tree.h"
+#include "core/bag_format.h"
 #include "core/box_sum_index.h"
 #include "storage/buffer_pool.h"
 #include "workload/generators.h"
@@ -28,7 +29,6 @@ using namespace boxagg;
 
 namespace {
 
-constexpr uint64_t kMagic = 0xb0cca99a66700201ull;  // "boxagg" v1
 constexpr int kDims = 2;
 constexpr uint32_t kNumRoots = 8;  // 4 sum corners + 4 count corners
 
@@ -120,12 +120,10 @@ int CmdBuild(int argc, char** argv) {
   {
     PageGuard g;
     if (DieIf(pool.Fetch(0, &g), "fetch superblock")) return 1;
-    g.page()->WriteAt<uint64_t>(0, kMagic);
-    g.page()->WriteAt<uint32_t>(8, kDims);
-    g.page()->WriteAt<uint32_t>(12, kNumRoots);
-    for (uint32_t i = 0; i < kNumRoots; ++i) {
-      g.page()->WriteAt<uint64_t>(16 + 8 * i, roots[i]);
-    }
+    BagSuperblock sb;
+    sb.dims = kDims;
+    sb.roots = roots;
+    WriteBagSuperblock(g.page(), sb);
     g.MarkDirty();
   }
   if (DieIf(pool.FlushAll(), "flush")) return 1;
@@ -147,16 +145,12 @@ int OpenIndex(const char* path, std::unique_ptr<FilePageFile>* file,
       file->get(), BufferPool::CapacityForMegabytes(10, kDefaultPageSize));
   PageGuard g;
   if (DieIf((*pool)->Fetch(0, &g), "read superblock")) return 1;
-  if (g.page()->ReadAt<uint64_t>(0) != kMagic) {
-    return Die("not a boxagg index file");
-  }
-  if (g.page()->ReadAt<uint32_t>(8) != kDims ||
-      g.page()->ReadAt<uint32_t>(12) != kNumRoots) {
+  BagSuperblock sb;
+  if (DieIf(ReadBagSuperblock(*g.page(), &sb), "read superblock")) return 1;
+  if (sb.dims != kDims || sb.roots.size() != kNumRoots) {
     return Die("unsupported index layout");
   }
-  for (uint32_t i = 0; i < kNumRoots; ++i) {
-    roots->push_back(g.page()->ReadAt<uint64_t>(16 + 8 * i));
-  }
+  *roots = std::move(sb.roots);
   return 0;
 }
 

@@ -181,6 +181,43 @@ class BaTree {
     }
   }
 
+  /// Batched dominance sums: outs[i] = DominanceSum(queries[i]),
+  /// bit-identical to `count` independent calls — each probe performs the
+  /// same subtotal, border, and leaf additions in the same order; only the
+  /// traversal order across probes and the page-fetch count change. Unlike
+  /// the B+-tree-based indexes, record membership is not contiguous under
+  /// any one sort order (records tile space like a k-d-B-tree), so probes
+  /// are gathered per record in page order; each node is still fetched once
+  /// per batch, and borders are probed with sub-batches. With count == 1 the
+  /// fetch/pin sequence is exactly DominanceSum's (seed I/O fidelity).
+  Status DominanceSumBatch(const Point* queries, size_t count,
+                           V* outs) const {
+    for (size_t i = 0; i < count; ++i) outs[i] = V{};
+    if (root_ == kInvalidPageId || count == 0) return Status::OK();
+    std::vector<Point> qs(queries, queries + count);
+    for (auto& q : qs) {
+      for (int d = 0; d < dims_; ++d) {
+        q[d] = std::min(q[d], std::numeric_limits<double>::max());
+      }
+    }
+    if (dims_ == 1) {
+      std::vector<double> keys(count);
+      for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
+      AggBTree<V> base(pool_, root_);
+      return base.DominanceSumBatch(keys.data(), count, outs);
+    }
+    std::vector<uint32_t> order(count);
+    for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+    const std::vector<Point>& q_ref = qs;
+    std::sort(order.begin(), order.end(),
+              [this, &q_ref](uint32_t a, uint32_t b) {
+                if (LexLess(q_ref[a], q_ref[b], dims_)) return true;
+                if (LexLess(q_ref[b], q_ref[a], dims_)) return false;
+                return a < b;
+              });
+    return DominanceBatchRec(root_, order.data(), count, qs.data(), outs);
+  }
+
   /// Collects every (point, value) stored in main-branch leaves (sorted
   /// lexicographically on return).
   Status ScanAll(std::vector<Entry>* out) const {
@@ -943,6 +980,84 @@ class BaTree {
   }
 
   // ---- traversal ----------------------------------------------------------
+
+  /// One node of the batched descent: `idx[0..m)` are probe indices (already
+  /// clamped queries) whose paths all pass through `pid`. Probes are
+  /// assigned to the FIRST record whose box contains them, scanning records
+  /// in page order, matching the sequential loop's break. Per-probe
+  /// arithmetic matches DominanceSum exactly: subtotal, then borders in
+  /// ascending dimension order (probed while the node is pinned), then the
+  /// descent's contributions. The pin is dropped before descending.
+  Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
+                           const Point* qs, V* outs) const {
+    struct Group {
+      PageId child;
+      std::vector<uint32_t> members;  // original probe indices
+    };
+    std::vector<Group> groups;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
+      const Page* p = g.page();
+      uint32_t n = Count(p);
+      if (Type(p) == kLeaf) {
+        for (size_t j = 0; j < m; ++j) {
+          const Point& q = qs[idx[j]];
+          V* out = &outs[idx[j]];
+          for (uint32_t i = 0; i < n; ++i) {
+            Point pt = LeafPoint(p, i);
+            if (q.Dominates(pt, dims_)) {
+              V v;
+              ReadLeafValue(p, i, &v);
+              *out += v;
+            }
+          }
+        }
+        return Status::OK();
+      }
+      std::vector<bool> taken(m, false);
+      size_t assigned = 0;
+      std::vector<Point> pts;
+      std::vector<V> parts;
+      for (uint32_t i = 0; i < n && assigned < m; ++i) {
+        Record r = ReadRecord(p, i);
+        std::vector<uint32_t> members;
+        for (size_t j = 0; j < m; ++j) {
+          if (taken[j]) continue;
+          if (r.box.ContainsPointHalfOpen(qs[idx[j]], dims_)) {
+            taken[j] = true;
+            ++assigned;
+            members.push_back(idx[j]);
+            outs[idx[j]] += r.subtotal;
+          }
+        }
+        if (members.empty()) continue;
+        const size_t gs = members.size();
+        for (int b = 0; b < dims_; ++b) {
+          if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
+          pts.resize(gs);
+          parts.resize(gs);
+          for (size_t t = 0; t < gs; ++t) {
+            pts[t] = qs[members[t]].DropDim(b, dims_);
+          }
+          BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
+          BOXAGG_RETURN_NOT_OK(
+              sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+          for (size_t t = 0; t < gs; ++t) outs[members[t]] += parts[t];
+        }
+        groups.push_back(Group{r.child, std::move(members)});
+      }
+      if (assigned != m) {
+        return Status::Corruption("query point not covered by any record");
+      }
+    }
+    for (const Group& gr : groups) {
+      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(
+          gr.child, gr.members.data(), gr.members.size(), qs, outs));
+    }
+    return Status::OK();
+  }
 
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;

@@ -202,6 +202,43 @@ class PackedBaTree {
     }
   }
 
+  /// Batched dominance sums: outs[i] = DominanceSum(queries[i]),
+  /// bit-identical to `count` independent calls — each probe performs the
+  /// same subtotal, inline-border, spilled-border, and leaf additions in the
+  /// same order; only the traversal order across probes and the page-fetch
+  /// count change. Probes are gathered per record in page order (first
+  /// containing record wins, like the sequential scan); inline borders are
+  /// scanned in-page while the node is pinned, spilled border trees are
+  /// probed with sub-batches after the pin is dropped — mirroring the
+  /// sequential pin discipline exactly, so count == 1 reproduces seed I/O.
+  Status DominanceSumBatch(const Point* queries, size_t count,
+                           V* outs) const {
+    for (size_t i = 0; i < count; ++i) outs[i] = V{};
+    if (root_ == kInvalidPageId || count == 0) return Status::OK();
+    std::vector<Point> qs(queries, queries + count);
+    for (auto& q : qs) {
+      for (int d = 0; d < dims_; ++d) {
+        q[d] = std::min(q[d], std::numeric_limits<double>::max());
+      }
+    }
+    if (dims_ == 1) {
+      std::vector<double> keys(count);
+      for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
+      AggBTree<V> base(pool_, root_);
+      return base.DominanceSumBatch(keys.data(), count, outs);
+    }
+    std::vector<uint32_t> order(count);
+    for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+    const std::vector<Point>& q_ref = qs;
+    std::sort(order.begin(), order.end(),
+              [this, &q_ref](uint32_t a, uint32_t b) {
+                if (LexLess(q_ref[a], q_ref[b], dims_)) return true;
+                if (LexLess(q_ref[b], q_ref[a], dims_)) return false;
+                return a < b;
+              });
+    return DominanceBatchRec(root_, order.data(), count, qs.data(), outs);
+  }
+
   /// Collects every (point, value) in main-branch leaves, sorted.
   Status ScanAll(std::vector<Entry>* out) const {
     if (root_ == kInvalidPageId) return Status::OK();
@@ -541,6 +578,117 @@ class PackedBaTree {
     BOXAGG_RETURN_NOT_OK(sub.BulkLoad(std::move(b->inline_entries)));
     b->inline_entries.clear();
     b->tree = sub.root();
+    return Status::OK();
+  }
+
+  /// One node of the batched descent: `idx[0..m)` are probe indices (already
+  /// clamped queries) whose paths all pass through `pid`. Probes are
+  /// assigned to the FIRST record whose box contains them, in page order.
+  /// Per-probe arithmetic matches DominanceSum exactly: subtotal, inline
+  /// borders scanned in ascending dimension order while the node is pinned,
+  /// then spilled border trees in the same dimension order after the pin is
+  /// dropped, then the descent's contributions.
+  Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
+                           const Point* qs, V* outs) const {
+    struct Spill {
+      int b;
+      PageId tree_root;
+    };
+    struct Group {
+      PageId child;
+      std::vector<uint32_t> members;  // original probe indices
+      std::vector<Spill> spills;
+    };
+    std::vector<Group> groups;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
+      const Page* page = g.page();
+      if (PageType(page) == kLeaf) {
+        uint32_t n = LeafCount(page);
+        for (size_t j = 0; j < m; ++j) {
+          const Point& q = qs[idx[j]];
+          V* out = &outs[idx[j]];
+          for (uint32_t i = 0; i < n; ++i) {
+            Point pt = LeafPoint(page, i);
+            if (q.Dominates(pt, dims_)) {
+              V v;
+              ReadLeafValue(page, i, &v);
+              *out += v;
+            }
+          }
+        }
+        return Status::OK();
+      }
+      uint32_t n = IntCount(page);
+      std::vector<bool> taken(m, false);
+      size_t assigned = 0;
+      for (uint32_t i = 0; i < n && assigned < m; ++i) {
+        Box box = RecBox(page, i);
+        std::vector<uint32_t> members;
+        for (size_t j = 0; j < m; ++j) {
+          if (taken[j]) continue;
+          if (box.ContainsPointHalfOpen(qs[idx[j]], dims_)) {
+            taken[j] = true;
+            ++assigned;
+            members.push_back(idx[j]);
+          }
+        }
+        if (members.empty()) continue;
+        V sub;
+        ReadRecSubtotal(page, i, &sub);
+        for (uint32_t probe : members) outs[probe] += sub;
+        std::vector<Spill> spills;
+        for (int b = 0; b < dims_; ++b) {
+          uint64_t ref = RecBorderRef(page, i, b);
+          if (ref == kEmptyRef) continue;
+          if (IsInlineRef(ref)) {
+            // In-page scan: zero extra I/O — the packing payoff.
+            uint32_t off = InlineOffset(ref);
+            uint32_t cnt = BlockCount(page, off);
+            for (uint32_t probe : members) {
+              Point projected = qs[probe].DropDim(b, dims_);
+              for (uint32_t k = 0; k < cnt; ++k) {
+                Point pt;
+                V v;
+                ReadBlockEntry(page, off, k, &pt, &v);
+                if (projected.Dominates(pt, dims_ - 1)) outs[probe] += v;
+              }
+            }
+          } else {
+            spills.push_back(Spill{b, static_cast<PageId>(ref)});
+          }
+        }
+        groups.push_back(
+            Group{RecChild(page, i), std::move(members), std::move(spills)});
+      }
+      if (assigned != m) {
+        return Status::Corruption("query point not covered by any record");
+      }
+    }
+    // Spilled borders of this node before any descent, like the sequential
+    // loop's per-level tree_borders pass.
+    std::vector<Point> pts;
+    std::vector<V> parts;
+    for (const Group& gr : groups) {
+      const size_t gs = gr.members.size();
+      for (const Spill& sp : gr.spills) {
+        pts.resize(gs);
+        parts.resize(gs);
+        for (size_t t = 0; t < gs; ++t) {
+          pts[t] = qs[gr.members[t]].DropDim(sp.b, dims_);
+        }
+        PackedBaTree sub(pool_, dims_ - 1, sp.tree_root);
+        BOXAGG_RETURN_NOT_OK(
+            sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+        for (size_t t = 0; t < gs; ++t) outs[gr.members[t]] += parts[t];
+      }
+    }
+    for (const Group& gr : groups) {
+      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(
+          gr.child, gr.members.data(), gr.members.size(), qs, outs));
+    }
     return Status::OK();
   }
 

@@ -128,6 +128,25 @@ class AggBTree {
     }
   }
 
+  /// Batched dominance sums: outs[i] = sum of values over keys <= qs[i],
+  /// bit-identical to `count` independent DominanceSum calls — every probe
+  /// performs the same per-node additions in the same order; only the
+  /// traversal order across probes and the page-fetch count change. Probes
+  /// are routed in sorted key order and grouped by child, so each tree page
+  /// is fetched and pinned at most once per batch. With count == 1 the
+  /// fetch/pin sequence is exactly DominanceSum's (seed I/O fidelity).
+  Status DominanceSumBatch(const double* qs, size_t count, V* outs) const {
+    for (size_t i = 0; i < count; ++i) outs[i] = V{};
+    if (root_ == kInvalidPageId || count == 0) return Status::OK();
+    std::vector<uint32_t> order(count);
+    for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+    std::sort(order.begin(), order.end(), [qs](uint32_t a, uint32_t b) {
+      if (qs[a] != qs[b]) return qs[a] < qs[b];
+      return a < b;
+    });
+    return DominanceBatchRec(root_, order.data(), count, qs, outs);
+  }
+
   /// Sum of all values in the tree.
   Status TotalSum(V* out) const {
     *out = V{};
@@ -486,6 +505,64 @@ class AggBTree {
   }
 
   // ---- traversal ----------------------------------------------------------
+
+  /// One node of the batched descent: `idx[0..m)` are probe indices sorted
+  /// by key whose paths all pass through `pid`. The node is fetched once;
+  /// per-probe arithmetic matches DominanceSum exactly. The pin is dropped
+  /// before descending, like the sequential loop's per-iteration guard.
+  Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
+                           const double* qs, V* outs) const {
+    struct Group {
+      PageId child;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<Group> groups;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
+      const Page* p = g.page();
+      uint32_t n = Count(p);
+      if (Type(p) == kLeaf) {
+        for (size_t j = 0; j < m; ++j) {
+          const double q = qs[idx[j]];
+          V* out = &outs[idx[j]];
+          for (uint32_t i = 0; i < n; ++i) {
+            double k = LeafKey(p, i);
+            if (k > q) break;
+            V v;
+            ReadLeafValue(p, i, &v);
+            *out += v;
+          }
+        }
+        return Status::OK();
+      }
+      // Sorted probes route monotonically, so per-child groups are
+      // contiguous runs of idx.
+      size_t j = 0;
+      while (j < m) {
+        const uint32_t route = RouteInternal(p, n, qs[idx[j]]);
+        size_t k = j + 1;
+        while (k < m && RouteInternal(p, n, qs[idx[k]]) == route) ++k;
+        for (size_t t = j; t < k; ++t) {
+          V* out = &outs[idx[t]];
+          for (uint32_t i = 0; i < route; ++i) {
+            V s;
+            ReadInternalSum(p, i, &s);
+            *out += s;
+          }
+        }
+        groups.push_back(Group{InternalChild(p, route), j, k});
+        j = k;
+      }
+    }
+    for (const Group& gr : groups) {
+      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
+                                             gr.end - gr.begin, qs, outs));
+    }
+    return Status::OK();
+  }
 
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;

@@ -19,6 +19,7 @@
 #ifndef BOXAGG_CORE_BOX_SUM_INDEX_H_
 #define BOXAGG_CORE_BOX_SUM_INDEX_H_
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -94,15 +95,65 @@ class BoxSumIndex {
 
   /// Total value of all objects whose box intersects `q` (closed semantics):
   /// exactly 2^d dominance-sum queries combined with inclusion-exclusion.
+  /// Routed through the batched path with count == 1 so the single-query and
+  /// batch code paths cannot drift; the I/O sequence is identical to calling
+  /// DominanceSum per sign index directly.
   Status Query(const Box& q, double* out) const {
-    *out = 0;
+    return QueryBatch(&q, 1, out);
+  }
+
+  /// Batched box sums: out[i] = Query(qs[i]), bit-identical to `count`
+  /// independent Query calls. All queries are expanded into (sign index,
+  /// corner point) probes, grouped per sign index, and identical corner
+  /// points within a sign index are deduplicated — DominanceSum is a pure
+  /// function of (index, point), so each distinct probe is answered once and
+  /// its value reused (degenerate boxes and repeated queries collide often).
+  /// Each index then answers its probes with one DominanceSumBatch descent.
+  /// Accumulation per query stays in ascending sign-index order, exactly as
+  /// the sequential loop.
+  Status QueryBatch(const Box* qs, size_t count, double* out) const {
+    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    if (count == 0) return Status::OK();
+    std::vector<Point> corners(count);
+    std::vector<uint32_t> order(count);
+    std::vector<size_t> probe_of(count);
+    std::vector<Point> distinct;
+    std::vector<double> parts;
     for (uint32_t s = 0; s < indexes_.size(); ++s) {
-      double part;
-      BOXAGG_RETURN_NOT_OK(
-          indexes_[s].DominanceSum(QueryCorner(q, s, dims_), &part));
-      *out += MaskSign(s) * part;
+      for (size_t i = 0; i < count; ++i) {
+        corners[i] = QueryCorner(qs[i], s, dims_);
+        order[i] = static_cast<uint32_t>(i);
+      }
+      std::sort(order.begin(), order.end(),
+                [this, &corners](uint32_t a, uint32_t b) {
+                  if (LexLess(corners[a], corners[b], dims_)) return true;
+                  if (LexLess(corners[b], corners[a], dims_)) return false;
+                  return a < b;
+                });
+      distinct.clear();
+      for (size_t j = 0; j < count; ++j) {
+        const Point& c = corners[order[j]];
+        if (distinct.empty() || !LexEqual(distinct.back(), c, dims_)) {
+          distinct.push_back(c);
+        }
+        probe_of[order[j]] = distinct.size() - 1;
+      }
+      parts.resize(distinct.size());
+      BOXAGG_RETURN_NOT_OK(indexes_[s].DominanceSumBatch(
+          distinct.data(), distinct.size(), parts.data()));
+      const double sign = MaskSign(s);
+      for (size_t i = 0; i < count; ++i) {
+        out[i] += sign * parts[probe_of[i]];
+      }
     }
     return Status::OK();
+  }
+
+  /// Vector convenience overload; resizes `out` to match.
+  Status QueryBatch(const std::vector<Box>& qs,
+                    std::vector<double>* out) const {
+    out->resize(qs.size());
+    return QueryBatch(qs.data(), qs.size(), out->data());
   }
 
   /// Bulk-loads all 2^d indexes from an object collection.

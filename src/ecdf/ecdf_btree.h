@@ -175,6 +175,35 @@ class EcdfBTree {
     }
   }
 
+  /// Batched dominance sums: outs[i] = DominanceSum(qs[i]), bit-identical to
+  /// `count` independent calls — each probe performs the same border and leaf
+  /// additions in the same order; only the traversal order across probes and
+  /// the page-fetch count change. Probes are sorted by the dim-0 key so the
+  /// main branch routes them monotonically: each node is fetched once per
+  /// batch, and border subtrees are themselves probed with sub-batches
+  /// (recursively down to the 1-d AggBTree base case). With count == 1 the
+  /// fetch/pin sequence is exactly DominanceSum's (seed I/O fidelity).
+  Status DominanceSumBatch(const Point* qs, size_t count, V* outs) const {
+    for (size_t i = 0; i < count; ++i) outs[i] = V{};
+    if (root_ == kInvalidPageId || count == 0) return Status::OK();
+    if (dims_ == 1) {
+      std::vector<double> keys(count);
+      for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
+      AggBTree<V> base(pool_, root_);
+      return base.DominanceSumBatch(keys.data(), count, outs);
+    }
+    std::vector<Point> projected(count);
+    for (size_t i = 0; i < count; ++i) projected[i] = qs[i].DropDim(0, dims_);
+    std::vector<uint32_t> order(count);
+    for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+    std::sort(order.begin(), order.end(), [qs](uint32_t a, uint32_t b) {
+      if (qs[a][0] != qs[b][0]) return qs[a][0] < qs[b][0];
+      return a < b;
+    });
+    return DominanceBatchRec(root_, order.data(), count, qs, projected.data(),
+                             outs);
+  }
+
   /// Sum of every value in the tree.
   Status TotalSum(V* out) const {
     *out = V{};
@@ -883,6 +912,104 @@ class EcdfBTree {
   }
 
   // ---- traversal ----------------------------------------------------------
+
+  /// One main-branch node of the batched descent: `idx[0..m)` are probe
+  /// indices sorted by dim-0 key whose paths all pass through `pid`.
+  /// Per-probe arithmetic matches DominanceSum exactly: borders are added in
+  /// ascending record order (Bu) or as the single prefix border (Bq) before
+  /// the descent's contributions, and border probes happen while the node is
+  /// pinned, as in the sequential loop. The pin is dropped before descending.
+  Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
+                           const Point* qs, const Point* projected,
+                           V* outs) const {
+    struct Group {
+      uint32_t route;
+      PageId child;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<Group> groups;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
+      const Page* p = g.page();
+      uint32_t n = Count(p);
+      if (Type(p) == kLeaf) {
+        for (size_t j = 0; j < m; ++j) {
+          const Point& q = qs[idx[j]];
+          V* out = &outs[idx[j]];
+          for (uint32_t i = 0; i < n; ++i) {
+            Point pt = LeafPoint(p, i);
+            if (pt[0] > q[0]) break;
+            if (q.Dominates(pt, dims_)) {
+              V v;
+              ReadLeafValue(p, i, &v);
+              *out += v;
+            }
+          }
+        }
+        return Status::OK();
+      }
+      // Sorted probes route monotonically, so per-child groups are
+      // contiguous runs of idx with strictly increasing routes.
+      size_t j = 0;
+      while (j < m) {
+        const uint32_t route = RouteInternal(p, n, qs[idx[j]][0]);
+        size_t k = j + 1;
+        while (k < m && RouteInternal(p, n, qs[idx[k]][0]) == route) ++k;
+        groups.push_back(Group{route, InternalChild(p, route), j, k});
+        j = k;
+      }
+      if (variant_ == EcdfVariant::kUpdateOptimized) {
+        // Border i is needed by every probe routed right of record i — a
+        // contiguous suffix of the sorted batch. Probing borders in
+        // ascending i gives each probe its border additions in the same
+        // order as the sequential `for (i < idx)` loop.
+        size_t gi = 0;  // first group with route > i
+        std::vector<Point> pts;
+        std::vector<V> parts;
+        for (uint32_t i = 0; i < groups.back().route; ++i) {
+          while (groups[gi].route <= i) ++gi;
+          const size_t s = groups[gi].begin;
+          const size_t gs = m - s;
+          pts.resize(gs);
+          parts.resize(gs);
+          for (size_t t = 0; t < gs; ++t) pts[t] = projected[idx[s + t]];
+          EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i));
+          BOXAGG_RETURN_NOT_OK(
+              sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+          for (size_t t = 0; t < gs; ++t) outs[idx[s + t]] += parts[t];
+        }
+      } else {
+        // Bq: each route group reads exactly one prefix border.
+        std::vector<Point> pts;
+        std::vector<V> parts;
+        for (const Group& gr : groups) {
+          if (gr.route == 0) continue;
+          const size_t gs = gr.end - gr.begin;
+          pts.resize(gs);
+          parts.resize(gs);
+          for (size_t t = 0; t < gs; ++t) {
+            pts[t] = projected[idx[gr.begin + t]];
+          }
+          EcdfBTree sub(pool_, dims_ - 1, variant_,
+                        InternalBorder(p, gr.route - 1));
+          BOXAGG_RETURN_NOT_OK(
+              sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+          for (size_t t = 0; t < gs; ++t) {
+            outs[idx[gr.begin + t]] += parts[t];
+          }
+        }
+      }
+    }
+    for (const Group& gr : groups) {
+      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
+                                             gr.end - gr.begin, qs, projected,
+                                             outs));
+    }
+    return Status::OK();
+  }
 
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;

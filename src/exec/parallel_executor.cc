@@ -6,6 +6,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "storage/buffer_pool.h"
+
 namespace boxagg {
 namespace exec {
 
@@ -14,6 +16,27 @@ using Clock = std::chrono::steady_clock;
 
 double MicrosBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+// Latency distribution over `latencies` (one entry per work unit) plus the
+// batch's buffer-pool delta; shared by both execution paths.
+void FillStats(BatchExecStats* stats, std::vector<double>* latencies,
+               BufferPool* pool, const IoStats& before) {
+  double sum = 0;
+  for (double l : *latencies) sum += l;
+  const size_t n = latencies->size();
+  if (n > 0) {
+    stats->latency_mean_us = sum / static_cast<double>(n);
+    std::sort(latencies->begin(), latencies->end());
+    stats->latency_p50_us = (*latencies)[n / 2];
+    stats->latency_p99_us = (*latencies)[n - 1 - (n - 1) / 100];
+    stats->latency_max_us = latencies->back();
+  }
+  if (pool) {
+    stats->has_io = true;
+    stats->io = pool->stats().Since(before);
+    stats->hit_rate = stats->io.HitRate();
+  }
 }
 }  // namespace
 
@@ -25,11 +48,13 @@ ParallelQueryExecutor::~ParallelQueryExecutor() = default;
 Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
                                        const std::vector<Box>& queries,
                                        std::vector<double>* results,
-                                       BatchExecStats* stats) {
+                                       BatchExecStats* stats,
+                                       BufferPool* pool) {
   const size_t n = queries.size();
   results->assign(n, 0.0);
   if (stats) *stats = BatchExecStats{};
   if (n == 0) return Status::OK();
+  const IoStats io_before = pool ? pool->stats() : IoStats{};
 
   const size_t workers = pool_->size();
   // Dynamic chunking: small enough to balance skewed queries, large enough
@@ -78,13 +103,68 @@ Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
     stats->queries_per_sec =
         stats->wall_ms > 0 ? 1000.0 * static_cast<double>(n) / stats->wall_ms
                            : 0;
-    double sum = 0;
-    for (double l : latencies) sum += l;
-    stats->latency_mean_us = sum / static_cast<double>(n);
-    std::sort(latencies.begin(), latencies.end());
-    stats->latency_p50_us = latencies[n / 2];
-    stats->latency_p99_us = latencies[n - 1 - (n - 1) / 100];
-    stats->latency_max_us = latencies.back();
+    FillStats(stats, &latencies, pool, io_before);
+  }
+  return first_error;
+}
+
+Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
+                                              const std::vector<Box>& queries,
+                                              size_t morsel,
+                                              std::vector<double>* results,
+                                              BatchExecStats* stats,
+                                              BufferPool* pool) {
+  const size_t n = queries.size();
+  results->assign(n, 0.0);
+  if (stats) *stats = BatchExecStats{};
+  if (n == 0) return Status::OK();
+  if (morsel == 0) morsel = n;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  const IoStats io_before = pool ? pool->stats() : IoStats{};
+
+  const size_t workers = pool_->size();
+  std::atomic<size_t> next{0};
+  std::vector<double> latencies(stats ? num_morsels : 0);
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t workers_done = 0;
+  Status first_error = Status::OK();
+
+  auto t0 = Clock::now();
+  for (size_t w = 0; w < workers; ++w) {
+    pool_->Submit([&, record = stats != nullptr] {
+      Status local = Status::OK();
+      for (;;) {
+        size_t m = next.fetch_add(1, std::memory_order_relaxed);
+        if (m >= num_morsels) break;
+        const size_t lo = m * morsel;
+        const size_t hi = std::min(n, lo + morsel);
+        auto q0 = record ? Clock::now() : Clock::time_point{};
+        Status s = fn(queries.data() + lo, hi - lo, results->data() + lo);
+        if (record) latencies[m] = MicrosBetween(q0, Clock::now());
+        if (!s.ok() && local.ok()) local = s;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (!local.ok() && first_error.ok()) first_error = local;
+      if (++workers_done == workers) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return workers_done == workers; });
+  }
+  auto t1 = Clock::now();
+
+  if (stats) {
+    stats->threads = workers;
+    stats->queries = n;
+    stats->morsels = num_morsels;
+    stats->wall_ms = MicrosBetween(t0, t1) / 1000.0;
+    stats->queries_per_sec =
+        stats->wall_ms > 0 ? 1000.0 * static_cast<double>(n) / stats->wall_ms
+                           : 0;
+    FillStats(stats, &latencies, pool, io_before);
   }
   return first_error;
 }

@@ -21,25 +21,42 @@
 
 #include "exec/thread_pool.h"
 #include "geom/box.h"
+#include "storage/io_stats.h"
 #include "storage/status.h"
 
 namespace boxagg {
+
+class BufferPool;
+
 namespace exec {
 
 /// A read-only query against some index: fills *out for the given box.
 using QueryFn = std::function<Status(const Box&, double*)>;
 
+/// A read-only batched query: answers `count` boxes, filling out[0..count).
+/// Implementations amortize work across the batch (corner dedup, sorted
+/// multi-probe descent) but must return results bit-identical to `count`
+/// single-box calls.
+using BatchQueryFn = std::function<Status(const Box*, size_t, double*)>;
+
 /// \brief Aggregate statistics for one executed batch.
 struct BatchExecStats {
   size_t threads = 0;        ///< workers used
   size_t queries = 0;        ///< batch size
+  size_t morsels = 0;        ///< work units claimed (grouped path only)
   double wall_ms = 0;        ///< wall-clock time for the whole batch
   double queries_per_sec = 0;
-  // Per-query latency distribution, microseconds.
+  // Per-query latency distribution, microseconds. On the grouped path the
+  // unit is one morsel (a contiguous run of queries answered together).
   double latency_mean_us = 0;
   double latency_p50_us = 0;
   double latency_p99_us = 0;
   double latency_max_us = 0;
+  // Buffer-pool traffic attributable to this batch (snapshot delta around
+  // the run), filled when a pool is passed to RunBatch/RunBatchGrouped.
+  bool has_io = false;
+  IoStats io{};
+  double hit_rate = 0;  ///< io.HitRate() of the delta
 };
 
 /// \brief Executes query batches on an owned ThreadPool.
@@ -58,10 +75,26 @@ class ParallelQueryExecutor {
 
   /// Runs `fn` over every box in `queries`, writing results[i] for
   /// queries[i]. Returns the first query error encountered (remaining
-  /// queries still run to completion). `stats` is optional.
+  /// queries still run to completion). `stats` is optional; when `pool` is
+  /// given too, stats->io is filled with the batch's buffer-pool delta.
   Status RunBatch(const QueryFn& fn, const std::vector<Box>& queries,
                   std::vector<double>* results,
-                  BatchExecStats* stats = nullptr);
+                  BatchExecStats* stats = nullptr,
+                  BufferPool* pool = nullptr);
+
+  /// Morsel-style batched execution: the query vector is cut into contiguous
+  /// runs of `morsel` queries (the last may be shorter); workers claim runs
+  /// atomically and answer each with ONE `fn` call, so a batch-aware query
+  /// function amortizes page fetches across the whole morsel. Queries should
+  /// be pre-sorted by the caller if probe locality is wanted — contiguity is
+  /// what makes sorted ranges land in one descent. `morsel` == 0 means the
+  /// whole batch is one morsel. Results are bit-identical to RunBatch with
+  /// the equivalent per-query fn.
+  Status RunBatchGrouped(const BatchQueryFn& fn,
+                         const std::vector<Box>& queries, size_t morsel,
+                         std::vector<double>* results,
+                         BatchExecStats* stats = nullptr,
+                         BufferPool* pool = nullptr);
 
  private:
   std::unique_ptr<ThreadPool> pool_;

@@ -24,6 +24,17 @@ QueryFn BoxSumQueryFn(const BoxSumIndex<Index>* index) {
   return [index](const Box& q, double* out) { return index->Query(q, out); };
 }
 
+/// Batched box-sum over a corner-transform reduction: one QueryBatch call
+/// answers the whole span with corner dedup and sorted multi-probe descents.
+/// Results are bit-identical to per-query BoxSumQueryFn calls. Pair with
+/// ParallelQueryExecutor::RunBatchGrouped.
+template <class Index>
+BatchQueryFn BoxSumBatchQueryFn(const BoxSumIndex<Index>* index) {
+  return [index](const Box* qs, size_t count, double* out) {
+    return index->QueryBatch(qs, count, out);
+  };
+}
+
 /// Aggregate box query over an aR-tree (or plain R*-tree range scan with
 /// use_aggregates = false).
 template <class Traits>

@@ -24,9 +24,22 @@ struct IoStats {
   uint64_t physical_writes = 0;  ///< dirty pages flushed to the PageFile
   uint64_t logical_reads = 0;    ///< page fetch requests (hits + misses)
   uint64_t buffer_hits = 0;      ///< fetches served from the buffer pool
+  /// Page fetches avoided by batched multi-probe descent: a node fetched
+  /// once for a group of k probes would have been fetched k times on the
+  /// per-probe path, so the descent reports k-1 here. Purely informational
+  /// (not part of the logical == hits + physical invariant).
+  uint64_t probe_fetches_saved = 0;
 
   /// Total physical I/Os — the paper's query-cost metric.
   [[nodiscard]] uint64_t TotalIos() const { return physical_reads + physical_writes; }
+
+  /// Fraction of logical reads served from the buffer (0 when idle).
+  [[nodiscard]] double HitRate() const {
+    return logical_reads == 0
+               ? 0.0
+               : static_cast<double>(buffer_hits) /
+                     static_cast<double>(logical_reads);
+  }
 
   void Reset() { *this = IoStats{}; }
 
@@ -37,6 +50,7 @@ struct IoStats {
     d.physical_writes = physical_writes - earlier.physical_writes;
     d.logical_reads = logical_reads - earlier.logical_reads;
     d.buffer_hits = buffer_hits - earlier.buffer_hits;
+    d.probe_fetches_saved = probe_fetches_saved - earlier.probe_fetches_saved;
     return d;
   }
 };
@@ -53,6 +67,9 @@ class AtomicIoStats {
   void AddPhysicalWrite() { Inc(physical_writes_); }
   void AddLogicalRead() { Inc(logical_reads_); }
   void AddBufferHit() { Inc(buffer_hits_); }
+  void AddProbeFetchesSaved(uint64_t n) {
+    probe_fetches_saved_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Plain-POD view; feed it to IoStats::Since for batch deltas.
   [[nodiscard]] IoStats Snapshot() const {
@@ -61,6 +78,8 @@ class AtomicIoStats {
     s.physical_writes = physical_writes_.load(std::memory_order_relaxed);
     s.logical_reads = logical_reads_.load(std::memory_order_relaxed);
     s.buffer_hits = buffer_hits_.load(std::memory_order_relaxed);
+    s.probe_fetches_saved =
+        probe_fetches_saved_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -69,6 +88,7 @@ class AtomicIoStats {
     physical_writes_.store(0, std::memory_order_relaxed);
     logical_reads_.store(0, std::memory_order_relaxed);
     buffer_hits_.store(0, std::memory_order_relaxed);
+    probe_fetches_saved_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -80,6 +100,7 @@ class AtomicIoStats {
   std::atomic<uint64_t> physical_writes_{0};
   std::atomic<uint64_t> logical_reads_{0};
   std::atomic<uint64_t> buffer_hits_{0};
+  std::atomic<uint64_t> probe_fetches_saved_{0};
 };
 
 /// Per-I/O latency charged by the paper's cost model (Sec. 6): 10 ms.

@@ -1,18 +1,44 @@
 // On-disk layout of a .bag index file, shared by boxagg_cli (writer),
-// boxagg_fsck (verifier), and the fsck tests.
+// boxagg_fsck (verifier), the BagFile commit/recovery layer
+// (core/bag_file.h), and the crash tests.
 //
-// A .bag file is a PageFile whose page 0 is a superblock; every other page
-// belongs to exactly one of the root trees (or sits on the in-memory free
-// list while the file is open). Layout of page 0:
+// Format v2 (crash-safe, shadow-paged). The *physical* file is a PageFile
+// whose every slot carries the page_header.h envelope (CRC32C + epoch).
+// Physical pages 0 and 1 are the two superblock slots of a ping-pong
+// commit scheme: generation g lives in slot g % 2, so publishing
+// generation g+1 never overwrites the superblock of the still-live
+// generation g. Everything indexes see is a *logical* page id; the
+// superblock points at a chain of map pages translating logical ids to
+// the physical pages holding their current contents, plus the epoch each
+// logical page was last written in (stale/lost-write detection).
 //
-//   offset 0   u64  magic        0xb0cca99a66700201 ("boxagg" v1)
-//   offset 8   u32  dims         extensional dimensionality d
-//   offset 12  u32  num_roots    tree-root count (CLI writes 2 * 2^d:
-//                                2^d SUM corners then 2^d COUNT corners)
-//   offset 16  u64  roots[i]     PackedBaTree<double> root page ids
+// Superblock payload (inside the checksummed physical page):
+//
+//   offset 0   u64  magic          kBagMagic ("boxagg" v2)
+//   offset 8   u64  generation     commit number; slot = generation % 2
+//   offset 16  u32  dims           extensional dimensionality d
+//   offset 20  u32  num_roots      tree-root count (CLI writes 2 * 2^d)
+//   offset 24  u64  logical_pages  logical address-space size
+//   offset 32  u64  map_head       physical id of first map page
+//                                  (kInvalidPageId when logical_pages == 0)
+//   offset 40  u64  map_pages      length of the map chain
+//   offset 48  u64  roots[i]       logical root page ids (may be
+//                                  kInvalidPageId for an empty tree)
+//
+// Map page payload:
+//
+//   offset 0   u64  magic          kBagMapMagic
+//   offset 8   u64  next           physical id of next map page, or
+//                                  kInvalidPageId at the end of the chain
+//   offset 16  u64  first_logical  logical id of entry 0 on this page
+//   offset 24  u64  entry_count
+//   offset 32  { u64 physical, u64 epoch } [entry_count]
+//                                  physical == kInvalidPageId marks an
+//                                  unallocated / freed logical page
 //
 // The reader treats every root uniformly — SUM vs COUNT only changes the
-// values stored, not the structure — so fsck needs nothing but (dims, roots).
+// values stored, not the structure — so fsck needs nothing but
+// (dims, roots) plus the map.
 
 #ifndef BOXAGG_CORE_BAG_FORMAT_H_
 #define BOXAGG_CORE_BAG_FORMAT_H_
@@ -27,16 +53,43 @@
 
 namespace boxagg {
 
-inline constexpr uint64_t kBagMagic = 0xb0cca99a66700201ull;  // "boxagg" v1
+inline constexpr uint64_t kBagMagic = 0xb0cca99a66700202ull;  // "boxagg" v2
+inline constexpr uint64_t kBagMapMagic = 0xb0cca99a66700203ull;
+
+/// The two physical superblock slots of the ping-pong scheme.
+inline constexpr PageId kBagSuperblockSlots = 2;
 
 inline constexpr uint32_t kBagOffMagic = 0;
-inline constexpr uint32_t kBagOffDims = 8;
-inline constexpr uint32_t kBagOffNumRoots = 12;
-inline constexpr uint32_t kBagOffRoots = 16;
+inline constexpr uint32_t kBagOffGeneration = 8;
+inline constexpr uint32_t kBagOffDims = 16;
+inline constexpr uint32_t kBagOffNumRoots = 20;
+inline constexpr uint32_t kBagOffLogicalPages = 24;
+inline constexpr uint32_t kBagOffMapHead = 32;
+inline constexpr uint32_t kBagOffMapPages = 40;
+inline constexpr uint32_t kBagOffRoots = 48;
+
+inline constexpr uint32_t kBagMapOffMagic = 0;
+inline constexpr uint32_t kBagMapOffNext = 8;
+inline constexpr uint32_t kBagMapOffFirstLogical = 16;
+inline constexpr uint32_t kBagMapOffEntryCount = 24;
+inline constexpr uint32_t kBagMapOffEntries = 32;
+inline constexpr uint32_t kBagMapEntrySize = 16;
+
+/// One logical page's translation: where it lives and when it was written.
+struct BagMapEntry {
+  PageId physical = kInvalidPageId;
+  uint64_t epoch = 0;
+
+  [[nodiscard]] bool mapped() const { return physical != kInvalidPageId; }
+};
 
 /// Decoded superblock contents.
 struct BagSuperblock {
+  uint64_t generation = 0;
   uint32_t dims = 0;
+  uint64_t logical_pages = 0;
+  PageId map_head = kInvalidPageId;
+  uint64_t map_pages = 0;
   std::vector<PageId> roots;
 };
 
@@ -45,8 +98,14 @@ inline uint32_t BagMaxRoots(uint32_t page_size) {
   return (page_size - kBagOffRoots) / 8;
 }
 
-/// Parses and sanity-checks page 0. Corruption on a bad magic, an
-/// out-of-range dimensionality, or a root array that cannot fit the page.
+/// Map-translation entries one map page can hold.
+inline uint32_t BagMapEntriesPerPage(uint32_t page_size) {
+  return (page_size - kBagMapOffEntries) / kBagMapEntrySize;
+}
+
+/// Parses and sanity-checks one superblock slot. Corruption on a bad
+/// magic, an out-of-range dimensionality, or a root array that cannot fit
+/// the page. (The slot's CRC was already verified by the page read.)
 inline Status ReadBagSuperblock(const Page& p, BagSuperblock* out) {
   if (p.ReadAt<uint64_t>(kBagOffMagic) != kBagMagic) {
     return Status::Corruption("superblock magic mismatch (not a .bag file)");
@@ -58,13 +117,16 @@ inline Status ReadBagSuperblock(const Page& p, BagSuperblock* out) {
                               "]");
   }
   const uint32_t num_roots = p.ReadAt<uint32_t>(kBagOffNumRoots);
-  if (num_roots == 0 || num_roots > BagMaxRoots(p.size())) {
+  if (num_roots > BagMaxRoots(p.size())) {
     return Status::Corruption("superblock root count " +
-                              std::to_string(num_roots) +
-                              " outside [1, " +
-                              std::to_string(BagMaxRoots(p.size())) + "]");
+                              std::to_string(num_roots) + " exceeds " +
+                              std::to_string(BagMaxRoots(p.size())));
   }
+  out->generation = p.ReadAt<uint64_t>(kBagOffGeneration);
   out->dims = dims;
+  out->logical_pages = p.ReadAt<uint64_t>(kBagOffLogicalPages);
+  out->map_head = p.ReadAt<uint64_t>(kBagOffMapHead);
+  out->map_pages = p.ReadAt<uint64_t>(kBagOffMapPages);
   out->roots.clear();
   out->roots.reserve(num_roots);
   for (uint32_t i = 0; i < num_roots; ++i) {
@@ -73,12 +135,16 @@ inline Status ReadBagSuperblock(const Page& p, BagSuperblock* out) {
   return Status::OK();
 }
 
-/// Writes a superblock into (pre-zeroed) page 0.
+/// Writes a superblock into a (pre-zeroed) superblock slot page.
 inline void WriteBagSuperblock(Page* p, const BagSuperblock& sb) {
   p->WriteAt<uint64_t>(kBagOffMagic, kBagMagic);
+  p->WriteAt<uint64_t>(kBagOffGeneration, sb.generation);
   p->WriteAt<uint32_t>(kBagOffDims, sb.dims);
   p->WriteAt<uint32_t>(kBagOffNumRoots,
                        static_cast<uint32_t>(sb.roots.size()));
+  p->WriteAt<uint64_t>(kBagOffLogicalPages, sb.logical_pages);
+  p->WriteAt<uint64_t>(kBagOffMapHead, sb.map_head);
+  p->WriteAt<uint64_t>(kBagOffMapPages, sb.map_pages);
   for (uint32_t i = 0; i < sb.roots.size(); ++i) {
     p->WriteAt<uint64_t>(kBagOffRoots + 8 * i, sb.roots[i]);
   }

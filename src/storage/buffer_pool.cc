@@ -1,5 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
+#include <thread>
+
 namespace boxagg {
 
 namespace {
@@ -8,8 +11,9 @@ namespace {
 constexpr size_t kMinShardFrames = 8;
 }  // namespace
 
-BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
-    : file_(file) {
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards,
+                       BufferPoolOptions opts)
+    : file_(file), opts_(opts) {
   if (shards == 0) shards = 1;
   if (capacity < kMinShardFrames) capacity = kMinShardFrames;
   shards_.reserve(shards);
@@ -77,7 +81,7 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
   }
   Frame* f = nullptr;
   BOXAGG_RETURN_NOT_OK(GetFreeFrame(s, &f));
-  if (Status st = file_->ReadPage(id, &f->page); !st.ok()) {
+  if (Status st = ReadWithRetry(id, &f->page); !st.ok()) {
     s.free_frames.push_back(f);  // don't leak the frame on a failed read
     return st;
   }
@@ -89,6 +93,23 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
   s.frames[id] = f;
   *out = PageGuard(this, f);
   return Status::OK();
+}
+
+Status BufferPool::ReadWithRetry(PageId id, Page* page) {
+  Status st = file_->ReadPage(id, page);
+  for (size_t attempt = 1;
+       !st.ok() && st.code() == Status::Code::kIoError &&
+       attempt <= opts_.max_read_retries;
+       ++attempt) {
+    stats_.AddReadRetry();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        opts_.retry_backoff_us << (attempt - 1)));
+    st = file_->ReadPage(id, page);
+  }
+  if (!st.ok() && st.code() == Status::Code::kCorruption) {
+    stats_.AddChecksumFailure();
+  }
+  return st;
 }
 
 Status BufferPool::FetchMulti(const PageId* ids, size_t count,

@@ -29,6 +29,14 @@ struct IoStats {
   /// per-probe path, so the descent reports k-1 here. Purely informational
   /// (not part of the logical == hits + physical invariant).
   uint64_t probe_fetches_saved = 0;
+  /// Fetches that failed page verification (CRC mismatch, bad magic, or a
+  /// misdirected-write header) and surfaced Status::kCorruption. Always 0
+  /// on a healthy store. Not part of the logical == hits + physical
+  /// invariant (a failed fetch is neither a hit nor a physical read).
+  uint64_t checksum_failures = 0;
+  /// Transient-read retry attempts made by the buffer pool's bounded
+  /// retry-with-backoff before a fetch succeeded or gave up with kIoError.
+  uint64_t read_retries = 0;
 
   /// Total physical I/Os — the paper's query-cost metric.
   [[nodiscard]] uint64_t TotalIos() const { return physical_reads + physical_writes; }
@@ -51,6 +59,8 @@ struct IoStats {
     d.logical_reads = logical_reads - earlier.logical_reads;
     d.buffer_hits = buffer_hits - earlier.buffer_hits;
     d.probe_fetches_saved = probe_fetches_saved - earlier.probe_fetches_saved;
+    d.checksum_failures = checksum_failures - earlier.checksum_failures;
+    d.read_retries = read_retries - earlier.read_retries;
     return d;
   }
 };
@@ -70,6 +80,8 @@ class AtomicIoStats {
   void AddProbeFetchesSaved(uint64_t n) {
     probe_fetches_saved_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddChecksumFailure() { Inc(checksum_failures_); }
+  void AddReadRetry() { Inc(read_retries_); }
 
   /// Plain-POD view; feed it to IoStats::Since for batch deltas.
   [[nodiscard]] IoStats Snapshot() const {
@@ -80,6 +92,8 @@ class AtomicIoStats {
     s.buffer_hits = buffer_hits_.load(std::memory_order_relaxed);
     s.probe_fetches_saved =
         probe_fetches_saved_.load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
+    s.read_retries = read_retries_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -89,6 +103,8 @@ class AtomicIoStats {
     logical_reads_.store(0, std::memory_order_relaxed);
     buffer_hits_.store(0, std::memory_order_relaxed);
     probe_fetches_saved_.store(0, std::memory_order_relaxed);
+    checksum_failures_.store(0, std::memory_order_relaxed);
+    read_retries_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -101,6 +117,8 @@ class AtomicIoStats {
   std::atomic<uint64_t> logical_reads_{0};
   std::atomic<uint64_t> buffer_hits_{0};
   std::atomic<uint64_t> probe_fetches_saved_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> read_retries_{0};
 };
 
 /// Per-I/O latency charged by the paper's cost model (Sec. 6): 10 ms.

@@ -3,10 +3,64 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <unordered_set>
 
 namespace boxagg {
+
+namespace {
+
+// Per-thread scratch for one encoded slot: FilePageFile serves concurrent
+// readers (one per buffer-pool shard), so the staging buffer cannot be a
+// shared member.
+std::vector<uint8_t>& SlotScratch(size_t n) {
+  thread_local std::vector<uint8_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+// pread/pwrite transfer as much as the kernel feels like; a short transfer
+// on a regular file is rare but legal (signals, quotas, files ending
+// mid-slot). Loop until the full range moved or a hard error: a silently
+// short page write is an undetectable half-page of garbage.
+
+Status FullPread(int fd, uint8_t* buf, size_t n, off_t off, size_t* got) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, buf + done, n - done,
+                        off + static_cast<off_t>(done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread: " + std::string(std::strerror(errno)));
+    }
+    if (r == 0) break;  // EOF: caller zero-fills the tail
+    done += static_cast<size_t>(r);
+  }
+  *got = done;
+  return Status::OK();
+}
+
+Status FullPwrite(int fd, const uint8_t* buf, size_t n, off_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd, buf + done, n - done,
+                         off + static_cast<off_t>(done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      return Status::IoError("pwrite: zero-byte transfer (no space?)");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status PageFile::Allocate(PageId* out) {
   if (!free_list_.empty()) {
@@ -28,29 +82,55 @@ Status PageFile::Free(PageId id) {
   return Status::OK();
 }
 
+void PageFile::SetFreeList(std::vector<PageId> free_ids) {
+#ifndef NDEBUG
+  std::unordered_set<PageId> seen;
+  for (PageId id : free_ids) {
+    assert(id < page_count_ && "SetFreeList id beyond page_count");
+    assert(seen.insert(id).second && "SetFreeList duplicate id");
+  }
+#endif
+  free_list_ = std::move(free_ids);
+}
+
 // ---------------------------------------------------------------------------
 // MemPageFile
 
 Status MemPageFile::Extend(uint64_t new_count) {
-  pages_.resize(new_count);
+  slots_.resize(new_count);
   return Status::OK();
 }
 
-Status MemPageFile::ReadPage(PageId id, Page* page) {
+Status MemPageFile::Free(PageId id) {
+  BOXAGG_RETURN_NOT_OK(PageFile::Free(id));
+#ifndef NDEBUG
+  // Poison the freed slot: a later read of this id before it is rewritten
+  // now fails the header check instead of returning stale-but-plausible
+  // bytes. (Release builds skip the fill; freed contents are undefined
+  // either way.)
+  if (id < slots_.size() && !slots_[id].empty()) {
+    std::fill(slots_[id].begin(), slots_[id].end(), uint8_t{0xDB});
+  }
+#endif
+  return Status::OK();
+}
+
+Status MemPageFile::ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) {
   if (id >= page_count_) return Status::NotFound("page id out of range");
-  auto& src = pages_[id];
+  auto& src = slots_[id];
   if (src.empty()) {
     page->Zero();  // never-written page reads as zeros
-  } else {
-    page->WriteBytes(0, src.data(), page_size_);
+    if (epoch_out != nullptr) *epoch_out = 0;
+    return Status::OK();
   }
-  return Status::OK();
+  return DecodePageSlot(src.data(), page_size_, id, page->data(), epoch_out);
 }
 
 Status MemPageFile::WritePage(PageId id, const Page& page) {
   if (id >= page_count_) return Status::NotFound("page id out of range");
-  auto& dst = pages_[id];
-  dst.assign(page.data(), page.data() + page_size_);
+  auto& dst = slots_[id];
+  dst.resize(slot_size());
+  EncodePageSlot(dst.data(), page_size_, id, write_epoch_, page.data());
   return Status::OK();
 }
 
@@ -58,7 +138,7 @@ Status MemPageFile::WritePage(PageId id, const Page& page) {
 // FilePageFile
 
 FilePageFile::~FilePageFile() {
-  if (fd_ >= 0) ::close(fd_);
+  IgnoreStatus(Close());  // best-effort: destructor cannot surface errors
 }
 
 Status FilePageFile::Open(const std::string& path, uint32_t page_size,
@@ -76,40 +156,60 @@ Status FilePageFile::Open(const std::string& path, uint32_t page_size,
   if (end < 0) {
     return Status::IoError("lseek: " + std::string(std::strerror(errno)));
   }
-  file->page_count_ = static_cast<uint64_t>(end) / page_size;
+  // Round a partial tail slot (torn OS-level extend) up to a page: reading
+  // it then fails the checksum instead of silently vanishing.
+  const uint64_t slot = uint64_t{page_size} + kPageHeaderSize;
+  file->page_count_ = (static_cast<uint64_t>(end) + slot - 1) / slot;
   *out = std::move(file);
   return Status::OK();
 }
 
 Status FilePageFile::Extend(uint64_t new_count) {
-  if (::ftruncate(fd_, static_cast<off_t>(new_count * page_size_)) != 0) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_count * slot_size())) != 0) {
     return Status::NoSpace("ftruncate: " + std::string(std::strerror(errno)));
   }
   return Status::OK();
 }
 
-Status FilePageFile::ReadPage(PageId id, Page* page) {
+Status FilePageFile::ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) {
   if (id >= page_count_) return Status::NotFound("page id out of range");
-  ssize_t n = ::pread(fd_, page->data(), page_size_,
-                      static_cast<off_t>(id * page_size_));
-  if (n < 0) {
-    return Status::IoError("pread: " + std::string(std::strerror(errno)));
+  const size_t n = slot_size();
+  std::vector<uint8_t>& slot = SlotScratch(n);
+  size_t got = 0;
+  BOXAGG_RETURN_NOT_OK(
+      FullPread(fd_, slot.data(), n, static_cast<off_t>(id * n), &got));
+  if (got < n) {
+    // Slot allocated via ftruncate but never (fully) materialized; the tail
+    // reads as zeros and the decoder decides whether that is consistent.
+    std::memset(slot.data() + got, 0, n - got);
   }
-  if (static_cast<uint32_t>(n) < page_size_) {
-    // Page was allocated via ftruncate but never written; the tail is zeros.
-    std::memset(page->data() + n, 0, page_size_ - n);
-  }
-  return Status::OK();
+  return DecodePageSlot(slot.data(), page_size_, id, page->data(), epoch_out);
 }
 
 Status FilePageFile::WritePage(PageId id, const Page& page) {
   if (id >= page_count_) return Status::NotFound("page id out of range");
-  ssize_t n = ::pwrite(fd_, page.data(), page_size_,
-                       static_cast<off_t>(id * page_size_));
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+  const size_t n = slot_size();
+  std::vector<uint8_t>& slot = SlotScratch(n);
+  EncodePageSlot(slot.data(), page_size_, id, write_epoch_, page.data());
+  return FullPwrite(fd_, slot.data(), n, static_cast<off_t>(id * n));
+}
+
+Status FilePageFile::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("Sync on closed file");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync: " + std::string(std::strerror(errno)));
   }
   return Status::OK();
+}
+
+Status FilePageFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status sync = Sync();
+  if (::close(fd_) != 0 && sync.ok()) {
+    sync = Status::IoError("close: " + std::string(std::strerror(errno)));
+  }
+  fd_ = -1;
+  return sync;
 }
 
 }  // namespace boxagg

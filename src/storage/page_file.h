@@ -7,6 +7,16 @@
 //  - MemPageFile: in-memory vector of pages; same allocation semantics, used
 //    by unit tests and by benches that only need I/O *counts* (the counts are
 //    identical — the buffer pool does the counting).
+// A third, FaultInjectingPageFile (fault_injection.h), is an in-memory
+// backend with deterministic failure injection for crash-safety tests.
+//
+// Durability envelope: every backend stores each page inside a slot of
+// kPageHeaderSize + page_size bytes (see page_header.h). WritePage stamps
+// the slot with a CRC32C, the page id, and the file's current write epoch;
+// ReadPage verifies all three and fails with Status::kCorruption on any
+// mismatch — a flipped bit, a torn write, or a misdirected write. The
+// header is invisible to callers: pages still carry exactly page_size
+// payload bytes.
 
 #ifndef BOXAGG_STORAGE_PAGE_FILE_H_
 #define BOXAGG_STORAGE_PAGE_FILE_H_
@@ -16,6 +26,7 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "storage/page_header.h"
 #include "storage/status.h"
 
 namespace boxagg {
@@ -53,21 +64,44 @@ class PageFile {
   }
 
   /// Allocates a page (reusing a freed one if available) and returns its id.
-  Status Allocate(PageId* out);
+  virtual Status Allocate(PageId* out);
 
   /// Returns a page to the free list. The page's contents become undefined.
-  Status Free(PageId id);
+  virtual Status Free(PageId id);
 
   /// Reads page `id` into `page` (page->size() must equal page_size()).
-  virtual Status ReadPage(PageId id, Page* page) = 0;
+  Status ReadPage(PageId id, Page* page) {
+    return ReadPageEx(id, page, nullptr);
+  }
 
-  /// Writes `page` to page `id`.
+  /// ReadPage plus the epoch stamped in the slot header (0 for a
+  /// never-written page). Recovery and fsck use the epoch to detect stale
+  /// (older-generation) page versions; ordinary readers pass nullptr.
+  virtual Status ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) = 0;
+
+  /// Writes `page` to page `id`, stamping the slot with write_epoch().
   virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Makes every completed WritePage durable (fsync for file backends).
+  /// The atomic-commit protocol (core/bag_file.h) orders its superblock
+  /// publish after a Sync of the data it references.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// Epoch stamped into subsequently written page headers. The commit
+  /// layer sets this to the in-flight generation number; standalone files
+  /// keep the default.
+  void set_write_epoch(uint64_t epoch) { write_epoch_ = epoch; }
+  [[nodiscard]] uint64_t write_epoch() const { return write_epoch_; }
 
   /// Freed page ids awaiting reuse (read-only view for verification tools).
   [[nodiscard]] const std::vector<PageId>& free_list() const {
     return free_list_;
   }
+
+  /// Replaces the free list wholesale. Recovery uses this to hand back the
+  /// swept set of pages unreachable from the recovered generation. Every id
+  /// must be < page_count() and distinct.
+  void SetFreeList(std::vector<PageId> free_ids);
 
   /// Audits the allocation state: every free-list id was actually allocated
   /// (< page_count) and no id is freed twice. Implemented in
@@ -78,25 +112,37 @@ class PageFile {
   /// Grows the backing store to hold `new_count` pages.
   virtual Status Extend(uint64_t new_count) = 0;
 
+  /// Bytes one page occupies in the backing store (header + payload).
+  [[nodiscard]] uint64_t slot_size() const {
+    return uint64_t{page_size_} + kPageHeaderSize;
+  }
+
   uint32_t page_size_;
   uint64_t page_count_ = 0;
+  uint64_t write_epoch_ = 1;
   std::vector<PageId> free_list_;
 };
 
-/// \brief In-memory PageFile; pages live in heap vectors.
+/// \brief In-memory PageFile; page slots live in heap vectors.
 class MemPageFile : public PageFile {
  public:
   explicit MemPageFile(uint32_t page_size = kDefaultPageSize)
       : PageFile(page_size) {}
 
-  Status ReadPage(PageId id, Page* page) override;
+  /// Free plus debug-mode poisoning: in debug builds the freed slot is
+  /// filled with 0xDB so a use-after-free of the page id fails loudly
+  /// (bad page magic -> Status::kCorruption) instead of reading stale
+  /// bytes that happen to still parse.
+  Status Free(PageId id) override;
+
+  Status ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) override;
   Status WritePage(PageId id, const Page& page) override;
 
  protected:
   Status Extend(uint64_t new_count) override;
 
  private:
-  std::vector<std::vector<uint8_t>> pages_;
+  std::vector<std::vector<uint8_t>> slots_;
 };
 
 /// \brief POSIX-file-backed PageFile.
@@ -109,8 +155,16 @@ class FilePageFile : public PageFile {
   static Status Open(const std::string& path, uint32_t page_size,
                      bool truncate, std::unique_ptr<FilePageFile>* out);
 
-  Status ReadPage(PageId id, Page* page) override;
+  Status ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) override;
   Status WritePage(PageId id, const Page& page) override;
+
+  /// fsync: all completed writes reach stable storage before this returns.
+  Status Sync() override;
+
+  /// Syncs and closes the descriptor; idempotent. Also run (best-effort)
+  /// by the destructor, so dropping the object never loses acknowledged
+  /// writes to an unflushed kernel cache on a clean shutdown.
+  Status Close();
 
  protected:
   Status Extend(uint64_t new_count) override;

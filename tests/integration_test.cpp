@@ -76,9 +76,9 @@ class FlakyPageFile : public MemPageFile {
   void FailAfter(int ops) { countdown_ = ops; }
   void Heal() { countdown_ = -1; }
 
-  Status ReadPage(PageId id, Page* page) override {
+  Status ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) override {
     BOXAGG_RETURN_NOT_OK(Tick());
-    return MemPageFile::ReadPage(id, page);
+    return MemPageFile::ReadPageEx(id, page, epoch_out);
   }
   Status WritePage(PageId id, const Page& page) override {
     BOXAGG_RETURN_NOT_OK(Tick());

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <random>
+#include <string>
 
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -433,6 +435,66 @@ TEST(BufferPoolProperty, RandomWorkloadMatchesDirectFile) {
       }
     }
   }
+}
+
+#ifndef NDEBUG
+TEST(MemPageFileDebug, FreedPageIsPoisonedAndFailsLoudly) {
+  // Debug builds fill freed slots with 0xDB: a use-after-free of the page
+  // id must fail the checksum instead of serving stale-but-parsable bytes.
+  MemPageFile file(512);
+  PageId id = kInvalidPageId;
+  ASSERT_TRUE(file.Allocate(&id).ok());
+  Page p(512);
+  p.WriteAt<uint64_t>(0, 0x1234);
+  ASSERT_TRUE(file.WritePage(id, p).ok());
+  ASSERT_TRUE(file.Free(id).ok());
+
+  Page r(512);
+  Status st = file.ReadPage(id, &r);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kCorruption) << st.ToString();
+}
+#endif
+
+TEST(PageFileTest, SetFreeListReplacesAllocationState) {
+  MemPageFile file(512);
+  PageId id = kInvalidPageId;
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(file.Allocate(&id).ok());
+  // Recovery hands back a swept set wholesale (descending, so pop_back
+  // allocation reuses the lowest id first).
+  file.SetFreeList({5, 3, 2});
+  EXPECT_EQ(file.live_page_count(), 3u);
+  ASSERT_TRUE(file.CheckConsistency().ok());
+  ASSERT_TRUE(file.Allocate(&id).ok());
+  EXPECT_EQ(id, 2u);
+  ASSERT_TRUE(file.Allocate(&id).ok());
+  EXPECT_EQ(id, 3u);
+  ASSERT_TRUE(file.Allocate(&id).ok());
+  EXPECT_EQ(id, 5u);
+  ASSERT_TRUE(file.Allocate(&id).ok());
+  EXPECT_EQ(id, 6u);  // free list exhausted: extend
+}
+
+TEST(FilePageFileTest, CloseIsIdempotentAndDurable) {
+  const std::string path = ::testing::TempDir() + "close_test.pages";
+  std::unique_ptr<FilePageFile> file;
+  ASSERT_TRUE(FilePageFile::Open(path, 512, /*truncate=*/true, &file).ok());
+  PageId id = kInvalidPageId;
+  ASSERT_TRUE(file->Allocate(&id).ok());
+  Page p(512);
+  p.WriteAt<uint64_t>(0, 99);
+  ASSERT_TRUE(file->WritePage(id, p).ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(file->Close().ok());  // second close is a no-op
+  // Post-close I/O fails instead of writing through a dead descriptor.
+  EXPECT_FALSE(file->WritePage(id, p).ok());
+
+  std::unique_ptr<FilePageFile> reopened;
+  ASSERT_TRUE(FilePageFile::Open(path, 512, false, &reopened).ok());
+  Page r(512);
+  ASSERT_TRUE(reopened->ReadPage(id, &r).ok());
+  EXPECT_EQ(r.ReadAt<uint64_t>(0), 99u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -8,8 +8,10 @@
 //   boxagg_cli query index.bag xlo ylo xhi yhi        SUM / COUNT / AVG
 //   boxagg_cli stats index.bag                        size & structure info
 //
-// The index file is a PageFile whose page 0 is a superblock holding the
-// magic, dimensionality, and the roots of the eight dominance indexes.
+// The index file is a crash-safe BagFile (core/bag_file.h): every page is
+// stored under a CRC32C envelope, and `build` publishes the finished trees
+// with one atomic Commit — a killed build leaves either a complete index
+// or no generation at all, never a half-written one.
 
 #include <cinttypes>
 #include <cstdio>
@@ -20,7 +22,7 @@
 #include <vector>
 
 #include "batree/packed_ba_tree.h"
-#include "core/bag_format.h"
+#include "core/bag_file.h"
 #include "core/box_sum_index.h"
 #include "storage/buffer_pool.h"
 #include "workload/generators.h"
@@ -96,14 +98,13 @@ int CmdBuild(int argc, char** argv) {
             "open index")) {
     return 1;
   }
-  BufferPool pool(file.get(),
+  std::unique_ptr<BagFile> bag;
+  if (DieIf(BagFile::Create(file.get(), kDims, kNumRoots, &bag),
+            "initialize index")) {
+    return 1;
+  }
+  BufferPool pool(bag.get(),
                   BufferPool::CapacityForMegabytes(64, kDefaultPageSize));
-  // Reserve page 0 as the superblock before the trees allocate anything.
-  PageGuard super;
-  if (DieIf(pool.New(&super), "allocate superblock")) return 1;
-  if (super.id() != 0) return Die("superblock not at page 0");
-  super.MarkDirty();
-  super.Release();
 
   std::vector<PageId> roots;
   {
@@ -117,23 +118,19 @@ int CmdBuild(int argc, char** argv) {
     for (uint32_t s = 0; s < 4; ++s) roots.push_back(sums.index(s).root());
     for (uint32_t s = 0; s < 4; ++s) roots.push_back(counts.index(s).root());
   }
-  {
-    PageGuard g;
-    if (DieIf(pool.Fetch(0, &g), "fetch superblock")) return 1;
-    BagSuperblock sb;
-    sb.dims = kDims;
-    sb.roots = roots;
-    WriteBagSuperblock(g.page(), sb);
-    g.MarkDirty();
-  }
+  // Flush the trees' pages into the shadow layer, then publish them as
+  // generation 1 in one atomic, durable step.
   if (DieIf(pool.FlushAll(), "flush")) return 1;
+  if (DieIf(bag->Commit(roots), "commit")) return 1;
+  if (DieIf(file->Close(), "close")) return 1;
   std::printf("built %s: %" PRIu64 " pages (%.1f MB)\n", argv[1],
-              file->live_page_count(),
+              bag->live_page_count(),
               static_cast<double>(file->size_bytes()) / (1024 * 1024));
   return 0;
 }
 
 int OpenIndex(const char* path, std::unique_ptr<FilePageFile>* file,
+              std::unique_ptr<BagFile>* bag,
               std::unique_ptr<BufferPool>* pool,
               std::vector<PageId>* roots) {
   if (DieIf(FilePageFile::Open(path, kDefaultPageSize, /*truncate=*/false,
@@ -141,16 +138,13 @@ int OpenIndex(const char* path, std::unique_ptr<FilePageFile>* file,
             "open index")) {
     return 1;
   }
-  *pool = std::make_unique<BufferPool>(
-      file->get(), BufferPool::CapacityForMegabytes(10, kDefaultPageSize));
-  PageGuard g;
-  if (DieIf((*pool)->Fetch(0, &g), "read superblock")) return 1;
-  BagSuperblock sb;
-  if (DieIf(ReadBagSuperblock(*g.page(), &sb), "read superblock")) return 1;
-  if (sb.dims != kDims || sb.roots.size() != kNumRoots) {
+  if (DieIf(BagFile::Open(file->get(), bag), "recover index")) return 1;
+  if ((*bag)->dims() != kDims || (*bag)->num_roots() != kNumRoots) {
     return Die("unsupported index layout");
   }
-  *roots = std::move(sb.roots);
+  *pool = std::make_unique<BufferPool>(
+      bag->get(), BufferPool::CapacityForMegabytes(10, kDefaultPageSize));
+  *roots = (*bag)->roots();
   return 0;
 }
 
@@ -159,9 +153,10 @@ int CmdQuery(int argc, char** argv) {
     return Die("query: usage: query index.bag xlo ylo xhi yhi");
   }
   std::unique_ptr<FilePageFile> file;
+  std::unique_ptr<BagFile> bag;
   std::unique_ptr<BufferPool> pool;
   std::vector<PageId> roots;
-  if (OpenIndex(argv[0], &file, &pool, &roots)) return 1;
+  if (OpenIndex(argv[0], &file, &bag, &pool, &roots)) return 1;
 
   uint32_t next_sum = 0, next_count = 4;
   BoxSumIndex<PackedBaTree<double>> sums(kDims, [&] {
@@ -192,14 +187,17 @@ int CmdQuery(int argc, char** argv) {
 int CmdStats(int argc, char** argv) {
   if (argc < 1) return Die("stats: usage: stats index.bag");
   std::unique_ptr<FilePageFile> file;
+  std::unique_ptr<BagFile> bag;
   std::unique_ptr<BufferPool> pool;
   std::vector<PageId> roots;
-  if (OpenIndex(argv[0], &file, &pool, &roots)) return 1;
+  if (OpenIndex(argv[0], &file, &bag, &pool, &roots)) return 1;
   std::printf("index file: %s\n", argv[0]);
-  std::printf("  pages: %" PRIu64 " (%.1f MB), page size %u\n",
-              file->live_page_count(),
+  std::printf("  generation %" PRIu64 ", %" PRIu64 " logical pages "
+              "(%" PRIu64 " physical, %.1f MB), page size %u\n",
+              bag->generation(), bag->live_page_count(),
+              file->page_count(),
               static_cast<double>(file->size_bytes()) / (1024 * 1024),
-              file->page_size());
+              bag->page_size());
   const char* names[kNumRoots] = {"sum[ll]",   "sum[hl]",   "sum[lh]",
                                   "sum[hh]",   "count[ll]", "count[hl]",
                                   "count[lh]", "count[hh]"};

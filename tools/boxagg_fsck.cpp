@@ -2,15 +2,19 @@
 //
 //   boxagg_fsck [--no-oracle] [--strict] index.bag
 //
-// Runs every structural validator over the file — superblock, each root
-// tree's invariants (page typing, key order, subtree-aggregate identities,
-// border tiling, packed-heap layout), buffer-pool/page-file accounting, and
-// an orphaned-page sweep. Exit status 0 iff the file is clean; 1 on
-// corruption (with a page-level diagnostic) or usage error.
+// Recovers the file to its newest durable generation (exactly as a normal
+// open would), verifies every physical slot's CRC32C envelope, cross-checks
+// page epochs against the generation map (lost-write detection), runs each
+// root tree's structural invariants (page typing, key order, subtree-
+// aggregate identities, border tiling, packed-heap layout) with errors
+// collected per structure, audits buffer-pool/page-file accounting, and
+// sweeps for orphaned pages. Exit status 0 iff the file is clean; 1 on
+// corruption (with page-level diagnostics) or usage error.
 //
 // --no-oracle skips the query self-oracle (structural checks only; much
 //             faster on large files)
-// --strict    treats orphaned pages as corruption instead of a warning
+// --strict    treats orphaned and stale (older-generation) reachable pages
+//             as corruption instead of a warning
 
 #include <cinttypes>
 #include <cstdio>
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
       options.check_oracle = false;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       options.strict_orphans = true;
+      options.strict_stale = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "boxagg_fsck: unknown option %s\n", argv[i]);
       return Usage();
@@ -52,10 +57,23 @@ int main(int argc, char** argv) {
 
   FsckReport report;
   Status st = FsckIndexFile(path, options, &report);
-  std::printf("%s: %" PRIu64 " pages, %u dims, %zu roots\n", path,
-              report.file_pages, report.dims, report.roots.size());
-  std::printf("  verified %" PRIu64 " pages, %" PRIu64 " orphaned\n",
-              report.visited_pages, report.orphan_pages);
+  std::printf("%s: generation %" PRIu64 ", %" PRIu64 " physical pages, "
+              "%" PRIu64 " logical (%" PRIu64 " mapped), %u dims, "
+              "%zu roots\n",
+              path, report.generation, report.file_pages,
+              report.logical_pages, report.mapped_pages, report.dims,
+              report.roots.size());
+  std::printf("  verified %" PRIu64 " pages, %" PRIu64 " orphaned, "
+              "%" PRIu64 " stale\n",
+              report.visited_pages, report.orphan_pages, report.stale_pages);
+  if (report.checksum_failures_live + report.checksum_failures_free > 0) {
+    std::printf("  checksum failures: %" PRIu64 " on live pages, %" PRIu64
+                " on free pages\n",
+                report.checksum_failures_live, report.checksum_failures_free);
+  }
+  for (const std::string& err : report.root_errors) {
+    std::printf("  CORRUPT %s\n", err.c_str());
+  }
   for (const std::string& note : report.notes) {
     std::printf("  note: %s\n", note.c_str());
   }

@@ -73,12 +73,12 @@ void RunBackend(const char* name, const Config& cfg, Storage* storage,
   const double ref_wall = MillisSince(rt0);
   const IoStats ref = pool->stats().Since(ref0);
 
-  std::printf("%s: %zu queries, per-query path: logical=%llu physical=%llu "
-              "wall=%.2fms\n",
-              name, nq, static_cast<unsigned long long>(ref.logical_reads),
-              static_cast<unsigned long long>(ref.physical_reads), ref_wall);
-  std::printf("  %-8s %12s %12s %10s %12s %10s\n", "batch", "logical",
-              "physical", "hit_rate", "saved", "wall_ms");
+  obs::LogInfo("%s: %zu queries, per-query path: logical=%llu physical=%llu "
+               "wall=%.2fms",
+               name, nq, static_cast<unsigned long long>(ref.logical_reads),
+               static_cast<unsigned long long>(ref.physical_reads), ref_wall);
+  obs::LogInfo("  %-8s %12s %12s %10s %12s %10s", "batch", "logical",
+               "physical", "hit_rate", "saved", "wall_ms");
 
   for (size_t batch : {size_t{1}, size_t{16}, size_t{256}, size_t{4096}}) {
     if (batch > nq) continue;
@@ -141,17 +141,17 @@ void RunBackend(const char* name, const Config& cfg, Storage* storage,
       *ok = false;
     }
 
-    std::printf("  %-8zu %12llu %12llu %9.1f%% %12llu %10.2f\n", batch,
-                static_cast<unsigned long long>(d.logical_reads),
-                static_cast<unsigned long long>(d.physical_reads),
-                100.0 * d.HitRate(),
-                static_cast<unsigned long long>(d.probe_fetches_saved), wall);
+    obs::LogInfo("  %-8zu %12llu %12llu %9.1f%% %12llu %10.2f", batch,
+                 static_cast<unsigned long long>(d.logical_reads),
+                 static_cast<unsigned long long>(d.physical_reads),
+                 100.0 * d.HitRate(),
+                 static_cast<unsigned long long>(d.probe_fetches_saved), wall);
     std::printf(
         "JSON {\"bench\":\"batch_query\",\"backend\":\"%s\",\"batch\":%zu,"
         "\"n\":%zu,\"queries\":%zu,\"logical\":%llu,\"physical\":%llu,"
         "\"buffer_hits\":%llu,\"hit_rate\":%.4f,\"probes_saved\":%llu,"
         "\"wall_ms\":%.3f,\"ref_logical\":%llu,\"ref_physical\":%llu,"
-        "\"logical_reduction\":%.4f}\n",
+        "\"logical_reduction\":%.4f,%s}\n",
         name, batch, cfg.n, nq,
         static_cast<unsigned long long>(d.logical_reads),
         static_cast<unsigned long long>(d.physical_reads),
@@ -162,7 +162,8 @@ void RunBackend(const char* name, const Config& cfg, Storage* storage,
         ref.logical_reads > 0
             ? 1.0 - static_cast<double>(d.logical_reads) /
                         static_cast<double>(ref.logical_reads)
-            : 0.0);
+            : 0.0,
+        JsonRunMeta(cfg).c_str());
   }
 
   // Morsel-partitioned parallel execution: contiguous runs of 256 queries
@@ -190,12 +191,13 @@ void RunBackend(const char* name, const Config& cfg, Storage* storage,
         "JSON {\"bench\":\"batch_query_grouped\",\"backend\":\"%s\","
         "\"threads\":%zu,\"morsel\":256,\"morsels\":%zu,\"queries\":%zu,"
         "\"logical\":%llu,\"physical\":%llu,\"hit_rate\":%.4f,"
-        "\"probes_saved\":%llu,\"wall_ms\":%.3f,\"queries_per_sec\":%.1f}\n",
+        "\"probes_saved\":%llu,\"wall_ms\":%.3f,\"queries_per_sec\":%.1f,"
+        "%s}\n",
         name, st.threads, st.morsels, st.queries,
         static_cast<unsigned long long>(st.io.logical_reads),
         static_cast<unsigned long long>(st.io.physical_reads), st.hit_rate,
         static_cast<unsigned long long>(st.io.probe_fetches_saved),
-        st.wall_ms, st.queries_per_sec);
+        st.wall_ms, st.queries_per_sec, JsonRunMeta(cfg).c_str());
   }
 
   const IoStats end = pool->stats();
@@ -211,7 +213,9 @@ int main() {
   Config cfg = Config::FromEnv();
   // Large default batch so the 4096 measurement point exists.
   if (!std::getenv("BOXAGG_QUERIES")) cfg.queries = 4096;
-  cfg.Print("Batched query execution: I/O and wall-clock vs batch size");
+  // Human-readable output goes to stderr via the logger; stdout carries only
+  // the machine-readable BASELINE and JSON lines that CI scrapes.
+  cfg.Log("Batched query execution: I/O and wall-clock vs batch size");
 
   workload::RectConfig rc;
   rc.n = cfg.n;

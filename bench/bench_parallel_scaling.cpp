@@ -29,7 +29,9 @@ using namespace boxagg::bench;
 int main() {
   Config cfg = Config::FromEnv();
   if (!std::getenv("BOXAGG_SHARDS")) cfg.shards = 8;
-  cfg.Print("Parallel scaling: box-sum queries/sec vs worker threads");
+  // Human-readable output goes to stderr via the logger; stdout carries only
+  // the machine-readable JSON lines that harnesses scrape.
+  cfg.Log("Parallel scaling: box-sum queries/sec vs worker threads");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -52,12 +54,12 @@ int main() {
   }
 
   IoStats warm = storage.pool()->stats();
-  std::printf("index: %zu objects, %.2f MB, warm (%llu physical reads "
-              "during build+warmup)\n",
-              objects.size(), storage.SizeMb(),
-              static_cast<unsigned long long>(warm.physical_reads));
-  std::printf("  %-8s %14s %12s %10s %12s %12s\n", "threads", "queries/s",
-              "wall_ms", "speedup", "p50_us", "p99_us");
+  obs::LogInfo("index: %zu objects, %.2f MB, warm (%llu physical reads "
+               "during build+warmup)",
+               objects.size(), storage.SizeMb(),
+               static_cast<unsigned long long>(warm.physical_reads));
+  obs::LogInfo("  %-8s %14s %12s %10s %12s %12s", "threads", "queries/s",
+               "wall_ms", "speedup", "p50_us", "p99_us");
 
   double base_qps = 0;
   bool ok = true;
@@ -80,17 +82,18 @@ int main() {
     }
     if (threads == 1) base_qps = best.queries_per_sec;
     double speedup = base_qps > 0 ? best.queries_per_sec / base_qps : 0;
-    std::printf("  %-8zu %14.0f %12.3f %9.2fx %12.1f %12.1f\n", threads,
-                best.queries_per_sec, best.wall_ms, speedup,
-                best.latency_p50_us, best.latency_p99_us);
+    obs::LogInfo("  %-8zu %14.0f %12.3f %9.2fx %12.1f %12.1f", threads,
+                 best.queries_per_sec, best.wall_ms, speedup,
+                 best.latency_p50_us, best.latency_p99_us);
     std::printf(
         "JSON {\"bench\":\"parallel_scaling\",\"threads\":%zu,\"shards\":%zu,"
         "\"n\":%zu,\"queries\":%zu,\"queries_per_sec\":%.1f,\"wall_ms\":%.3f,"
-        "\"speedup\":%.3f,\"latency_p50_us\":%.1f,\"latency_p99_us\":%.1f,"
-        "\"latency_max_us\":%.1f}\n",
+        "\"speedup\":%.3f,\"latency_p50_us\":%.1f,\"latency_p95_us\":%.1f,"
+        "\"latency_p99_us\":%.1f,\"latency_max_us\":%.1f,%s}\n",
         threads, cfg.shards, cfg.n, queries.size(), best.queries_per_sec,
-        best.wall_ms, speedup, best.latency_p50_us, best.latency_p99_us,
-        best.latency_max_us);
+        best.wall_ms, speedup, best.latency_p50_us, best.latency_p95_us,
+        best.latency_p99_us, best.latency_max_us,
+        JsonRunMeta(cfg).c_str());
   }
 
   // The warm read path must stay logically consistent under concurrency.

@@ -30,12 +30,31 @@
 #include <string>
 #include <vector>
 
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/query_obs.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "workload/generators.h"
 
 namespace boxagg {
 namespace bench {
+
+/// BOXAGG_OBS=1 installs a process-global metrics registry, trace ring, and
+/// query-observation sink (intentionally leaked: observability outlives every
+/// benchmark scope). CI uses this to verify that enabled-mode I/O counts are
+/// bit-identical to disabled-mode — instrumentation observes, never fetches.
+inline void MaybeEnableObsFromEnv() {
+  const char* v = std::getenv("BOXAGG_OBS");
+  if (v == nullptr || std::atoi(v) == 0) return;
+  static auto* reg = new obs::MetricsRegistry();
+  static auto* sink = new obs::RingBufferSink(1u << 16);
+  static auto* qobs = new obs::QueryObs();
+  obs::MetricsRegistry::InstallGlobal(reg);
+  obs::SetTraceSink(sink);
+  obs::InstallQueryObs(qobs);
+}
 
 struct Config {
   size_t n = 200000;
@@ -57,6 +76,7 @@ struct Config {
     if (const char* v = std::getenv("BOXAGG_SEED")) c.seed = std::strtoull(v, nullptr, 10);
     if (const char* v = std::getenv("BOXAGG_SHARDS")) c.shards = std::strtoull(v, nullptr, 10);
     if (const char* v = std::getenv("BOXAGG_THREADS")) c.threads = std::strtoull(v, nullptr, 10);
+    MaybeEnableObsFromEnv();
     return c;
   }
 
@@ -73,7 +93,39 @@ struct Config {
         disk ? "file" : "memory", static_cast<unsigned long long>(seed),
         shards);
   }
+
+  /// Logger variant of Print for benches whose stdout must stay
+  /// machine-readable (JSON/BASELINE lines only): config goes to stderr.
+  void Log(const char* experiment) const {
+    obs::LogInfo("== %s ==", experiment);
+    obs::LogInfo(
+        "config: n=%zu queries=%zu page=%uB buffer=%zuMB (%zu pages) "
+        "backend=%s seed=%llu shards=%zu",
+        n, queries, page_size, buffer_mb, BufferPages(),
+        disk ? "file" : "memory", static_cast<unsigned long long>(seed),
+        shards);
+  }
 };
+
+#ifndef BOXAGG_GIT_SHA
+#define BOXAGG_GIT_SHA "unknown"
+#endif
+#ifndef BOXAGG_BUILD_TYPE
+#define BOXAGG_BUILD_TYPE "unknown"
+#endif
+
+/// Run-metadata JSON fragment (no surrounding braces) appended to every
+/// bench JSON line, so scraped results carry the build they came from:
+///   "meta":{"git_sha":...,"build":...,"page_size":...,...}
+inline std::string JsonRunMeta(const Config& cfg) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"meta\":{\"git_sha\":\"%s\",\"build\":\"%s\","
+                "\"page_size\":%u,\"buffer_mb\":%zu,\"shards\":%zu}",
+                BOXAGG_GIT_SHA, BOXAGG_BUILD_TYPE, cfg.page_size,
+                cfg.buffer_mb, cfg.shards);
+  return std::string(buf);
+}
 
 /// A PageFile + BufferPool pair per index under test, so that sizes and I/O
 /// counts are attributable to one structure.

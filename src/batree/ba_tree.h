@@ -51,6 +51,7 @@
 #include "check/checkable.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
+#include "obs/query_obs.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -128,7 +129,8 @@ class BaTree {
   /// (an unbounded query side) is clamped to the largest finite double,
   /// which dominates every storable point, so half-space and whole-space
   /// queries work.
-  Status DominanceSum(const Point& query, V* out) const {
+  Status DominanceSum(const Point& query, V* out,
+                      unsigned obs_level = 0) const {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     Point q = query;
@@ -137,12 +139,13 @@ class BaTree {
     }
     if (dims_ == 1) {
       AggBTree<V> base(pool_, root_);
-      return base.DominanceSum(q[0], out);
+      return base.DominanceSum(q[0], out, obs_level);
     }
     PageId pid = root_;
-    for (;;) {
+    for (unsigned level = obs_level;; ++level) {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(level);
       const Page* p = g.page();
       uint32_t n = Count(p);
       if (Type(p) == kLeaf) {
@@ -164,10 +167,11 @@ class BaTree {
           *out += r.subtotal;
           for (int b = 0; b < dims_; ++b) {
             if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
+            obs::NoteBorderProbes(1);
             V part;
             BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
             BOXAGG_RETURN_NOT_OK(
-                sub.DominanceSum(q.DropDim(b, dims_), &part));
+                sub.DominanceSum(q.DropDim(b, dims_), &part, level + 1));
             *out += part;
           }
           target = i;
@@ -190,8 +194,8 @@ class BaTree {
   /// are gathered per record in page order; each node is still fetched once
   /// per batch, and borders are probed with sub-batches. With count == 1 the
   /// fetch/pin sequence is exactly DominanceSum's (seed I/O fidelity).
-  Status DominanceSumBatch(const Point* queries, size_t count,
-                           V* outs) const {
+  Status DominanceSumBatch(const Point* queries, size_t count, V* outs,
+                           unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
     std::vector<Point> qs(queries, queries + count);
@@ -204,7 +208,7 @@ class BaTree {
       std::vector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
       AggBTree<V> base(pool_, root_);
-      return base.DominanceSumBatch(keys.data(), count, outs);
+      return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
     std::vector<uint32_t> order(count);
     for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
@@ -215,7 +219,8 @@ class BaTree {
                 if (LexLess(q_ref[b], q_ref[a], dims_)) return false;
                 return a < b;
               });
-    return DominanceBatchRec(root_, order.data(), count, qs.data(), outs);
+    return DominanceBatchRec(root_, order.data(), count, qs.data(), outs,
+                             obs_level);
   }
 
   /// Collects every (point, value) stored in main-branch leaves (sorted
@@ -989,7 +994,8 @@ class BaTree {
   /// ascending dimension order (probed while the node is pinned), then the
   /// descent's contributions. The pin is dropped before descending.
   Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
-                           const Point* qs, V* outs) const {
+                           const Point* qs, V* outs,
+                           unsigned obs_level = 0) const {
     struct Group {
       PageId child;
       std::vector<uint32_t> members;  // original probe indices
@@ -998,6 +1004,7 @@ class BaTree {
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
       uint32_t n = Count(p);
@@ -1041,9 +1048,11 @@ class BaTree {
           for (size_t t = 0; t < gs; ++t) {
             pts[t] = qs[members[t]].DropDim(b, dims_);
           }
+          obs::NoteBorderProbes(gs);
           BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
           BOXAGG_RETURN_NOT_OK(
-              sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+              sub.DominanceSumBatch(pts.data(), gs, parts.data(),
+                                    obs_level + 1));
           for (size_t t = 0; t < gs; ++t) outs[members[t]] += parts[t];
         }
         groups.push_back(Group{r.child, std::move(members)});
@@ -1053,8 +1062,9 @@ class BaTree {
       }
     }
     for (const Group& gr : groups) {
-      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(
-          gr.child, gr.members.data(), gr.members.size(), qs, outs));
+      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, gr.members.data(),
+                                             gr.members.size(), qs, outs,
+                                             obs_level + 1));
     }
     return Status::OK();
   }

@@ -44,6 +44,7 @@
 #include "check/checkable.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
+#include "obs/query_obs.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -126,7 +127,8 @@ class PackedBaTree {
 
   /// Total value of all points dominated by `q`; +infinity coordinates are
   /// clamped to the largest finite double (see BaTree::DominanceSum).
-  Status DominanceSum(const Point& query, V* out) const {
+  Status DominanceSum(const Point& query, V* out,
+                      unsigned obs_level = 0) const {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     Point q = query;
@@ -135,10 +137,10 @@ class PackedBaTree {
     }
     if (dims_ == 1) {
       AggBTree<V> base(pool_, root_);
-      return base.DominanceSum(q[0], out);
+      return base.DominanceSum(q[0], out, obs_level);
     }
     PageId pid = root_;
-    for (;;) {
+    for (unsigned level = obs_level;; ++level) {
       // Spilled-border queries below need their own pins; collect them while
       // the node page is mapped, then run them unpinned.
       std::vector<std::pair<int, PageId>> tree_borders;
@@ -146,6 +148,7 @@ class PackedBaTree {
       {
         PageGuard g;
         BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+        obs::NoteNodeVisit(level);
         const Page* page = g.page();
         if (PageType(page) == kLeaf) {
           uint32_t n = LeafCount(page);
@@ -193,9 +196,10 @@ class PackedBaTree {
         }
       }
       for (auto [b, tree_root] : tree_borders) {
+        obs::NoteBorderProbes(1);
         V part;
         BOXAGG_RETURN_NOT_OK(
-            BorderTreeQuery(tree_root, q.DropDim(b, dims_), &part));
+            BorderTreeQuery(tree_root, q.DropDim(b, dims_), &part, level + 1));
         *out += part;
       }
       pid = next;
@@ -211,8 +215,8 @@ class PackedBaTree {
   /// scanned in-page while the node is pinned, spilled border trees are
   /// probed with sub-batches after the pin is dropped — mirroring the
   /// sequential pin discipline exactly, so count == 1 reproduces seed I/O.
-  Status DominanceSumBatch(const Point* queries, size_t count,
-                           V* outs) const {
+  Status DominanceSumBatch(const Point* queries, size_t count, V* outs,
+                           unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
     std::vector<Point> qs(queries, queries + count);
@@ -225,7 +229,7 @@ class PackedBaTree {
       std::vector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
       AggBTree<V> base(pool_, root_);
-      return base.DominanceSumBatch(keys.data(), count, outs);
+      return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
     std::vector<uint32_t> order(count);
     for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
@@ -236,7 +240,8 @@ class PackedBaTree {
                 if (LexLess(q_ref[b], q_ref[a], dims_)) return false;
                 return a < b;
               });
-    return DominanceBatchRec(root_, order.data(), count, qs.data(), outs);
+    return DominanceBatchRec(root_, order.data(), count, qs.data(), outs,
+                             obs_level);
   }
 
   /// Collects every (point, value) in main-branch leaves, sorted.
@@ -589,7 +594,8 @@ class PackedBaTree {
   /// then spilled border trees in the same dimension order after the pin is
   /// dropped, then the descent's contributions.
   Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
-                           const Point* qs, V* outs) const {
+                           const Point* qs, V* outs,
+                           unsigned obs_level = 0) const {
     struct Spill {
       int b;
       PageId tree_root;
@@ -603,6 +609,7 @@ class PackedBaTree {
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* page = g.page();
       if (PageType(page) == kLeaf) {
@@ -679,24 +686,28 @@ class PackedBaTree {
         for (size_t t = 0; t < gs; ++t) {
           pts[t] = qs[gr.members[t]].DropDim(sp.b, dims_);
         }
+        obs::NoteBorderProbes(gs);
         PackedBaTree sub(pool_, dims_ - 1, sp.tree_root);
-        BOXAGG_RETURN_NOT_OK(
-            sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+        BOXAGG_RETURN_NOT_OK(sub.DominanceSumBatch(pts.data(), gs,
+                                                   parts.data(),
+                                                   obs_level + 1));
         for (size_t t = 0; t < gs; ++t) outs[gr.members[t]] += parts[t];
       }
     }
     for (const Group& gr : groups) {
-      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(
-          gr.child, gr.members.data(), gr.members.size(), qs, outs));
+      BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, gr.members.data(),
+                                             gr.members.size(), qs, outs,
+                                             obs_level + 1));
     }
     return Status::OK();
   }
 
   // ---- border image operations --------------------------------------------
 
-  Status BorderTreeQuery(PageId tree_root, const Point& q, V* out) const {
+  Status BorderTreeQuery(PageId tree_root, const Point& q, V* out,
+                         unsigned obs_level = 0) const {
     PackedBaTree sub(pool_, dims_ - 1, tree_root);
-    return sub.DominanceSum(q, out);
+    return sub.DominanceSum(q, out, obs_level);
   }
 
   Status BorderImageInsert(BorderImage* b, const Point& projected,

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "check/checkable.h"
+#include "obs/query_obs.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -99,13 +100,18 @@ class AggBTree {
   }
 
   /// Sum of values over all keys <= q. An empty tree yields V{}.
-  Status DominanceSum(double q, V* out) const {
+  ///
+  /// `obs_level` offsets the per-level node-visit attribution (obs/): a
+  /// border sub-tree embedded at parent level L passes L+1 so its root
+  /// counts at the depth it actually sits in the composite structure.
+  Status DominanceSum(double q, V* out, unsigned obs_level = 0) const {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     PageId pid = root_;
-    for (;;) {
+    for (unsigned level = obs_level;; ++level) {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(level);
       const Page* p = g.page();
       uint32_t n = Count(p);
       if (Type(p) == kLeaf) {
@@ -135,7 +141,8 @@ class AggBTree {
   /// are routed in sorted key order and grouped by child, so each tree page
   /// is fetched and pinned at most once per batch. With count == 1 the
   /// fetch/pin sequence is exactly DominanceSum's (seed I/O fidelity).
-  Status DominanceSumBatch(const double* qs, size_t count, V* outs) const {
+  Status DominanceSumBatch(const double* qs, size_t count, V* outs,
+                           unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
     std::vector<uint32_t> order(count);
@@ -144,7 +151,7 @@ class AggBTree {
       if (qs[a] != qs[b]) return qs[a] < qs[b];
       return a < b;
     });
-    return DominanceBatchRec(root_, order.data(), count, qs, outs);
+    return DominanceBatchRec(root_, order.data(), count, qs, outs, obs_level);
   }
 
   /// Sum of all values in the tree.
@@ -511,7 +518,8 @@ class AggBTree {
   /// per-probe arithmetic matches DominanceSum exactly. The pin is dropped
   /// before descending, like the sequential loop's per-iteration guard.
   Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
-                           const double* qs, V* outs) const {
+                           const double* qs, V* outs,
+                           unsigned obs_level = 0) const {
     struct Group {
       PageId child;
       size_t begin;
@@ -521,6 +529,7 @@ class AggBTree {
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
       uint32_t n = Count(p);
@@ -559,7 +568,8 @@ class AggBTree {
     }
     for (const Group& gr : groups) {
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
-                                             gr.end - gr.begin, qs, outs));
+                                             gr.end - gr.begin, qs, outs,
+                                             obs_level + 1));
     }
     return Status::OK();
   }

@@ -27,6 +27,7 @@
 #include "core/naive.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
+#include "obs/query_obs.h"
 #include "storage/status.h"
 
 namespace boxagg {
@@ -139,6 +140,7 @@ class BoxSumIndex {
         probe_of[order[j]] = distinct.size() - 1;
       }
       parts.resize(distinct.size());
+      obs::NoteCornerProbes(distinct.size(), count - distinct.size());
       BOXAGG_RETURN_NOT_OK(indexes_[s].DominanceSumBatch(
           distinct.data(), distinct.size(), parts.data()));
       const double sign = MaskSign(s);

@@ -40,6 +40,7 @@
 #include "check/checkable.h"
 #include "core/point_entry.h"
 #include "geom/point.h"
+#include "obs/query_obs.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -129,18 +130,23 @@ class EcdfBTree {
   }
 
   /// Total value of all points dominated by `q` (Sec. 2 semantics).
-  Status DominanceSum(const Point& q, V* out) const {
+  ///
+  /// `obs_level` offsets the per-level node-visit attribution (obs/):
+  /// border sub-trees hanging off level L are probed at level L+1, so the
+  /// composite structure's depth breakdown stays consistent.
+  Status DominanceSum(const Point& q, V* out, unsigned obs_level = 0) const {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
       AggBTree<V> base(pool_, root_);
-      return base.DominanceSum(q[0], out);
+      return base.DominanceSum(q[0], out, obs_level);
     }
     PageId pid = root_;
     Point projected = q.DropDim(0, dims_);
-    for (;;) {
+    for (unsigned level = obs_level;; ++level) {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(level);
       const Page* p = g.page();
       uint32_t n = Count(p);
       if (Type(p) == kLeaf) {
@@ -158,17 +164,19 @@ class EcdfBTree {
       uint32_t idx = RouteInternal(p, n, q[0]);
       if (variant_ == EcdfVariant::kUpdateOptimized) {
         // Sum the borders of every child left of the path.
+        if (idx > 0) obs::NoteBorderProbes(idx);
         for (uint32_t i = 0; i < idx; ++i) {
           V part;
           EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i));
-          BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part));
+          BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part, level + 1));
           *out += part;
         }
       } else if (idx > 0) {
         // One prefix border covers everything left of the path.
+        obs::NoteBorderProbes(1);
         V part;
         EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, idx - 1));
-        BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part));
+        BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part, level + 1));
         *out += part;
       }
       pid = InternalChild(p, idx);
@@ -183,14 +191,15 @@ class EcdfBTree {
   /// batch, and border subtrees are themselves probed with sub-batches
   /// (recursively down to the 1-d AggBTree base case). With count == 1 the
   /// fetch/pin sequence is exactly DominanceSum's (seed I/O fidelity).
-  Status DominanceSumBatch(const Point* qs, size_t count, V* outs) const {
+  Status DominanceSumBatch(const Point* qs, size_t count, V* outs,
+                           unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
     if (dims_ == 1) {
       std::vector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
       AggBTree<V> base(pool_, root_);
-      return base.DominanceSumBatch(keys.data(), count, outs);
+      return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
     std::vector<Point> projected(count);
     for (size_t i = 0; i < count; ++i) projected[i] = qs[i].DropDim(0, dims_);
@@ -201,7 +210,7 @@ class EcdfBTree {
       return a < b;
     });
     return DominanceBatchRec(root_, order.data(), count, qs, projected.data(),
-                             outs);
+                             outs, obs_level);
   }
 
   /// Sum of every value in the tree.
@@ -920,8 +929,8 @@ class EcdfBTree {
   /// the descent's contributions, and border probes happen while the node is
   /// pinned, as in the sequential loop. The pin is dropped before descending.
   Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
-                           const Point* qs, const Point* projected,
-                           V* outs) const {
+                           const Point* qs, const Point* projected, V* outs,
+                           unsigned obs_level = 0) const {
     struct Group {
       uint32_t route;
       PageId child;
@@ -932,6 +941,7 @@ class EcdfBTree {
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
       uint32_t n = Count(p);
@@ -976,9 +986,11 @@ class EcdfBTree {
           pts.resize(gs);
           parts.resize(gs);
           for (size_t t = 0; t < gs; ++t) pts[t] = projected[idx[s + t]];
+          obs::NoteBorderProbes(gs);
           EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i));
           BOXAGG_RETURN_NOT_OK(
-              sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+              sub.DominanceSumBatch(pts.data(), gs, parts.data(),
+                                    obs_level + 1));
           for (size_t t = 0; t < gs; ++t) outs[idx[s + t]] += parts[t];
         }
       } else {
@@ -993,10 +1005,12 @@ class EcdfBTree {
           for (size_t t = 0; t < gs; ++t) {
             pts[t] = projected[idx[gr.begin + t]];
           }
+          obs::NoteBorderProbes(gs);
           EcdfBTree sub(pool_, dims_ - 1, variant_,
                         InternalBorder(p, gr.route - 1));
           BOXAGG_RETURN_NOT_OK(
-              sub.DominanceSumBatch(pts.data(), gs, parts.data()));
+              sub.DominanceSumBatch(pts.data(), gs, parts.data(),
+                                    obs_level + 1));
           for (size_t t = 0; t < gs; ++t) {
             outs[idx[gr.begin + t]] += parts[t];
           }
@@ -1006,7 +1020,7 @@ class EcdfBTree {
     for (const Group& gr : groups) {
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
                                              gr.end - gr.begin, qs, projected,
-                                             outs));
+                                             outs, obs_level + 1));
     }
     return Status::OK();
   }

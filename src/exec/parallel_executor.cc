@@ -6,6 +6,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -19,9 +21,17 @@ double MicrosBetween(Clock::time_point a, Clock::time_point b) {
 }
 
 // Latency distribution over `latencies` (one entry per work unit) plus the
-// batch's buffer-pool delta; shared by both execution paths.
+// batch's buffer-pool delta; shared by both execution paths. When a metrics
+// registry is installed the per-unit latencies also feed `hist_name`, so
+// repeated batches accumulate a process-wide distribution.
 void FillStats(BatchExecStats* stats, std::vector<double>* latencies,
-               BufferPool* pool, const IoStats& before) {
+               BufferPool* pool, const IoStats& before,
+               const char* hist_name) {
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+      reg != nullptr && !latencies->empty()) {
+    obs::Histogram* h = reg->GetHistogram(hist_name, obs::LatencyBucketsUs());
+    for (double l : *latencies) h->Record(l);
+  }
   double sum = 0;
   for (double l : *latencies) sum += l;
   const size_t n = latencies->size();
@@ -29,6 +39,7 @@ void FillStats(BatchExecStats* stats, std::vector<double>* latencies,
     stats->latency_mean_us = sum / static_cast<double>(n);
     std::sort(latencies->begin(), latencies->end());
     stats->latency_p50_us = (*latencies)[n / 2];
+    stats->latency_p95_us = (*latencies)[n - 1 - (n - 1) / 20];
     stats->latency_p99_us = (*latencies)[n - 1 - (n - 1) / 100];
     stats->latency_max_us = latencies->back();
   }
@@ -78,6 +89,8 @@ Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
         size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
         if (lo >= n) break;
         size_t hi = std::min(n, lo + chunk);
+        obs::Span span("query_chunk", "executor");
+        span.SetProbes(static_cast<int64_t>(hi - lo));
         for (size_t i = lo; i < hi; ++i) {
           auto q0 = record ? Clock::now() : Clock::time_point{};
           Status s = fn(queries[i], &(*results)[i]);
@@ -103,7 +116,8 @@ Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
     stats->queries_per_sec =
         stats->wall_ms > 0 ? 1000.0 * static_cast<double>(n) / stats->wall_ms
                            : 0;
-    FillStats(stats, &latencies, pool, io_before);
+    FillStats(stats, &latencies, pool, io_before,
+              "executor.query_latency_us");
   }
   return first_error;
 }
@@ -126,6 +140,13 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
   std::atomic<size_t> next{0};
   std::vector<double> latencies(stats ? num_morsels : 0);
 
+  // Unclaimed-morsel depth, sampled at every claim (observability only).
+  obs::Gauge* depth_gauge = nullptr;
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global()) {
+    depth_gauge = reg->GetGauge("executor.queue_depth");
+    depth_gauge->Set(static_cast<int64_t>(num_morsels));
+  }
+
   std::mutex mu;
   std::condition_variable done_cv;
   size_t workers_done = 0;
@@ -133,13 +154,18 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
 
   auto t0 = Clock::now();
   for (size_t w = 0; w < workers; ++w) {
-    pool_->Submit([&, record = stats != nullptr] {
+    pool_->Submit([&, record = stats != nullptr, depth_gauge] {
       Status local = Status::OK();
       for (;;) {
         size_t m = next.fetch_add(1, std::memory_order_relaxed);
         if (m >= num_morsels) break;
+        if (depth_gauge != nullptr) {
+          depth_gauge->Set(static_cast<int64_t>(num_morsels - m - 1));
+        }
         const size_t lo = m * morsel;
         const size_t hi = std::min(n, lo + morsel);
+        obs::Span span("morsel", "executor");
+        span.SetProbes(static_cast<int64_t>(hi - lo));
         auto q0 = record ? Clock::now() : Clock::time_point{};
         Status s = fn(queries.data() + lo, hi - lo, results->data() + lo);
         if (record) latencies[m] = MicrosBetween(q0, Clock::now());
@@ -164,7 +190,8 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
     stats->queries_per_sec =
         stats->wall_ms > 0 ? 1000.0 * static_cast<double>(n) / stats->wall_ms
                            : 0;
-    FillStats(stats, &latencies, pool, io_before);
+    FillStats(stats, &latencies, pool, io_before,
+              "executor.morsel_latency_us");
   }
   return first_error;
 }

@@ -50,6 +50,7 @@ struct BatchExecStats {
   // unit is one morsel (a contiguous run of queries answered together).
   double latency_mean_us = 0;
   double latency_p50_us = 0;
+  double latency_p95_us = 0;
   double latency_p99_us = 0;
   double latency_max_us = 0;
   // Buffer-pool traffic attributable to this batch (snapshot delta around

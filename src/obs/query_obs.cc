@@ -1,0 +1,19 @@
+#include "obs/query_obs.h"
+
+namespace boxagg {
+namespace obs {
+
+namespace internal {
+std::atomic<QueryObs*> g_query_obs{nullptr};
+}  // namespace internal
+
+void InstallQueryObs(QueryObs* q) {
+  internal::g_query_obs.store(q, std::memory_order_release);
+}
+
+QueryObs* CurrentQueryObs() {
+  return internal::g_query_obs.load(std::memory_order_acquire);
+}
+
+}  // namespace obs
+}  // namespace boxagg

@@ -1,0 +1,118 @@
+// Query-path attribution: per-tree-level node visits, border-probe counts,
+// and corner-expansion dedup accounting.
+//
+// The trees call the free-function hooks (NoteNodeVisit etc.) on every
+// page fetch in a dominance descent. With no QueryObs installed — the
+// default — each hook is a relaxed pointer load and a branch: no atomics
+// touched, no allocation, and (critically) no page I/O, so installing or
+// not installing observability cannot change any benchmark's logical or
+// physical I/O counts.
+//
+// Attribution identity: every Fetch issued by a dominance descent bumps
+// exactly one level slot (root = level 0; border sub-trees start at
+// parent level + 1). Summed over levels, node_visits therefore equals the
+// logical-read delta of the workload — boxagg_stats checks this identity
+// and fails if instrumentation and the buffer pool ever disagree.
+
+#ifndef BOXAGG_OBS_QUERY_OBS_H_
+#define BOXAGG_OBS_QUERY_OBS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace boxagg {
+namespace obs {
+
+/// \brief Plain-POD view of QueryObs; subtract snapshots with Since().
+struct QueryObsSnapshot {
+  static constexpr size_t kMaxLevels = 16;
+  uint64_t node_visits[kMaxLevels] = {};  ///< page fetches per tree level
+  uint64_t border_probes = 0;       ///< probes sent into border sub-trees
+  uint64_t corner_probes_issued = 0;   ///< distinct corners after dedup
+  uint64_t corner_probes_deduped = 0;  ///< duplicates folded away
+
+  [[nodiscard]] uint64_t TotalNodeVisits() const {
+    uint64_t t = 0;
+    for (uint64_t v : node_visits) t += v;
+    return t;
+  }
+
+  [[nodiscard]] QueryObsSnapshot Since(const QueryObsSnapshot& earlier) const {
+    QueryObsSnapshot d;
+    for (size_t i = 0; i < kMaxLevels; ++i) {
+      d.node_visits[i] = node_visits[i] - earlier.node_visits[i];
+    }
+    d.border_probes = border_probes - earlier.border_probes;
+    d.corner_probes_issued =
+        corner_probes_issued - earlier.corner_probes_issued;
+    d.corner_probes_deduped =
+        corner_probes_deduped - earlier.corner_probes_deduped;
+    return d;
+  }
+};
+
+/// \brief Relaxed-atomic accumulators for the query-descent hooks.
+/// Levels beyond kMaxLevels - 1 clamp into the last slot (a 16-level
+/// B-tree over 8 KB pages is far beyond any dataset this repo builds).
+class QueryObs {
+ public:
+  static constexpr size_t kMaxLevels = QueryObsSnapshot::kMaxLevels;
+
+  void NoteNodeVisit(unsigned level) {
+    const size_t i = level < kMaxLevels ? level : kMaxLevels - 1;
+    node_visits_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteBorderProbes(uint64_t n) {
+    border_probes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void NoteCornerProbes(uint64_t issued, uint64_t deduped) {
+    corner_issued_.fetch_add(issued, std::memory_order_relaxed);
+    corner_deduped_.fetch_add(deduped, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] QueryObsSnapshot Snapshot() const {
+    QueryObsSnapshot s;
+    for (size_t i = 0; i < kMaxLevels; ++i) {
+      s.node_visits[i] = node_visits_[i].load(std::memory_order_relaxed);
+    }
+    s.border_probes = border_probes_.load(std::memory_order_relaxed);
+    s.corner_probes_issued = corner_issued_.load(std::memory_order_relaxed);
+    s.corner_probes_deduped = corner_deduped_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> node_visits_[kMaxLevels] = {};
+  std::atomic<uint64_t> border_probes_{0};
+  std::atomic<uint64_t> corner_issued_{0};
+  std::atomic<uint64_t> corner_deduped_{0};
+};
+
+/// Installs the process-global QueryObs (nullptr disables the hooks).
+/// Install only at quiescent points; the object must outlive all queries.
+void InstallQueryObs(QueryObs* q);
+QueryObs* CurrentQueryObs();
+
+namespace internal {
+extern std::atomic<QueryObs*> g_query_obs;
+}  // namespace internal
+
+/// Hot-path hooks: one relaxed load + branch when disabled.
+inline void NoteNodeVisit(unsigned level) {
+  QueryObs* q = internal::g_query_obs.load(std::memory_order_acquire);
+  if (q != nullptr) q->NoteNodeVisit(level);
+}
+inline void NoteBorderProbes(uint64_t n) {
+  QueryObs* q = internal::g_query_obs.load(std::memory_order_acquire);
+  if (q != nullptr) q->NoteBorderProbes(n);
+}
+inline void NoteCornerProbes(uint64_t issued, uint64_t deduped) {
+  QueryObs* q = internal::g_query_obs.load(std::memory_order_acquire);
+  if (q != nullptr) q->NoteCornerProbes(issued, deduped);
+}
+
+}  // namespace obs
+}  // namespace boxagg
+
+#endif  // BOXAGG_OBS_QUERY_OBS_H_

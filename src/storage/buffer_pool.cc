@@ -1,7 +1,11 @@
 #include "storage/buffer_pool.h"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace boxagg {
 
@@ -54,6 +58,35 @@ size_t BufferPool::PinnedFrames() const {
   return n;
 }
 
+BufferPool::ShardIoCounters BufferPool::shard_stats(size_t shard) const {
+  ShardIoCounters c;
+  if (shard >= shards_.size()) return c;
+  const Shard& s = *shards_[shard];
+  c.hits = s.hits.load(std::memory_order_relaxed);
+  c.misses = s.misses.load(std::memory_order_relaxed);
+  c.evictions = s.evictions.load(std::memory_order_relaxed);
+  c.dirty_writebacks = s.dirty_writebacks.load(std::memory_order_relaxed);
+  return c;
+}
+
+void BufferPool::ExportMetrics(obs::MetricsRegistry* reg) const {
+  if (reg == nullptr) return;
+  char name[64];
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardIoCounters c = shard_stats(i);
+    const auto set = [&](const char* field, uint64_t v) {
+      std::snprintf(name, sizeof(name), "bufferpool.shard%zu.%s", i, field);
+      obs::Counter* counter = reg->GetCounter(name);
+      counter->Reset();
+      counter->Inc(v);
+    };
+    set("hits", c.hits);
+    set("misses", c.misses);
+    set("evictions", c.evictions);
+    set("dirty_writebacks", c.dirty_writebacks);
+  }
+}
+
 size_t BufferPool::resident() const {
   size_t n = 0;
   for (const auto& s : shards_) {
@@ -66,10 +99,25 @@ size_t BufferPool::resident() const {
 Status BufferPool::Fetch(PageId id, PageGuard* out) {
   stats_.AddLogicalRead();
   Shard& s = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  // Pin-wait observability: uncontended acquisition takes the fast path
+  // with no clock read; only when the shard lock is held by another thread
+  // AND a metrics registry is installed do we time the wait.
+  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+    if (reg != nullptr) {
+      const uint64_t t0 = obs::NowMicros();
+      lock.lock();
+      reg->GetHistogram("bufferpool.pin_wait_us", obs::LatencyBucketsUs())
+          ->Record(static_cast<double>(obs::NowMicros() - t0));
+    } else {
+      lock.lock();
+    }
+  }
   auto it = s.frames.find(id);
   if (it != s.frames.end()) {
     stats_.AddBufferHit();
+    s.hits.fetch_add(1, std::memory_order_relaxed);
     Frame* f = it->second;
     if (f->in_lru) {
       s.lru.erase(f->lru_pos);
@@ -86,6 +134,7 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
     return st;
   }
   stats_.AddPhysicalRead();
+  s.misses.fetch_add(1, std::memory_order_relaxed);
   f->id = id;
   f->pin_count.store(1, std::memory_order_relaxed);
   f->dirty.store(false, std::memory_order_relaxed);
@@ -266,8 +315,14 @@ Status BufferPool::EvictOne(Shard& s) {
       return st;
     }
     stats_.AddPhysicalWrite();
+    // Eviction-path write-back only (FlushAll's writes are not counted
+    // here), so evictions >= dirty_writebacks holds at quiescent points.
+    stats_.AddDirtyWriteback();
+    s.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
     f->dirty.store(false, std::memory_order_relaxed);
   }
+  stats_.AddEviction();
+  s.evictions.fetch_add(1, std::memory_order_relaxed);
   s.frames.erase(f->id);
   f->id = kInvalidPageId;
   s.free_frames.push_back(f);

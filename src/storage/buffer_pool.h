@@ -34,6 +34,10 @@
 
 namespace boxagg {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class PageGuard;
 struct CheckContext;
 
@@ -108,6 +112,28 @@ class BufferPool {
   /// Plain-POD snapshot of the I/O counters (relaxed-atomic reads).
   [[nodiscard]] IoStats stats() const { return stats_.Snapshot(); }
 
+  /// \brief Per-shard traffic counters (relaxed-atomic, always maintained —
+  /// the same cost class as the global IoStats bumps, and never any I/O).
+  struct ShardIoCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_writebacks = 0;
+
+    [[nodiscard]] double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] ShardIoCounters shard_stats(size_t shard) const;
+
+  /// Publishes per-shard counters into `reg` as
+  /// bufferpool.shard<i>.{hits,misses,evictions,dirty_writebacks} (counters
+  /// are set-to-current: call at quiescent points, e.g. after a workload).
+  void ExportMetrics(obs::MetricsRegistry* reg) const;
+
   PageFile* file() { return file_; }
   [[nodiscard]] size_t capacity() const { return capacity_; }
   [[nodiscard]] size_t shard_count() const { return shards_.size(); }
@@ -154,6 +180,12 @@ class BufferPool {
     std::vector<Frame*> free_frames;
     size_t capacity = 0;
     uint32_t index = 0;  // position in shards_, stamped into new Frames
+    // Per-shard traffic breakdown (observability; relaxed atomics so they
+    // can be read without the shard lock).
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> dirty_writebacks{0};
   };
 
   size_t ShardOf(PageId id) const {

@@ -37,6 +37,14 @@ struct IoStats {
   /// Transient-read retry attempts made by the buffer pool's bounded
   /// retry-with-backoff before a fetch succeeded or gave up with kIoError.
   uint64_t read_retries = 0;
+  /// Frames reclaimed by LRU victim selection. Quiescent-point invariant
+  /// (checked by tests): evictions >= dirty_writebacks — every eviction-path
+  /// write-back is preceded by selecting that frame as victim.
+  uint64_t evictions = 0;
+  /// Evicted frames that were dirty and had to be written back first.
+  /// Counts only eviction-path write-backs; FlushAll's writes appear in
+  /// physical_writes but not here.
+  uint64_t dirty_writebacks = 0;
 
   /// Total physical I/Os — the paper's query-cost metric.
   [[nodiscard]] uint64_t TotalIos() const { return physical_reads + physical_writes; }
@@ -61,6 +69,8 @@ struct IoStats {
     d.probe_fetches_saved = probe_fetches_saved - earlier.probe_fetches_saved;
     d.checksum_failures = checksum_failures - earlier.checksum_failures;
     d.read_retries = read_retries - earlier.read_retries;
+    d.evictions = evictions - earlier.evictions;
+    d.dirty_writebacks = dirty_writebacks - earlier.dirty_writebacks;
     return d;
   }
 };
@@ -82,6 +92,8 @@ class AtomicIoStats {
   }
   void AddChecksumFailure() { Inc(checksum_failures_); }
   void AddReadRetry() { Inc(read_retries_); }
+  void AddEviction() { Inc(evictions_); }
+  void AddDirtyWriteback() { Inc(dirty_writebacks_); }
 
   /// Plain-POD view; feed it to IoStats::Since for batch deltas.
   [[nodiscard]] IoStats Snapshot() const {
@@ -94,6 +106,8 @@ class AtomicIoStats {
         probe_fetches_saved_.load(std::memory_order_relaxed);
     s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
     s.read_retries = read_retries_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -105,6 +119,8 @@ class AtomicIoStats {
     probe_fetches_saved_.store(0, std::memory_order_relaxed);
     checksum_failures_.store(0, std::memory_order_relaxed);
     read_retries_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    dirty_writebacks_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -119,6 +135,8 @@ class AtomicIoStats {
   std::atomic<uint64_t> probe_fetches_saved_{0};
   std::atomic<uint64_t> checksum_failures_{0};
   std::atomic<uint64_t> read_retries_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dirty_writebacks_{0};
 };
 
 /// Per-I/O latency charged by the paper's cost model (Sec. 6): 10 ms.

@@ -99,6 +99,45 @@ TEST(IoStatsInvariant, SinceRoundTripsComponentwise) {
   EXPECT_EQ(zero.TotalIos(), 0u);
 }
 
+// Dirty write-backs are counted on the eviction path only (FlushAll writes
+// are physical_writes, not write-backs), so every dirty write-back implies
+// an eviction: evictions >= dirty_writebacks, always.
+TEST(IoStatsInvariant, EvictionsCoverDirtyWritebacks) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 4);  // tiny pool: almost every New/Fetch evicts
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.New(&g).ok());
+    g.page()->WriteAt<int>(0, i);
+    g.MarkDirty();
+    ids.push_back(g.id());
+  }
+  // Re-fetch clean so clean evictions happen too (eviction, no write-back).
+  for (PageId id : ids) {
+    PageGuard g;
+    ASSERT_TRUE(pool.Fetch(id, &g).ok());
+  }
+  IoStats s = pool.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_GT(s.dirty_writebacks, 0u);
+  EXPECT_GE(s.evictions, s.dirty_writebacks);
+  ExpectInvariant(s);
+
+  // FlushAll writes dirty pages in place: physical_writes moves,
+  // dirty_writebacks must not.
+  const uint64_t wb_before = s.dirty_writebacks;
+  ASSERT_TRUE(pool.FlushAll().ok());
+  IoStats after = pool.stats();
+  EXPECT_EQ(after.dirty_writebacks, wb_before);
+  EXPECT_GE(after.evictions, after.dirty_writebacks);
+
+  // Since() carries the new counters component-wise.
+  IoStats d = after.Since(s);
+  EXPECT_EQ(d.evictions, after.evictions - s.evictions);
+  EXPECT_EQ(d.dirty_writebacks, 0u);
+}
+
 TEST(AtomicIoStats, SnapshotAndResetRoundTrip) {
   AtomicIoStats a;
   for (int i = 0; i < 5; ++i) a.AddLogicalRead();

@@ -1,0 +1,154 @@
+// Query-attribution tests: hook install semantics (disabled by default,
+// zero side effects), level accounting and clamping, and the end-to-end
+// attribution identity — the per-level node-visit total of an instrumented
+// workload equals the buffer pool's logical-read delta exactly, for the
+// plain aggregate B-tree, the ECDF-B-tree (border probes), and the full
+// corner-transform index (corner dedup accounting).
+//
+// Every test that installs a QueryObs uninstalls it before returning — the
+// pointer is process-global and tests in this binary share it.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bptree/agg_btree.h"
+#include "core/box_sum_index.h"
+#include "ecdf/ecdf_btree.h"
+#include "obs/query_obs.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "workload/generators.h"
+
+namespace boxagg {
+namespace {
+
+class QueryObsGuard {
+ public:
+  explicit QueryObsGuard(obs::QueryObs* q) { obs::InstallQueryObs(q); }
+  ~QueryObsGuard() { obs::InstallQueryObs(nullptr); }
+};
+
+TEST(ObsQuery, HooksAreNoOpsWithoutInstall) {
+  ASSERT_EQ(obs::CurrentQueryObs(), nullptr);
+  // Must not crash or touch anything; nothing to observe but the absence
+  // of a crash is the contract (one relaxed load + branch).
+  obs::NoteNodeVisit(0);
+  obs::NoteBorderProbes(5);
+  obs::NoteCornerProbes(4, 2);
+}
+
+TEST(ObsQuery, AccumulatesAndClampsLevels) {
+  obs::QueryObs q;
+  QueryObsGuard guard(&q);
+  obs::NoteNodeVisit(0);
+  obs::NoteNodeVisit(0);
+  obs::NoteNodeVisit(3);
+  // Levels beyond the last slot clamp into it instead of writing OOB.
+  obs::NoteNodeVisit(obs::QueryObsSnapshot::kMaxLevels + 10);
+  obs::NoteBorderProbes(7);
+  obs::NoteCornerProbes(4, 2);
+
+  const obs::QueryObsSnapshot s = q.Snapshot();
+  EXPECT_EQ(s.node_visits[0], 2u);
+  EXPECT_EQ(s.node_visits[3], 1u);
+  EXPECT_EQ(s.node_visits[obs::QueryObsSnapshot::kMaxLevels - 1], 1u);
+  EXPECT_EQ(s.TotalNodeVisits(), 4u);
+  EXPECT_EQ(s.border_probes, 7u);
+  EXPECT_EQ(s.corner_probes_issued, 4u);
+  EXPECT_EQ(s.corner_probes_deduped, 2u);
+
+  obs::NoteNodeVisit(1);
+  const obs::QueryObsSnapshot d = q.Snapshot().Since(s);
+  EXPECT_EQ(d.TotalNodeVisits(), 1u);
+  EXPECT_EQ(d.node_visits[1], 1u);
+  EXPECT_EQ(d.border_probes, 0u);
+}
+
+TEST(ObsQuery, AggBTreeVisitsMatchLogicalReads) {
+  MemPageFile file(512);  // small pages force a multi-level tree
+  BufferPool pool(&file, 64);
+  AggBTree<double> tree(&pool);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<double>(i % 500), 1.0).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.Reset().ok());
+
+  obs::QueryObs q;
+  QueryObsGuard guard(&q);
+  const IoStats io0 = pool.stats();
+  const obs::QueryObsSnapshot q0 = q.Snapshot();
+  for (int i = 0; i < 50; ++i) {
+    double out = 0;
+    ASSERT_TRUE(tree.DominanceSum(static_cast<double>(i * 10), &out).ok());
+  }
+  const IoStats io = pool.stats().Since(io0);
+  const obs::QueryObsSnapshot qd = q.Snapshot().Since(q0);
+  EXPECT_GT(io.logical_reads, 0u);
+  EXPECT_EQ(qd.TotalNodeVisits(), io.logical_reads);
+  EXPECT_GT(qd.node_visits[0], 0u);  // the root is level 0
+}
+
+TEST(ObsQuery, EcdfBTreeAttributesBordersToDeeperLevels) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  EcdfBTree<double> tree(&pool, 2, EcdfVariant::kUpdateOptimized);
+  workload::RectConfig rc;
+  rc.n = 500;
+  rc.seed = 11;
+  for (const BoxObject& o : workload::UniformRects(rc)) {
+    ASSERT_TRUE(tree.Insert(o.box.lo, o.value).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.Reset().ok());
+
+  obs::QueryObs q;
+  QueryObsGuard guard(&q);
+  const IoStats io0 = pool.stats();
+  for (int i = 0; i < 20; ++i) {
+    double out = 0;
+    const double c = 0.05 * i;
+    ASSERT_TRUE(tree.DominanceSum(Point(c, c), &out).ok());
+  }
+  const IoStats io = pool.stats().Since(io0);
+  const obs::QueryObsSnapshot qd = q.Snapshot();
+  EXPECT_EQ(qd.TotalNodeVisits(), io.logical_reads);
+  EXPECT_GT(qd.border_probes, 0u);
+  // Border sub-trees hang one level below their host node, so some visits
+  // must land past level 0.
+  uint64_t deeper = 0;
+  for (size_t i = 1; i < obs::QueryObsSnapshot::kMaxLevels; ++i) {
+    deeper += qd.node_visits[i];
+  }
+  EXPECT_GT(deeper, 0u);
+}
+
+TEST(ObsQuery, CornerDedupAccountsIssuedAndFolded) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 256);
+  BoxSumIndex<EcdfBTree<double>> index(2, [&] {
+    return EcdfBTree<double>(&pool, 2, EcdfVariant::kUpdateOptimized);
+  });
+  workload::RectConfig rc;
+  rc.n = 300;
+  rc.seed = 5;
+  ASSERT_TRUE(index.BulkLoad(workload::UniformRects(rc)).ok());
+
+  obs::QueryObs q;
+  QueryObsGuard guard(&q);
+  // Three identical boxes share all four corners: per sign index one
+  // distinct corner is issued and two duplicates fold away.
+  const Box b(Point(0.2, 0.2), Point(0.7, 0.7));
+  const std::vector<Box> queries(3, b);
+  std::vector<double> out(queries.size());
+  ASSERT_TRUE(index.QueryBatch(queries.data(), queries.size(), out.data()).ok());
+  const obs::QueryObsSnapshot s = q.Snapshot();
+  EXPECT_EQ(s.corner_probes_issued, 4u);   // one per sign index
+  EXPECT_EQ(s.corner_probes_deduped, 8u);  // two folded per sign index
+  EXPECT_DOUBLE_EQ(out[0], out[1]);
+  EXPECT_DOUBLE_EQ(out[0], out[2]);
+}
+
+}  // namespace
+}  // namespace boxagg

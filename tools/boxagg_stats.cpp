@@ -1,0 +1,312 @@
+// boxagg_stats: runs a fig9b-style box-sum workload with full observability
+// enabled and reports the latency / I/O breakdown.
+//
+//   boxagg_stats [--backend ecdfu|ecdfq|bat] [--n N] [--queries Q]
+//                [--batch B] [--threads T] [--seed S]
+//                [--json PATH|-] [--trace PATH]
+//
+// The tool installs the process-global metrics registry, trace ring, and
+// query-observation sink, bulk-loads a 2-d corner-transform index over
+// uniform rectangles, answers Q square queries through the batched executor
+// path (morsels of B queries), and then:
+//
+//   - prints a human-readable metric table (per-level node visits, border
+//     probes, corner dedup, per-shard buffer-pool traffic, executor
+//     latency histograms) to stdout;
+//   - with --json, writes the same snapshot as a JSON object (PATH or "-"
+//     for stdout);
+//   - with --trace, writes the drained spans as a chrome://tracing JSON
+//     document loadable in Perfetto.
+//
+// Exit status is non-zero if any cross-check fails. Two invariants are
+// enforced, both documented in src/obs/query_obs.h and storage/io_stats.h:
+//
+//   coverage identity   sum over levels of node_visits == the workload's
+//                       logical-read delta (every dominance-descent fetch
+//                       is attributed to exactly one level)
+//   eviction ordering   evictions >= dirty_writebacks (write-backs are
+//                       counted on the eviction path only)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batree/packed_ba_tree.h"
+#include "core/box_sum_index.h"
+#include "ecdf/ecdf_btree.h"
+#include "exec/parallel_executor.h"
+#include "exec/query_adapters.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/query_obs.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "workload/generators.h"
+
+using namespace boxagg;
+
+namespace {
+
+struct Options {
+  std::string backend = "bat";
+  size_t n = 50000;
+  size_t queries = 512;
+  size_t batch = 256;
+  size_t threads = 2;
+  size_t shards = 1;
+  size_t buffer_mb = 10;
+  uint32_t page_size = kDefaultPageSize;
+  uint64_t seed = 42;
+  std::string json_path;   // empty = no JSON dump; "-" = stdout
+  std::string trace_path;  // empty = no trace file
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: boxagg_stats [--backend ecdfu|ecdfq|bat] [--n N]\n"
+               "                    [--queries Q] [--batch B] [--threads T]\n"
+               "                    [--shards S] [--buffer-mb M] [--seed S]\n"
+               "                    [--json PATH|-] [--trace PATH]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "boxagg_stats: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(a, "--backend") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->backend = v;
+    } else if (std::strcmp(a, "--n") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->n = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--queries") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->queries = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--batch") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->batch = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--threads") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--shards") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->shards = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--buffer-mb") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->buffer_mb = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--json") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->json_path = v;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->trace_path = v;
+    } else {
+      std::fprintf(stderr, "boxagg_stats: unknown argument %s\n", a);
+      return false;
+    }
+  }
+  if (opt->backend != "ecdfu" && opt->backend != "ecdfq" &&
+      opt->backend != "bat") {
+    std::fprintf(stderr, "boxagg_stats: unknown backend %s\n",
+                 opt->backend.c_str());
+    return false;
+  }
+  if (opt->threads == 0) opt->threads = 1;
+  if (opt->batch == 0) opt->batch = opt->queries;
+  return true;
+}
+
+int Die(const char* what, const Status& s) {
+  obs::LogError("boxagg_stats: %s: %s", what, s.ToString().c_str());
+  return 1;
+}
+
+/// Publishes the workload's query-observation delta into the registry as
+/// set-to-current counters, so the table/JSON dump carries the breakdown.
+void ExportQueryObs(obs::MetricsRegistry* reg, const obs::QueryObsSnapshot& d) {
+  char name[64];
+  for (size_t i = 0; i < obs::QueryObsSnapshot::kMaxLevels; ++i) {
+    if (d.node_visits[i] == 0) continue;
+    std::snprintf(name, sizeof(name), "query.level%zu.node_visits", i);
+    obs::Counter* c = reg->GetCounter(name);
+    c->Reset();
+    c->Inc(d.node_visits[i]);
+  }
+  auto set = [&](const char* n, uint64_t v) {
+    obs::Counter* c = reg->GetCounter(n);
+    c->Reset();
+    c->Inc(v);
+  };
+  set("query.border_probes", d.border_probes);
+  set("query.corner_probes_issued", d.corner_probes_issued);
+  set("query.corner_probes_deduped", d.corner_probes_deduped);
+}
+
+void ExportIoStats(obs::MetricsRegistry* reg, const IoStats& d) {
+  auto set = [&](const char* n, uint64_t v) {
+    obs::Counter* c = reg->GetCounter(n);
+    c->Reset();
+    c->Inc(v);
+  };
+  set("io.logical_reads", d.logical_reads);
+  set("io.physical_reads", d.physical_reads);
+  set("io.buffer_hits", d.buffer_hits);
+  set("io.physical_writes", d.physical_writes);
+  set("io.evictions", d.evictions);
+  set("io.dirty_writebacks", d.dirty_writebacks);
+  set("io.probe_fetches_saved", d.probe_fetches_saved);
+}
+
+template <class Index, class Factory>
+int RunWorkload(const Options& opt, BufferPool* pool,
+                const std::vector<BoxObject>& objects,
+                const std::vector<Box>& queries, Factory&& factory) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  obs::QueryObs* qobs = obs::CurrentQueryObs();
+
+  BoxSumIndex<Index> index(2, factory);
+  if (Status s = index.BulkLoad(objects); !s.ok()) return Die("bulk load", s);
+  if (Status s = pool->FlushAll(); !s.ok()) return Die("flush", s);
+  if (Status s = pool->Reset(); !s.ok()) return Die("reset", s);
+
+  const IoStats io0 = pool->stats();
+  const obs::QueryObsSnapshot q0 = qobs->Snapshot();
+
+  exec::ParallelQueryExecutor executor(opt.threads);
+  exec::BatchQueryFn fn = exec::BoxSumBatchQueryFn(&index);
+  std::vector<double> results;
+  exec::BatchExecStats st;
+  {
+    obs::Span span("workload", opt.backend.c_str());
+    span.SetProbes(static_cast<int64_t>(queries.size()));
+    if (Status s = executor.RunBatchGrouped(fn, queries, opt.batch, &results,
+                                            &st, pool);
+        !s.ok()) {
+      return Die("query batch", s);
+    }
+  }
+
+  const IoStats io = pool->stats().Since(io0);
+  const obs::QueryObsSnapshot qd = qobs->Snapshot().Since(q0);
+
+  // Coverage identity: every descent fetch was attributed to one level.
+  int rc = 0;
+  if (qd.TotalNodeVisits() != io.logical_reads) {
+    obs::LogError(
+        "boxagg_stats: coverage identity violated: node_visits=%" PRIu64
+        " != logical_reads=%" PRIu64,
+        qd.TotalNodeVisits(), io.logical_reads);
+    rc = 1;
+  }
+  const IoStats total = pool->stats();
+  if (total.evictions < total.dirty_writebacks) {
+    obs::LogError("boxagg_stats: eviction invariant violated: "
+                  "evictions=%" PRIu64 " < dirty_writebacks=%" PRIu64,
+                  total.evictions, total.dirty_writebacks);
+    rc = 1;
+  }
+
+  ExportQueryObs(reg, qd);
+  ExportIoStats(reg, io);
+  pool->ExportMetrics(reg);
+
+  std::printf("boxagg_stats: backend=%s n=%zu queries=%zu batch=%zu "
+              "threads=%zu shards=%zu\n",
+              opt.backend.c_str(), opt.n, queries.size(), opt.batch,
+              opt.threads, opt.shards);
+  std::printf("  wall=%.2fms qps=%.0f morsels=%zu p50=%.1fus p95=%.1fus "
+              "p99=%.1fus\n",
+              st.wall_ms, st.queries_per_sec, st.morsels, st.latency_p50_us,
+              st.latency_p95_us, st.latency_p99_us);
+  std::printf("  coverage: node_visits=%" PRIu64 " logical_reads=%" PRIu64
+              " %s\n",
+              qd.TotalNodeVisits(), io.logical_reads,
+              qd.TotalNodeVisits() == io.logical_reads ? "OK" : "MISMATCH");
+
+  const obs::MetricsSnapshot snap = reg->Snapshot();
+  snap.WriteTable(stdout);
+
+  if (!opt.json_path.empty()) {
+    FILE* out = opt.json_path == "-" ? stdout
+                                     : std::fopen(opt.json_path.c_str(), "w");
+    if (out == nullptr) {
+      obs::LogError("boxagg_stats: cannot open %s", opt.json_path.c_str());
+      return 1;
+    }
+    snap.WriteJson(out);
+    std::fputc('\n', out);
+    if (out != stdout) std::fclose(out);
+  }
+
+  if (!opt.trace_path.empty()) {
+    auto* sink = static_cast<obs::RingBufferSink*>(obs::CurrentTraceSink());
+    if (sink->dropped() > 0) {
+      obs::LogWarn("boxagg_stats: trace ring dropped %zu events",
+                   sink->dropped());
+    }
+    FILE* out = std::fopen(opt.trace_path.c_str(), "w");
+    if (out == nullptr) {
+      obs::LogError("boxagg_stats: cannot open %s", opt.trace_path.c_str());
+      return 1;
+    }
+    obs::WriteChromeTrace(out, sink->Drain());
+    std::fclose(out);
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) return Usage();
+
+  // Observability on for the whole process lifetime (static: outlives every
+  // query and the teardown of the index/pool).
+  static obs::MetricsRegistry registry;
+  static obs::RingBufferSink sink(1u << 16);
+  static obs::QueryObs qobs;
+  obs::MetricsRegistry::InstallGlobal(&registry);
+  obs::SetTraceSink(&sink);
+  obs::InstallQueryObs(&qobs);
+
+  workload::RectConfig rc;
+  rc.n = opt.n;
+  rc.seed = opt.seed;
+  const auto objects = workload::UniformRects(rc);
+  const auto queries = workload::QueryBoxes(opt.queries, 0.0001, opt.seed + 7);
+
+  MemPageFile file(opt.page_size);
+  BufferPool pool(&file,
+                  BufferPool::CapacityForMegabytes(opt.buffer_mb,
+                                                   opt.page_size),
+                  opt.shards);
+
+  if (opt.backend == "ecdfu" || opt.backend == "ecdfq") {
+    const EcdfVariant variant = opt.backend == "ecdfu"
+                                    ? EcdfVariant::kUpdateOptimized
+                                    : EcdfVariant::kQueryOptimized;
+    return RunWorkload<EcdfBTree<double>>(
+        opt, &pool, objects, queries,
+        [&] { return EcdfBTree<double>(&pool, 2, variant); });
+  }
+  return RunWorkload<PackedBaTree<double>>(
+      opt, &pool, objects, queries,
+      [&] { return PackedBaTree<double>(&pool, 2); });
+}

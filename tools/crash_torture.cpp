@@ -41,6 +41,7 @@
 #include "check/fsck.h"
 #include "core/bag_file.h"
 #include "ecdf/ecdf_btree.h"
+#include "obs/logger.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injection.h"
 
@@ -115,8 +116,7 @@ Status TortureRootChecker(BufferPool* pool, uint32_t dims, size_t index,
 }
 
 int Fail(uint64_t seed, const std::string& what) {
-  std::fprintf(stderr, "crash_torture: seed %" PRIu64 ": %s\n", seed,
-               what.c_str());
+  obs::LogError("crash_torture: seed %" PRIu64 ": %s", seed, what.c_str());
   return 1;
 }
 
@@ -260,12 +260,12 @@ int RunIteration(uint64_t seed, bool verbose) {
   }
 
   if (verbose) {
-    std::printf("seed %" PRIu64 ": crash at io %" PRIu64
-                ", recovered generation %" PRIu64 " (acked %" PRIu64
-                "%s), %" PRIu64 " entries\n",
-                seed, crash_at, recovered, acked,
-                in_flight != 0 ? ", commit in flight" : "",
-                static_cast<uint64_t>(oracle.agg.size()));
+    obs::LogInfo("seed %" PRIu64 ": crash at io %" PRIu64
+                 ", recovered generation %" PRIu64 " (acked %" PRIu64
+                 "%s), %" PRIu64 " entries",
+                 seed, crash_at, recovered, acked,
+                 in_flight != 0 ? ", commit in flight" : "",
+                 static_cast<uint64_t>(oracle.agg.size()));
   }
   return 0;
 }
@@ -293,10 +293,10 @@ int main(int argc, char** argv) {
   for (uint64_t i = 0; i < iters; ++i) {
     if (RunIteration(seed + i, verbose) != 0) return 1;
     if (!verbose && iters >= 20 && (i + 1) % (iters / 10) == 0) {
-      std::printf("crash_torture: %" PRIu64 "/%" PRIu64 " iterations ok\n",
-                  i + 1, iters);
+      obs::LogInfo("crash_torture: %" PRIu64 "/%" PRIu64 " iterations ok",
+                   i + 1, iters);
     }
   }
-  std::printf("crash_torture: all %" PRIu64 " iterations passed\n", iters);
+  obs::LogInfo("crash_torture: all %" PRIu64 " iterations passed", iters);
   return 0;
 }

@@ -1,0 +1,380 @@
+// Raw-speed descent path: kernel microbenchmarks (active SIMD backend vs the
+// always-compiled scalar reference), warm-pool batched descent throughput per
+// corner-transform backend, and serial-vs-parallel bulk load — all measured
+// in ONE run, so every emitted speedup compares binaries-identical inputs.
+//
+// Correctness is asserted inline, benchmark-style: every batched descent is
+// byte-compared against sequential Query calls, every kernel sample against
+// its scalar reference, and the parallel bulk load against the serial build
+// (root id, page count, full scan). Any violation exits 1.
+//
+// Output: stderr carries the human-readable table; stdout carries one
+// "JSON "-prefixed line per measurement. The same lines are appended to
+//   $BOXAGG_BENCH_DIR/BENCH_descent.json   (kernel + descent records)
+//   $BOXAGG_BENCH_DIR/BENCH_bulkload.json  (bulk-load records)
+// (BOXAGG_BENCH_DIR defaults to "."), one JSON object per line — jq-friendly
+// for the CI perf-smoke gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "batree/ba_tree.h"
+#include "batree/packed_ba_tree.h"
+#include "bench/suite.h"
+#include "bptree/agg_btree.h"
+#include "core/box_sum_index.h"
+#include "ecdf/ecdf_btree.h"
+#include "exec/bulk_loader.h"
+#include "exec/thread_pool.h"
+#include "simd/simd.h"
+
+using namespace boxagg;
+using namespace boxagg::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Collects the JSON lines destined for one BENCH_*.json file.
+class JsonSink {
+ public:
+  explicit JsonSink(const char* filename) {
+    const char* dir = std::getenv("BOXAGG_BENCH_DIR");
+    path_ = std::string(dir != nullptr ? dir : ".") + "/" + filename;
+  }
+
+  void Emit(const std::string& line) {
+    std::printf("JSON %s\n", line.c_str());
+    lines_.push_back(line);
+  }
+
+  ~JsonSink() {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    for (const std::string& l : lines_) std::fprintf(f, "%s\n", l.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;
+};
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return std::string(buf);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel microbenchmarks: active backend vs scalar reference, verified equal
+// on every sample while timing.
+
+void BenchKernels(const Config& cfg, JsonSink* sink, bool* ok) {
+  std::mt19937 rng(cfg.seed);
+  std::uniform_real_distribution<double> u(0, 1000);
+  const size_t reps = 200000;
+
+  // FirstGreater over a node-sized sorted key strip.
+  {
+    std::vector<double> keys(256);
+    for (double& k : keys) k = u(rng);
+    std::sort(keys.begin(), keys.end());
+    std::vector<double> probes(1024);
+    for (double& p : probes) p = u(rng);
+    uint64_t sink_ref = 0, sink_act = 0;
+    auto t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) {
+      sink_ref += simd::ref::FirstGreater(keys.data(), 256,
+                                          probes[r % probes.size()]);
+    }
+    const double ref_ms = MillisSince(t0);
+    t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) {
+      sink_act +=
+          simd::FirstGreater(keys.data(), 256, probes[r % probes.size()]);
+    }
+    const double act_ms = MillisSince(t0);
+    if (sink_ref != sink_act) {
+      std::fprintf(stderr, "FirstGreater diverges from scalar reference\n");
+      *ok = false;
+    }
+    obs::LogInfo("  first_greater: scalar=%.1fms %s=%.1fms speedup=%.2fx",
+                 ref_ms, simd::kBackend, act_ms, ref_ms / act_ms);
+    sink->Emit(Fmt("{\"bench\":\"descent\",\"kernel\":\"first_greater\","
+                   "\"backend\":\"%s\",\"reps\":%zu,\"scalar_ms\":%.3f,"
+                   "\"simd_ms\":%.3f,\"speedup\":%.3f,%s}",
+                   simd::kBackend, reps, ref_ms, act_ms, ref_ms / act_ms,
+                   JsonRunMeta(cfg).c_str()));
+  }
+
+  // Dominates over points (the ECDF/BA leaf scan predicate).
+  {
+    std::vector<Point> qs(512), ps(512);
+    for (auto& p : qs) {
+      for (int d = 0; d < kMaxDims; ++d) p[d] = u(rng);
+    }
+    for (auto& p : ps) {
+      for (int d = 0; d < kMaxDims; ++d) p[d] = u(rng);
+    }
+    uint64_t sink_ref = 0, sink_act = 0;
+    auto t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) {
+      const Point& q = qs[r % qs.size()];
+      const Point& p = ps[(r * 7) % ps.size()];
+      sink_ref += simd::ref::Dominates(q.coord.data(), p.coord.data(), 4);
+    }
+    const double ref_ms = MillisSince(t0);
+    t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) {
+      sink_act += simd::Dominates(qs[r % qs.size()], ps[(r * 7) % ps.size()],
+                                  4);
+    }
+    const double act_ms = MillisSince(t0);
+    if (sink_ref != sink_act) {
+      std::fprintf(stderr, "Dominates diverges from scalar reference\n");
+      *ok = false;
+    }
+    obs::LogInfo("  dominates:     scalar=%.1fms %s=%.1fms speedup=%.2fx",
+                 ref_ms, simd::kBackend, act_ms, ref_ms / act_ms);
+    sink->Emit(Fmt("{\"bench\":\"descent\",\"kernel\":\"dominates\","
+                   "\"backend\":\"%s\",\"reps\":%zu,\"scalar_ms\":%.3f,"
+                   "\"simd_ms\":%.3f,\"speedup\":%.3f,%s}",
+                   simd::kBackend, reps, ref_ms, act_ms, ref_ms / act_ms,
+                   JsonRunMeta(cfg).c_str()));
+  }
+
+  // AccumulateSigned over a batch-sized corner expansion.
+  {
+    const size_t count = 4096, nparts = 512;
+    std::vector<double> parts(nparts), a(count, 0.0), b(count, 0.0);
+    for (double& v : parts) v = u(rng);
+    std::vector<uint32_t> probe_of(count);
+    for (uint32_t& i : probe_of) i = rng() % nparts;
+    const size_t loops = reps / 64;
+    auto t0 = Clock::now();
+    for (size_t r = 0; r < loops; ++r) {
+      simd::ref::AccumulateSigned(a.data(), parts.data(), probe_of.data(),
+                                  r % 2 == 0 ? 1.0 : -1.0, count);
+    }
+    const double ref_ms = MillisSince(t0);
+    t0 = Clock::now();
+    for (size_t r = 0; r < loops; ++r) {
+      simd::AccumulateSigned(b.data(), parts.data(), probe_of.data(),
+                             r % 2 == 0 ? 1.0 : -1.0, count);
+    }
+    const double act_ms = MillisSince(t0);
+    if (std::memcmp(a.data(), b.data(), count * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "AccumulateSigned diverges from scalar reference\n");
+      *ok = false;
+    }
+    obs::LogInfo("  accumulate:    scalar=%.1fms %s=%.1fms speedup=%.2fx",
+                 ref_ms, simd::kBackend, act_ms, ref_ms / act_ms);
+    sink->Emit(Fmt("{\"bench\":\"descent\",\"kernel\":\"accumulate_signed\","
+                   "\"backend\":\"%s\",\"reps\":%zu,\"scalar_ms\":%.3f,"
+                   "\"simd_ms\":%.3f,\"speedup\":%.3f,%s}",
+                   simd::kBackend, loops, ref_ms, act_ms, ref_ms / act_ms,
+                   JsonRunMeta(cfg).c_str()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm-pool batched descent throughput per backend, byte-checked against
+// sequential Query calls.
+
+template <class Index>
+void BenchDescent(const char* name, const Config& cfg, Storage* storage,
+                  BoxSumIndex<Index>* index, const std::vector<Box>& queries,
+                  JsonSink* sink, bool* ok) {
+  const size_t nq = queries.size();
+  std::vector<double> oracle(nq), results(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    DieIf(index->Query(queries[i], &oracle[i]), "sequential query");
+  }
+  // Warm-up: pool resident, arena grown to the batch high-water mark.
+  DieIf(index->QueryBatch(queries.data(), nq, results.data()), "warm-up");
+  if (std::memcmp(results.data(), oracle.data(), nq * sizeof(double)) != 0) {
+    std::fprintf(stderr, "%s: batch diverges from sequential queries\n",
+                 name);
+    *ok = false;
+  }
+  const int rounds = 20;
+  const IoStats before = storage->pool()->stats();
+  auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    DieIf(index->QueryBatch(queries.data(), nq, results.data()),
+          "warm batch");
+  }
+  const double wall = MillisSince(t0);
+  const IoStats d = storage->pool()->stats().Since(before);
+  const double qps = 1e3 * static_cast<double>(nq) * rounds / wall;
+  obs::LogInfo("  %-6s warm batch: %zu queries x%d rounds  wall=%.2fms  "
+               "%.0f q/s  logical/round=%llu",
+               name, nq, rounds, wall, qps,
+               static_cast<unsigned long long>(d.logical_reads / rounds));
+  sink->Emit(Fmt("{\"bench\":\"descent\",\"phase\":\"warm_batch\","
+                 "\"backend_tree\":\"%s\",\"simd\":\"%s\",\"n\":%zu,"
+                 "\"queries\":%zu,\"rounds\":%d,\"wall_ms\":%.3f,"
+                 "\"queries_per_sec\":%.1f,\"logical_per_round\":%llu,%s}",
+                 name, simd::kBackend, cfg.n, nq, rounds, wall, qps,
+                 static_cast<unsigned long long>(d.logical_reads / rounds),
+                 JsonRunMeta(cfg).c_str()));
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel bulk load, equality-checked in the same run.
+
+void BenchBulkLoad(const Config& cfg, JsonSink* sink, bool* ok) {
+  std::mt19937 rng(cfg.seed + 99);
+  std::uniform_real_distribution<double> u(0, 1e6);
+  exec::ThreadPool tpool(cfg.threads);
+
+  // AggBTree: staged-parallel/commit-serial leaf build over sorted entries.
+  {
+    std::vector<AggBTree<double>::Entry> sorted(cfg.n);
+    for (size_t i = 0; i < cfg.n; ++i) sorted[i] = {u(rng), u(rng)};
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    Storage sa(cfg, "bulk_agg_serial"), sb(cfg, "bulk_agg_parallel");
+    AggBTree<double> serial(sa.pool()), parallel(sb.pool());
+    auto t0 = Clock::now();
+    DieIf(serial.BulkLoad(sorted), "serial bulk load");
+    const double serial_ms = MillisSince(t0);
+    t0 = Clock::now();
+    DieIf(parallel.BulkLoadParallel(sorted, &tpool), "parallel bulk load");
+    const double parallel_ms = MillisSince(t0);
+
+    uint64_t pa = 0, pb = 0;
+    DieIf(serial.PageCount(&pa), "page count");
+    DieIf(parallel.PageCount(&pb), "page count");
+    std::vector<AggBTree<double>::Entry> scan_a, scan_b;
+    DieIf(serial.ScanAll(&scan_a), "scan");
+    DieIf(parallel.ScanAll(&scan_b), "scan");
+    if (serial.root() != parallel.root() || pa != pb ||
+        scan_a.size() != scan_b.size() ||
+        std::memcmp(scan_a.data(), scan_b.data(),
+                    scan_a.size() * sizeof(scan_a[0])) != 0) {
+      std::fprintf(stderr, "AggBTree parallel bulk load != serial build\n");
+      *ok = false;
+    }
+    obs::LogInfo("  aggbtree bulk: serial=%.1fms parallel=%.1fms (%zu "
+                 "threads) speedup=%.2fx",
+                 serial_ms, parallel_ms, tpool.size(),
+                 serial_ms / parallel_ms);
+    sink->Emit(Fmt("{\"bench\":\"bulkload\",\"tree\":\"aggbtree\",\"n\":%zu,"
+                   "\"threads\":%zu,\"serial_ms\":%.3f,\"parallel_ms\":%.3f,"
+                   "\"speedup\":%.3f,\"pages\":%llu,%s}",
+                   cfg.n, tpool.size(), serial_ms, parallel_ms,
+                   serial_ms / parallel_ms,
+                   static_cast<unsigned long long>(pa),
+                   JsonRunMeta(cfg).c_str()));
+  }
+
+  // BaTree: parallel sample sort + parallel region classification. Integer
+  // values so duplicate coalescing is order-independent and the equality
+  // check below is exact.
+  {
+    std::vector<PointEntry<double>> entries(cfg.n);
+    for (auto& e : entries) {
+      e.pt = Point(static_cast<double>(rng() % 100000) / 10,
+                   static_cast<double>(rng() % 100000) / 10);
+      e.value = 1 + rng() % 9;
+    }
+    Storage sa(cfg, "bulk_bat_serial"), sb(cfg, "bulk_bat_parallel");
+    BaTree<double> serial(sa.pool(), 2), parallel(sb.pool(), 2);
+    auto t0 = Clock::now();
+    DieIf(serial.BulkLoad(entries), "serial bulk load");
+    const double serial_ms = MillisSince(t0);
+    t0 = Clock::now();
+    DieIf(parallel.BulkLoadParallel(entries, &tpool), "parallel bulk load");
+    const double parallel_ms = MillisSince(t0);
+
+    std::vector<PointEntry<double>> scan_a, scan_b;
+    DieIf(serial.ScanAll(&scan_a), "scan");
+    DieIf(parallel.ScanAll(&scan_b), "scan");
+    bool same = scan_a.size() == scan_b.size();
+    for (size_t i = 0; same && i < scan_a.size(); ++i) {
+      same = LexEqual(scan_a[i].pt, scan_b[i].pt, 2) &&
+             scan_a[i].value == scan_b[i].value;
+    }
+    if (!same) {
+      std::fprintf(stderr, "BaTree parallel bulk load != serial build\n");
+      *ok = false;
+    }
+    obs::LogInfo("  batree bulk:   serial=%.1fms parallel=%.1fms (%zu "
+                 "threads) speedup=%.2fx",
+                 serial_ms, parallel_ms, tpool.size(),
+                 serial_ms / parallel_ms);
+    sink->Emit(Fmt("{\"bench\":\"bulkload\",\"tree\":\"batree\",\"n\":%zu,"
+                   "\"threads\":%zu,\"serial_ms\":%.3f,\"parallel_ms\":%.3f,"
+                   "\"speedup\":%.3f,\"entries\":%zu,%s}",
+                   cfg.n, tpool.size(), serial_ms, parallel_ms,
+                   serial_ms / parallel_ms, scan_a.size(),
+                   JsonRunMeta(cfg).c_str()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Config cfg = Config::FromEnv();
+  cfg.Log("Raw-speed descent: SIMD kernels, warm batched descent, bulk load");
+  obs::LogInfo("simd backend: %s (window %u)", simd::kBackend,
+               simd::kSearchScanWindow);
+
+  bool ok = true;
+  JsonSink descent_sink("BENCH_descent.json");
+  JsonSink bulkload_sink("BENCH_bulkload.json");
+
+  BenchKernels(cfg, &descent_sink, &ok);
+
+  workload::RectConfig rc;
+  rc.n = cfg.n;
+  rc.seed = cfg.seed;
+  auto objects = workload::UniformRects(rc);
+  auto queries = workload::QueryBoxes(std::min<size_t>(cfg.queries, 256),
+                                      0.0001, cfg.seed + 7);
+  {
+    Storage storage(cfg, "descent_ecdfu");
+    BoxSumIndex<EcdfBTree<double>> index(2, [&] {
+      return EcdfBTree<double>(storage.pool(), 2,
+                               EcdfVariant::kUpdateOptimized);
+    });
+    DieIf(index.BulkLoad(objects), "ECDFu bulk load");
+    BenchDescent("ecdfu", cfg, &storage, &index, queries, &descent_sink, &ok);
+  }
+  {
+    Storage storage(cfg, "descent_ecdfq");
+    BoxSumIndex<EcdfBTree<double>> index(2, [&] {
+      return EcdfBTree<double>(storage.pool(), 2,
+                               EcdfVariant::kQueryOptimized);
+    });
+    DieIf(index.BulkLoad(objects), "ECDFq bulk load");
+    BenchDescent("ecdfq", cfg, &storage, &index, queries, &descent_sink, &ok);
+  }
+  {
+    Storage storage(cfg, "descent_bat");
+    BoxSumIndex<PackedBaTree<double>> index(
+        2, [&] { return PackedBaTree<double>(storage.pool(), 2); });
+    DieIf(index.BulkLoad(objects), "BA-tree bulk load");
+    BenchDescent("bat", cfg, &storage, &index, queries, &descent_sink, &ok);
+  }
+
+  BenchBulkLoad(cfg, &bulkload_sink, &ok);
+  return ok ? 0 : 1;
+}

@@ -49,9 +49,12 @@
 
 #include "bptree/agg_btree.h"
 #include "check/checkable.h"
+#include "core/arena.h"
 #include "core/point_entry.h"
+#include "exec/bulk_loader.h"
 #include "geom/box.h"
 #include "obs/query_obs.h"
+#include "simd/simd.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -151,7 +154,7 @@ class BaTree {
       if (Type(p) == kLeaf) {
         for (uint32_t i = 0; i < n; ++i) {
           Point pt = LeafPoint(p, i);
-          if (q.Dominates(pt, dims_)) {
+          if (simd::Dominates(q, pt, dims_)) {
             V v;
             ReadLeafValue(p, i, &v);
             *out += v;
@@ -163,7 +166,7 @@ class BaTree {
       uint32_t target = n;
       for (uint32_t i = 0; i < n; ++i) {
         Record r = ReadRecord(p, i);
-        if (r.box.ContainsPointHalfOpen(q, dims_)) {
+        if (simd::ContainsHalfOpen(r.box, q, dims_)) {
           *out += r.subtotal;
           for (int b = 0; b < dims_; ++b) {
             if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
@@ -198,21 +201,22 @@ class BaTree {
                            unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
-    std::vector<Point> qs(queries, queries + count);
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Point> qs(queries, queries + count);
     for (auto& q : qs) {
       for (int d = 0; d < dims_; ++d) {
         q[d] = std::min(q[d], std::numeric_limits<double>::max());
       }
     }
     if (dims_ == 1) {
-      std::vector<double> keys(count);
+      core::ArenaVector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
       AggBTree<V> base(pool_, root_);
       return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
-    std::vector<uint32_t> order(count);
+    core::ArenaVector<uint32_t> order(count);
     for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
-    const std::vector<Point>& q_ref = qs;
+    const core::ArenaVector<Point>& q_ref = qs;
     std::sort(order.begin(), order.end(),
               [this, &q_ref](uint32_t a, uint32_t b) {
                 if (LexLess(q_ref[a], q_ref[b], dims_)) return true;
@@ -257,25 +261,42 @@ class BaTree {
   /// k-d-B structure top-down; each node's record borders are classified
   /// directly from the node's full point set.
   Status BulkLoad(std::vector<Entry> entries) {
+    return BulkLoadParallel(std::move(entries), nullptr);
+  }
+
+  /// BulkLoad with the CPU-bound stages (input sample sort, per-record
+  /// classification sweeps) spread over `pool` (nullptr or single-threaded
+  /// pool = exactly the serial path). Page allocation and writing stay
+  /// serial, so the resulting page graph is identical to BulkLoad's for
+  /// inputs with distinct points; with duplicate points only the coalesced
+  /// value's summation order may differ (a floating-point rounding detail).
+  Status BulkLoadParallel(std::vector<Entry> entries, exec::ThreadPool* pool) {
     if (root_ != kInvalidPageId) {
       return Status::InvalidArgument("BulkLoad into non-empty tree");
     }
     if (!PageSizeViable()) {
       return Status::InvalidArgument("page size too small for value type");
     }
-    SortAndCoalesce(&entries, dims_);
-    if (entries.empty()) return Status::OK();
+    bulk_pool_ = pool;
+    exec::ParallelSortCoalesce(&entries, dims_, pool);
+    if (entries.empty()) {
+      bulk_pool_ = nullptr;
+      return Status::OK();
+    }
     if (dims_ == 1) {
       AggBTree<V> base(pool_);
       std::vector<typename AggBTree<V>::Entry> flat;
       flat.reserve(entries.size());
       for (const auto& e : entries) flat.push_back({e.pt[0], e.value});
-      BOXAGG_RETURN_NOT_OK(base.BulkLoad(flat));
+      Status s = base.BulkLoadParallel(flat, pool);
       root_ = base.root();
-      return Status::OK();
+      bulk_pool_ = nullptr;
+      return s;
     }
-    return BuildRec(&entries, 0, entries.size(), Box::Universe(dims_),
-                    &root_);
+    Status s = BuildRec(&entries, 0, entries.size(), Box::Universe(dims_),
+                        &root_);
+    bulk_pool_ = nullptr;
+    return s;
   }
 
   /// Structural audit (test/debug aid). Checks the invariants that are
@@ -440,7 +461,9 @@ class BaTree {
 
   Status BuildBorder(std::vector<Entry> projected, PageId* out) {
     BaTree sub(pool_, dims_ - 1);
-    BOXAGG_RETURN_NOT_OK(sub.BulkLoad(std::move(projected)));
+    // Inherit the bulk-load worker pool (nullptr outside a parallel load).
+    BOXAGG_RETURN_NOT_OK(
+        sub.BulkLoadParallel(std::move(projected), bulk_pool_));
     *out = sub.root();
     return Status::OK();
   }
@@ -906,8 +929,14 @@ class BaTree {
       BOXAGG_RETURN_NOT_OK(BuildRec(entries, regions[i].lo, regions[i].hi,
                                     regions[i].box, &recs[i].child));
     }
-    for (size_t i = 0; i < regions.size(); ++i) {
-      std::vector<std::vector<Entry>> bpts(static_cast<size_t>(dims_));
+    // The classification sweeps are independent per record and touch no
+    // pages, so they fan out over the bulk-load pool; each sweep visits
+    // entries in ascending k exactly as the serial loop did, so subtotal
+    // accumulation order (and thus its floating-point value) is unchanged.
+    // Border page construction stays serial below.
+    std::vector<std::vector<std::vector<Entry>>> bpts(regions.size());
+    exec::ParallelFor(bulk_pool_, regions.size(), [&](size_t i) {
+      bpts[i].assign(static_cast<size_t>(dims_), {});
       for (size_t k = lo; k < hi; ++k) {
         const Entry& e = (*entries)[k];
         int c = Classify(recs[i].box, e.pt);
@@ -915,13 +944,15 @@ class BaTree {
         if (c == dims_) {
           recs[i].subtotal += e.value;
         } else {
-          bpts[static_cast<size_t>(c)].push_back(
+          bpts[i][static_cast<size_t>(c)].push_back(
               Entry{e.pt.DropDim(c, dims_), e.value});
         }
       }
+    });
+    for (size_t i = 0; i < regions.size(); ++i) {
       for (int b = 0; b < dims_; ++b) {
         BOXAGG_RETURN_NOT_OK(
-            BuildBorder(std::move(bpts[static_cast<size_t>(b)]),
+            BuildBorder(std::move(bpts[i][static_cast<size_t>(b)]),
                         &recs[i].border[static_cast<size_t>(b)]));
       }
     }
@@ -998,9 +1029,10 @@ class BaTree {
                            unsigned obs_level = 0) const {
     struct Group {
       PageId child;
-      std::vector<uint32_t> members;  // original probe indices
+      core::ArenaVector<uint32_t> members;  // original probe indices
     };
-    std::vector<Group> groups;
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Group> groups;
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
@@ -1014,7 +1046,7 @@ class BaTree {
           V* out = &outs[idx[j]];
           for (uint32_t i = 0; i < n; ++i) {
             Point pt = LeafPoint(p, i);
-            if (q.Dominates(pt, dims_)) {
+            if (simd::Dominates(q, pt, dims_)) {
               V v;
               ReadLeafValue(p, i, &v);
               *out += v;
@@ -1023,16 +1055,16 @@ class BaTree {
         }
         return Status::OK();
       }
-      std::vector<bool> taken(m, false);
+      core::ArenaVector<uint8_t> taken(m, 0);
       size_t assigned = 0;
-      std::vector<Point> pts;
-      std::vector<V> parts;
+      core::ArenaVector<Point> pts;
+      core::ArenaVector<V> parts;
       for (uint32_t i = 0; i < n && assigned < m; ++i) {
         Record r = ReadRecord(p, i);
-        std::vector<uint32_t> members;
+        core::ArenaVector<uint32_t> members;
         for (size_t j = 0; j < m; ++j) {
           if (taken[j]) continue;
-          if (r.box.ContainsPointHalfOpen(qs[idx[j]], dims_)) {
+          if (simd::ContainsHalfOpen(r.box, qs[idx[j]], dims_)) {
             taken[j] = true;
             ++assigned;
             members.push_back(idx[j]);
@@ -1061,7 +1093,10 @@ class BaTree {
         return Status::Corruption("query point not covered by any record");
       }
     }
-    for (const Group& gr : groups) {
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      // Warm the next group's child while the current one is processed.
+      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, gr.members.data(),
                                              gr.members.size(), qs, outs,
                                              obs_level + 1));
@@ -1295,6 +1330,9 @@ class BaTree {
   BufferPool* pool_;
   int dims_;
   PageId root_;
+  /// Worker pool for the CPU-bound stages of an in-flight BulkLoadParallel;
+  /// nullptr at all other times (inserts, queries).
+  exec::ThreadPool* bulk_pool_ = nullptr;
 };
 
 }  // namespace boxagg

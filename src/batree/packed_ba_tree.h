@@ -42,9 +42,11 @@
 
 #include "bptree/agg_btree.h"
 #include "check/checkable.h"
+#include "core/arena.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
 #include "obs/query_obs.h"
+#include "simd/simd.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -143,7 +145,8 @@ class PackedBaTree {
     for (unsigned level = obs_level;; ++level) {
       // Spilled-border queries below need their own pins; collect them while
       // the node page is mapped, then run them unpinned.
-      std::vector<std::pair<int, PageId>> tree_borders;
+      core::ArenaScope scope(core::ScratchArena());
+      core::ArenaVector<std::pair<int, PageId>> tree_borders;
       PageId next = kInvalidPageId;
       {
         PageGuard g;
@@ -154,7 +157,7 @@ class PackedBaTree {
           uint32_t n = LeafCount(page);
           for (uint32_t i = 0; i < n; ++i) {
             Point pt = LeafPoint(page, i);
-            if (q.Dominates(pt, dims_)) {
+            if (simd::Dominates(q, pt, dims_)) {
               V v;
               ReadLeafValue(page, i, &v);
               *out += v;
@@ -166,7 +169,7 @@ class PackedBaTree {
         bool found = false;
         for (uint32_t i = 0; i < n && !found; ++i) {
           Box box = RecBox(page, i);
-          if (!box.ContainsPointHalfOpen(q, dims_)) continue;
+          if (!simd::ContainsHalfOpen(box, q, dims_)) continue;
           found = true;
           V sub;
           ReadRecSubtotal(page, i, &sub);
@@ -176,14 +179,17 @@ class PackedBaTree {
             if (ref == kEmptyRef) continue;
             Point projected = q.DropDim(b, dims_);
             if (IsInlineRef(ref)) {
-              // In-page scan: zero extra I/O — the packing payoff.
+              // In-page scan: zero extra I/O — the packing payoff. Entries
+              // are copied out (ReadBlockEntry) before the vector compare:
+              // a packed block near the page end may hold fewer than
+              // kMaxDims doubles per entry, so in-place loads could overrun.
               uint32_t off = InlineOffset(ref);
               uint32_t cnt = BlockCount(page, off);
               for (uint32_t k = 0; k < cnt; ++k) {
                 Point pt;
                 V v;
                 ReadBlockEntry(page, off, k, &pt, &v);
-                if (projected.Dominates(pt, dims_ - 1)) *out += v;
+                if (simd::Dominates(projected, pt, dims_ - 1)) *out += v;
               }
             } else {
               tree_borders.push_back({b, static_cast<PageId>(ref)});
@@ -219,21 +225,22 @@ class PackedBaTree {
                            unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
-    std::vector<Point> qs(queries, queries + count);
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Point> qs(queries, queries + count);
     for (auto& q : qs) {
       for (int d = 0; d < dims_; ++d) {
         q[d] = std::min(q[d], std::numeric_limits<double>::max());
       }
     }
     if (dims_ == 1) {
-      std::vector<double> keys(count);
+      core::ArenaVector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
       AggBTree<V> base(pool_, root_);
       return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
-    std::vector<uint32_t> order(count);
+    core::ArenaVector<uint32_t> order(count);
     for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
-    const std::vector<Point>& q_ref = qs;
+    const core::ArenaVector<Point>& q_ref = qs;
     std::sort(order.begin(), order.end(),
               [this, &q_ref](uint32_t a, uint32_t b) {
                 if (LexLess(q_ref[a], q_ref[b], dims_)) return true;
@@ -602,10 +609,11 @@ class PackedBaTree {
     };
     struct Group {
       PageId child;
-      std::vector<uint32_t> members;  // original probe indices
-      std::vector<Spill> spills;
+      core::ArenaVector<uint32_t> members;  // original probe indices
+      core::ArenaVector<Spill> spills;
     };
-    std::vector<Group> groups;
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Group> groups;
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
@@ -619,7 +627,7 @@ class PackedBaTree {
           V* out = &outs[idx[j]];
           for (uint32_t i = 0; i < n; ++i) {
             Point pt = LeafPoint(page, i);
-            if (q.Dominates(pt, dims_)) {
+            if (simd::Dominates(q, pt, dims_)) {
               V v;
               ReadLeafValue(page, i, &v);
               *out += v;
@@ -629,15 +637,15 @@ class PackedBaTree {
         return Status::OK();
       }
       uint32_t n = IntCount(page);
-      std::vector<bool> taken(m, false);
+      core::ArenaVector<uint8_t> taken(m, 0);
       size_t assigned = 0;
       for (uint32_t i = 0; i < n && assigned < m; ++i) {
         Box box = RecBox(page, i);
-        std::vector<uint32_t> members;
+        core::ArenaVector<uint32_t> members;
         for (size_t j = 0; j < m; ++j) {
           if (taken[j]) continue;
-          if (box.ContainsPointHalfOpen(qs[idx[j]], dims_)) {
-            taken[j] = true;
+          if (simd::ContainsHalfOpen(box, qs[idx[j]], dims_)) {
+            taken[j] = 1;
             ++assigned;
             members.push_back(idx[j]);
           }
@@ -646,7 +654,7 @@ class PackedBaTree {
         V sub;
         ReadRecSubtotal(page, i, &sub);
         for (uint32_t probe : members) outs[probe] += sub;
-        std::vector<Spill> spills;
+        core::ArenaVector<Spill> spills;
         for (int b = 0; b < dims_; ++b) {
           uint64_t ref = RecBorderRef(page, i, b);
           if (ref == kEmptyRef) continue;
@@ -657,10 +665,10 @@ class PackedBaTree {
             for (uint32_t probe : members) {
               Point projected = qs[probe].DropDim(b, dims_);
               for (uint32_t k = 0; k < cnt; ++k) {
-                Point pt;
+                Point pt;  // copied out: packed entries can be < kMaxDims
                 V v;
                 ReadBlockEntry(page, off, k, &pt, &v);
-                if (projected.Dominates(pt, dims_ - 1)) outs[probe] += v;
+                if (simd::Dominates(projected, pt, dims_ - 1)) outs[probe] += v;
               }
             }
           } else {
@@ -676,8 +684,8 @@ class PackedBaTree {
     }
     // Spilled borders of this node before any descent, like the sequential
     // loop's per-level tree_borders pass.
-    std::vector<Point> pts;
-    std::vector<V> parts;
+    core::ArenaVector<Point> pts;
+    core::ArenaVector<V> parts;
     for (const Group& gr : groups) {
       const size_t gs = gr.members.size();
       for (const Spill& sp : gr.spills) {
@@ -694,7 +702,9 @@ class PackedBaTree {
         for (size_t t = 0; t < gs; ++t) outs[gr.members[t]] += parts[t];
       }
     }
-    for (const Group& gr : groups) {
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, gr.members.data(),
                                              gr.members.size(), qs, outs,
                                              obs_level + 1));

@@ -11,10 +11,18 @@
 // Deletion of a previously inserted (key, v) is Insert(key, -v). Entries with
 // equal keys are coalesced, so the entry count is the number of distinct keys.
 //
-// Page layout (fixed page size from the BufferPool's PageFile):
-//   header: u16 type (1=leaf, 2=internal), u16 pad, u32 count
-//   leaf entry:     f64 key, V value
-//   internal entry: f64 lowkey, u64 child, V subtree_sum
+// Page layout (fixed page size from the BufferPool's PageFile). Nodes are
+// structure-of-arrays: the keys every descent searches sit in one contiguous,
+// cache-line-aligned strip at the front of the page, so the in-node search
+// (simd::FirstGreater) streams through pure key data instead of striding over
+// interleaved values:
+//   header:   u16 type (1=leaf, 2=internal), u16 pad, u32 count
+//   leaf:     f64 key[LeafCapacity], then V value[LeafCapacity]
+//   internal: f64 lowkey[InternalCapacity],
+//             then { u64 child, V subtree_sum }[InternalCapacity]
+// Capacities — and therefore node fan-out, tree shape, and every I/O count —
+// are unchanged from the interleaved layout: the same entries occupy the same
+// page budget, only their in-page order differs.
 // Internal entry i routes keys in [lowkey_i, lowkey_{i+1}); entry 0's lowkey
 // acts as -infinity during routing.
 
@@ -28,7 +36,10 @@
 #include <vector>
 
 #include "check/checkable.h"
+#include "core/arena.h"
+#include "exec/bulk_loader.h"
 #include "obs/query_obs.h"
+#include "simd/simd.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -60,6 +71,26 @@ class AggBTree {
   }
   static uint32_t InternalCapacity(uint32_t page_size) {
     return (page_size - kHeaderSize) / kInternalEntrySize;
+  }
+
+  // ---- public layout map ---------------------------------------------------
+  // Byte offsets of the SoA strips, exposed for the composite structures that
+  // must address AggBTree pages directly (EcdfBTree::CloneAgg patches child
+  // pointers while copying subtrees) and for the corruption-injection tests.
+
+  static uint32_t LeafKeyOffset(uint32_t i) { return kHeaderSize + i * 8; }
+  static uint32_t LeafValueOffset(uint32_t page_size, uint32_t i) {
+    return kHeaderSize + 8 * LeafCapacity(page_size) +
+           i * static_cast<uint32_t>(sizeof(V));
+  }
+  static uint32_t InternalLowKeyOffset(uint32_t i) {
+    return kHeaderSize + i * 8;
+  }
+  static uint32_t InternalChildOffset(uint32_t page_size, uint32_t i) {
+    return kHeaderSize + 8 * InternalCapacity(page_size) + i * kInternalRec;
+  }
+  static uint32_t InternalSumOffset(uint32_t page_size, uint32_t i) {
+    return InternalChildOffset(page_size, i) + 8;
   }
 
   /// True iff pages of `page_size` bytes can hold enough entries for the
@@ -107,30 +138,35 @@ class AggBTree {
   Status DominanceSum(double q, V* out, unsigned obs_level = 0) const {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
+    const uint32_t page_size = pool_->file()->page_size();
     PageId pid = root_;
     for (unsigned level = obs_level;; ++level) {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
       obs::NoteNodeVisit(level);
       const Page* p = g.page();
+      const uint8_t* base = p->data();
       uint32_t n = Count(p);
       if (Type(p) == kLeaf) {
-        for (uint32_t i = 0; i < n; ++i) {
-          double k = LeafKey(p, i);
-          if (k > q) break;
+        const double* keys =
+            reinterpret_cast<const double*>(base + kHeaderSize);
+        const uint32_t cut = simd::FirstGreater(keys, n, q);
+        const uint8_t* vals = base + LeafValueOffset(page_size, 0);
+        for (uint32_t i = 0; i < cut; ++i) {
           V v;
-          ReadLeafValue(p, i, &v);
+          std::memcpy(&v, vals + size_t{i} * sizeof(V), sizeof(V));
           *out += v;
         }
         return Status::OK();
       }
       uint32_t idx = RouteInternal(p, n, q);
+      const uint8_t* recs = base + InternalChildOffset(page_size, 0);
       for (uint32_t i = 0; i < idx; ++i) {
         V s;
-        ReadInternalSum(p, i, &s);
+        std::memcpy(&s, recs + size_t{i} * kInternalRec + 8, sizeof(V));
         *out += s;
       }
-      pid = InternalChild(p, idx);
+      std::memcpy(&pid, recs + size_t{idx} * kInternalRec, sizeof(PageId));
     }
   }
 
@@ -145,7 +181,8 @@ class AggBTree {
                            unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
-    std::vector<uint32_t> order(count);
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<uint32_t> order(count);
     for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
     std::sort(order.begin(), order.end(), [qs](uint32_t a, uint32_t b) {
       if (qs[a] != qs[b]) return qs[a] < qs[b];
@@ -201,6 +238,18 @@ class AggBTree {
   /// Builds a tree from entries sorted by strictly increasing key. The tree
   /// must be empty. Pages are filled to `fill` fraction of capacity.
   Status BulkLoad(const std::vector<Entry>& sorted, double fill = 1.0) {
+    return BulkLoadParallel(sorted, nullptr, fill);
+  }
+
+  /// BulkLoad with leaf construction fanned out over `tpool` (sample-sorted
+  /// input is already ordered, so leaves are independent byte-filling jobs).
+  /// Leaf pages are staged in private buffers in parallel, then committed
+  /// through the pool serially in leaf order — BufferPool::New is not
+  /// thread-safe, and serial commit keeps the pool operation sequence, page
+  /// ids and resulting tree bit-identical to the serial build. A null pool
+  /// IS the serial build.
+  Status BulkLoadParallel(const std::vector<Entry>& sorted,
+                          exec::ThreadPool* tpool, double fill = 1.0) {
     if (root_ != kInvalidPageId) {
       return Status::InvalidArgument("BulkLoad into non-empty tree");
     }
@@ -211,13 +260,17 @@ class AggBTree {
     const uint32_t page_size = pool_->file()->page_size();
     uint32_t leaf_target = std::max<uint32_t>(
         1, static_cast<uint32_t>(LeafCapacity(page_size) * fill));
-    // Level 0: pack leaves.
+    // Level 0: carve leaf ranges, stage their pages, commit in order.
     struct Up {
       double lowkey;
       PageId pid;
       V sum;
     };
-    std::vector<Up> level;
+    struct Range {
+      size_t begin;
+      uint32_t take;
+    };
+    std::vector<Range> ranges;
     size_t i = 0;
     while (i < sorted.size()) {
       size_t take = std::min<size_t>(leaf_target, sorted.size() - i);
@@ -226,20 +279,34 @@ class AggBTree {
           take > 2) {
         take -= 1;
       }
-      PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->New(&g));
-      SetHeader(g.page(), kLeaf, static_cast<uint32_t>(take));
-      V sum{};
-      for (size_t k = 0; k < take; ++k) {
-        WriteLeafEntry(g.page(), static_cast<uint32_t>(k), sorted[i + k].key,
-                       sorted[i + k].value);
-        sum += sorted[i + k].value;
-      }
-      g.MarkDirty();
-      level.push_back(Up{sorted[i].key, g.id(), sum});
+      ranges.push_back(Range{i, static_cast<uint32_t>(take)});
       i += take;
     }
-    // Upper levels.
+    std::vector<Up> level(ranges.size());
+    {
+      std::vector<Page> staged;
+      staged.reserve(ranges.size());
+      for (size_t r = 0; r < ranges.size(); ++r) staged.emplace_back(page_size);
+      exec::ParallelFor(tpool, ranges.size(), [&](size_t r) {
+        Page* pg = &staged[r];
+        SetHeader(pg, kLeaf, ranges[r].take);
+        V sum{};
+        for (uint32_t k = 0; k < ranges[r].take; ++k) {
+          const Entry& e = sorted[ranges[r].begin + k];
+          WriteLeafEntry(pg, k, e.key, e.value);
+          sum += e.value;
+        }
+        level[r] = Up{sorted[ranges[r].begin].key, kInvalidPageId, sum};
+      });
+      for (size_t r = 0; r < ranges.size(); ++r) {
+        PageGuard g;
+        BOXAGG_RETURN_NOT_OK(pool_->New(&g));
+        std::memcpy(g.page()->data(), staged[r].data(), page_size);
+        g.MarkDirty();
+        level[r].pid = g.id();
+      }
+    }
+    // Upper levels: a tiny fraction of the pages; built serially.
     uint32_t internal_target = std::max<uint32_t>(
         2, static_cast<uint32_t>(InternalCapacity(page_size) * fill));
     while (level.size() > 1) {
@@ -298,8 +365,12 @@ class AggBTree {
   static constexpr uint16_t kLeaf = 1;
   static constexpr uint16_t kInternal = 2;
   static constexpr uint32_t kHeaderSize = 8;
+  // Per-entry page budget (determines capacity; the strips split these bytes
+  // into key and payload parts).
   static constexpr uint32_t kLeafEntrySize = 8 + sizeof(V);
   static constexpr uint32_t kInternalEntrySize = 16 + sizeof(V);
+  // Stride of one { child, sum } record in the internal payload strip.
+  static constexpr uint32_t kInternalRec = 8 + sizeof(V);
 
   struct SplitResult {
     bool happened = false;
@@ -311,6 +382,9 @@ class AggBTree {
   };
 
   // ---- page accessors -----------------------------------------------------
+  // The key strips are page-size independent (they start right after the
+  // header), so key accessors stay static; payload accessors live behind the
+  // capacity split and need the page size from the pool.
 
   static void SetHeader(Page* p, uint16_t type, uint32_t count) {
     p->WriteAt<uint16_t>(0, type);
@@ -321,54 +395,46 @@ class AggBTree {
   static uint32_t Count(const Page* p) { return p->ReadAt<uint32_t>(4); }
   static void SetCount(Page* p, uint32_t c) { p->WriteAt<uint32_t>(4, c); }
 
-  static uint32_t LeafOff(uint32_t i) { return kHeaderSize + i * kLeafEntrySize; }
-  static uint32_t IntOff(uint32_t i) {
-    return kHeaderSize + i * kInternalEntrySize;
-  }
+  uint32_t PageSz() const { return pool_->file()->page_size(); }
 
   static double LeafKey(const Page* p, uint32_t i) {
-    return p->ReadAt<double>(LeafOff(i));
+    return p->ReadAt<double>(LeafKeyOffset(i));
   }
-  static void ReadLeafValue(const Page* p, uint32_t i, V* v) {
-    p->ReadBytes(LeafOff(i) + 8, v, sizeof(V));
+  void ReadLeafValue(const Page* p, uint32_t i, V* v) const {
+    p->ReadBytes(LeafValueOffset(PageSz(), i), v, sizeof(V));
   }
-  static void WriteLeafEntry(Page* p, uint32_t i, double key, const V& v) {
-    p->WriteAt<double>(LeafOff(i), key);
-    p->WriteBytes(LeafOff(i) + 8, &v, sizeof(V));
+  void WriteLeafEntry(Page* p, uint32_t i, double key, const V& v) const {
+    p->WriteAt<double>(LeafKeyOffset(i), key);
+    p->WriteBytes(LeafValueOffset(PageSz(), i), &v, sizeof(V));
   }
 
   static double InternalLowKey(const Page* p, uint32_t i) {
-    return p->ReadAt<double>(IntOff(i));
+    return p->ReadAt<double>(InternalLowKeyOffset(i));
   }
-  static PageId InternalChild(const Page* p, uint32_t i) {
-    return p->ReadAt<uint64_t>(IntOff(i) + 8);
+  PageId InternalChild(const Page* p, uint32_t i) const {
+    return p->ReadAt<uint64_t>(InternalChildOffset(PageSz(), i));
   }
-  static void ReadInternalSum(const Page* p, uint32_t i, V* v) {
-    p->ReadBytes(IntOff(i) + 16, v, sizeof(V));
+  void ReadInternalSum(const Page* p, uint32_t i, V* v) const {
+    p->ReadBytes(InternalSumOffset(PageSz(), i), v, sizeof(V));
   }
-  static void WriteInternalEntry(Page* p, uint32_t i, double lowkey,
-                                 PageId child, const V& sum) {
-    p->WriteAt<double>(IntOff(i), lowkey);
-    p->WriteAt<uint64_t>(IntOff(i) + 8, child);
-    p->WriteBytes(IntOff(i) + 16, &sum, sizeof(V));
+  void WriteInternalEntry(Page* p, uint32_t i, double lowkey, PageId child,
+                          const V& sum) const {
+    p->WriteAt<double>(InternalLowKeyOffset(i), lowkey);
+    p->WriteAt<uint64_t>(InternalChildOffset(PageSz(), i), child);
+    p->WriteBytes(InternalSumOffset(PageSz(), i), &sum, sizeof(V));
   }
-  static void WriteInternalSum(Page* p, uint32_t i, const V& sum) {
-    p->WriteBytes(IntOff(i) + 16, &sum, sizeof(V));
+  void WriteInternalSum(Page* p, uint32_t i, const V& sum) const {
+    p->WriteBytes(InternalSumOffset(PageSz(), i), &sum, sizeof(V));
   }
 
   /// Index of the child subtree that covers key `q`: the last entry with
   /// lowkey <= q, except that entry 0 covers everything below lowkey_1.
+  /// simd::FirstGreater over entries [1, n) returns the first lowkey > q
+  /// relative to entry 1; that count is exactly the covering entry's index.
   static uint32_t RouteInternal(const Page* p, uint32_t n, double q) {
-    uint32_t lo = 1, hi = n;  // first entry with lowkey > q, in [1, n]
-    while (lo < hi) {
-      uint32_t mid = (lo + hi) / 2;
-      if (InternalLowKey(p, mid) <= q) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo - 1;
+    const double* lowkeys =
+        reinterpret_cast<const double*>(p->data() + kHeaderSize);
+    return simd::FirstGreater(lowkeys + 1, n - 1, q);
   }
 
   // ---- mutation -----------------------------------------------------------
@@ -401,8 +467,11 @@ class AggBTree {
         return Status::OK();
       }
       if (n < LeafCapacity(page_size)) {
-        std::memmove(p->data() + LeafOff(lo + 1), p->data() + LeafOff(lo),
-                     (n - lo) * kLeafEntrySize);
+        std::memmove(p->data() + LeafKeyOffset(lo + 1),
+                     p->data() + LeafKeyOffset(lo), (n - lo) * 8);
+        std::memmove(p->data() + LeafValueOffset(page_size, lo + 1),
+                     p->data() + LeafValueOffset(page_size, lo),
+                     (n - lo) * sizeof(V));
         WriteLeafEntry(p, lo, key, v);
         SetCount(p, n + 1);
         g.MarkDirty();
@@ -461,8 +530,12 @@ class AggBTree {
     WriteInternalEntry(p, idx, child_split.left_lowkey, child,
                        child_split.left_sum);
     if (n < InternalCapacity(page_size)) {
-      std::memmove(p->data() + IntOff(idx + 2), p->data() + IntOff(idx + 1),
-                   (n - idx - 1) * kInternalEntrySize);
+      std::memmove(p->data() + InternalLowKeyOffset(idx + 2),
+                   p->data() + InternalLowKeyOffset(idx + 1),
+                   (n - idx - 1) * 8);
+      std::memmove(p->data() + InternalChildOffset(page_size, idx + 2),
+                   p->data() + InternalChildOffset(page_size, idx + 1),
+                   (n - idx - 1) * size_t{kInternalRec});
       WriteInternalEntry(p, idx + 1, child_split.right_lowkey,
                          child_split.right_page, child_split.right_sum);
       SetCount(p, n + 1);
@@ -517,6 +590,10 @@ class AggBTree {
   /// by key whose paths all pass through `pid`. The node is fetched once;
   /// per-probe arithmetic matches DominanceSum exactly. The pin is dropped
   /// before descending, like the sequential loop's per-iteration guard.
+  /// Scratch comes from the thread-local arena (zero heap traffic once
+  /// warm); before descending into a group, the next group's child page is
+  /// software-prefetched so its header and key strip are in cache when its
+  /// turn comes.
   Status DominanceBatchRec(PageId pid, const uint32_t* idx, size_t m,
                            const double* qs, V* outs,
                            unsigned obs_level = 0) const {
@@ -525,23 +602,28 @@ class AggBTree {
       size_t begin;
       size_t end;
     };
-    std::vector<Group> groups;
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Group> groups;
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
       obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
+      const uint8_t* base = p->data();
+      const uint32_t page_size = pool_->file()->page_size();
       uint32_t n = Count(p);
       if (Type(p) == kLeaf) {
+        const double* keys =
+            reinterpret_cast<const double*>(base + kHeaderSize);
+        const uint8_t* vals = base + LeafValueOffset(page_size, 0);
         for (size_t j = 0; j < m; ++j) {
           const double q = qs[idx[j]];
           V* out = &outs[idx[j]];
-          for (uint32_t i = 0; i < n; ++i) {
-            double k = LeafKey(p, i);
-            if (k > q) break;
+          const uint32_t cut = simd::FirstGreater(keys, n, q);
+          for (uint32_t i = 0; i < cut; ++i) {
             V v;
-            ReadLeafValue(p, i, &v);
+            std::memcpy(&v, vals + size_t{i} * sizeof(V), sizeof(V));
             *out += v;
           }
         }
@@ -549,6 +631,7 @@ class AggBTree {
       }
       // Sorted probes route monotonically, so per-child groups are
       // contiguous runs of idx.
+      const uint8_t* recs = base + InternalChildOffset(page_size, 0);
       size_t j = 0;
       while (j < m) {
         const uint32_t route = RouteInternal(p, n, qs[idx[j]]);
@@ -558,15 +641,20 @@ class AggBTree {
           V* out = &outs[idx[t]];
           for (uint32_t i = 0; i < route; ++i) {
             V s;
-            ReadInternalSum(p, i, &s);
+            std::memcpy(&s, recs + size_t{i} * kInternalRec + 8, sizeof(V));
             *out += s;
           }
         }
-        groups.push_back(Group{InternalChild(p, route), j, k});
+        PageId child;
+        std::memcpy(&child, recs + size_t{route} * kInternalRec,
+                    sizeof(PageId));
+        groups.push_back(Group{child, j, k});
         j = k;
       }
     }
-    for (const Group& gr : groups) {
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
                                              gr.end - gr.begin, qs, outs,
                                              obs_level + 1));

@@ -14,7 +14,7 @@
 //
 // Superblock payload (inside the checksummed physical page):
 //
-//   offset 0   u64  magic          kBagMagic ("boxagg" v2)
+//   offset 0   u64  magic          kBagMagic ("boxagg" v3)
 //   offset 8   u64  generation     commit number; slot = generation % 2
 //   offset 16  u32  dims           extensional dimensionality d
 //   offset 20  u32  num_roots      tree-root count (CLI writes 2 * 2^d)
@@ -53,8 +53,10 @@
 
 namespace boxagg {
 
-inline constexpr uint64_t kBagMagic = 0xb0cca99a66700202ull;  // "boxagg" v2
-inline constexpr uint64_t kBagMapMagic = 0xb0cca99a66700203ull;
+// v3: SoA internal-node layouts (key strip + record strip) replaced the v2
+// interleaved entries; old bags would be misread, so the magic gates them out.
+inline constexpr uint64_t kBagMagic = 0xb0cca99a66700302ull;  // "boxagg" v3
+inline constexpr uint64_t kBagMapMagic = 0xb0cca99a66700303ull;
 
 /// The two physical superblock slots of the ping-pong scheme.
 inline constexpr PageId kBagSuperblockSlots = 2;

@@ -24,10 +24,12 @@
 #include <limits>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/naive.h"
 #include "core/point_entry.h"
 #include "geom/box.h"
 #include "obs/query_obs.h"
+#include "simd/simd.h"
 #include "storage/status.h"
 
 namespace boxagg {
@@ -115,11 +117,15 @@ class BoxSumIndex {
   Status QueryBatch(const Box* qs, size_t count, double* out) const {
     for (size_t i = 0; i < count; ++i) out[i] = 0;
     if (count == 0) return Status::OK();
-    std::vector<Point> corners(count);
-    std::vector<uint32_t> order(count);
-    std::vector<size_t> probe_of(count);
-    std::vector<Point> distinct;
-    std::vector<double> parts;
+    // All per-batch scratch lives in the thread-local arena: after warm-up a
+    // QueryBatch performs zero heap allocations of its own (the descent's
+    // nested scopes rewind to this scope's mark on exit).
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Point> corners(count);
+    core::ArenaVector<uint32_t> order(count);
+    core::ArenaVector<uint32_t> probe_of(count);
+    core::ArenaVector<Point> distinct;
+    core::ArenaVector<double> parts;
     for (uint32_t s = 0; s < indexes_.size(); ++s) {
       for (size_t i = 0; i < count; ++i) {
         corners[i] = QueryCorner(qs[i], s, dims_);
@@ -137,16 +143,16 @@ class BoxSumIndex {
         if (distinct.empty() || !LexEqual(distinct.back(), c, dims_)) {
           distinct.push_back(c);
         }
-        probe_of[order[j]] = distinct.size() - 1;
+        probe_of[order[j]] = static_cast<uint32_t>(distinct.size() - 1);
       }
       parts.resize(distinct.size());
       obs::NoteCornerProbes(distinct.size(), count - distinct.size());
       BOXAGG_RETURN_NOT_OK(indexes_[s].DominanceSumBatch(
           distinct.data(), distinct.size(), parts.data()));
-      const double sign = MaskSign(s);
-      for (size_t i = 0; i < count; ++i) {
-        out[i] += sign * parts[probe_of[i]];
-      }
+      // Per-lane multiply-then-add: identical rounding to the scalar loop,
+      // and per-query accumulation stays in ascending sign-index order.
+      simd::AccumulateSigned(out, parts.data(), probe_of.data(), MaskSign(s),
+                             count);
     }
     return Status::OK();
   }

@@ -21,10 +21,14 @@
 // Like all aggregate indexes here, the tree stores group sums; deleting a
 // point is inserting its inverse value.
 //
-// Page layout (dims >= 2):
+// Page layout (dims >= 2). Internal nodes are structure-of-arrays: the
+// dim-0 routing keys sit in one contiguous strip right after the header so
+// the in-node search (simd::FirstGreater) touches nothing else; capacities
+// and fan-out are identical to the interleaved layout:
 //   leaf (type 3):     u16 type, u16 pad, u32 count; entries {Point, V}
 //   internal (type 4): u16 type, u16 pad, u32 count;
-//                      entries {f64 lowkey, u64 child, u64 border_root, V sum}
+//                      f64 lowkey[InternalCapacity],
+//                      then { u64 child, u64 border_root, V sum }[InternalCapacity]
 // Internal record i routes dim-0 keys in [lowkey_i, lowkey_{i+1}); record 0's
 // lowkey acts as -infinity.
 
@@ -38,9 +42,11 @@
 
 #include "bptree/agg_btree.h"
 #include "check/checkable.h"
+#include "core/arena.h"
 #include "core/point_entry.h"
 #include "geom/point.h"
 #include "obs/query_obs.h"
+#include "simd/simd.h"
 #include "storage/buffer_pool.h"
 
 namespace boxagg {
@@ -77,6 +83,21 @@ class EcdfBTree {
   static bool PageSizeViable(uint32_t page_size) {
     return LeafCapacity(page_size) >= 4 && InternalCapacity(page_size) >= 4 &&
            AggBTree<V>::PageSizeViable(page_size);
+  }
+
+  // Public layout map of the internal-node SoA strips (used by the
+  // corruption-injection tests; see also AggBTree's public layout map).
+  static uint32_t InternalLowKeyOffset(uint32_t i) {
+    return kHeaderSize + i * 8;
+  }
+  static uint32_t InternalChildOffset(uint32_t page_size, uint32_t i) {
+    return kHeaderSize + 8 * InternalCapacity(page_size) + i * kInternalRec;
+  }
+  static uint32_t InternalBorderOffset(uint32_t page_size, uint32_t i) {
+    return InternalChildOffset(page_size, i) + 8;
+  }
+  static uint32_t InternalSumOffset(uint32_t page_size, uint32_t i) {
+    return InternalChildOffset(page_size, i) + 16;
   }
 
   /// Adds `v` at point `p` (coalescing identical points in the main branch).
@@ -153,7 +174,7 @@ class EcdfBTree {
         for (uint32_t i = 0; i < n; ++i) {
           Point pt = LeafPoint(p, i);
           if (pt[0] > q[0]) break;
-          if (q.Dominates(pt, dims_)) {
+          if (simd::Dominates(q, pt, dims_)) {
             V v;
             ReadLeafValue(p, i, &v);
             *out += v;
@@ -195,15 +216,16 @@ class EcdfBTree {
                            unsigned obs_level = 0) const {
     for (size_t i = 0; i < count; ++i) outs[i] = V{};
     if (root_ == kInvalidPageId || count == 0) return Status::OK();
+    core::ArenaScope scope(core::ScratchArena());
     if (dims_ == 1) {
-      std::vector<double> keys(count);
+      core::ArenaVector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
       AggBTree<V> base(pool_, root_);
       return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
-    std::vector<Point> projected(count);
+    core::ArenaVector<Point> projected(count);
     for (size_t i = 0; i < count; ++i) projected[i] = qs[i].DropDim(0, dims_);
-    std::vector<uint32_t> order(count);
+    core::ArenaVector<uint32_t> order(count);
     for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
     std::sort(order.begin(), order.end(), [qs](uint32_t a, uint32_t b) {
       if (qs[a][0] != qs[b][0]) return qs[a][0] < qs[b][0];
@@ -413,7 +435,10 @@ class EcdfBTree {
   static constexpr uint16_t kInternal = 4;
   static constexpr uint32_t kHeaderSize = 8;
   static constexpr uint32_t kLeafEntrySize = sizeof(Point) + sizeof(V);
+  // Per-record page budget (determines capacity) and the stride of one
+  // { child, border, sum } record in the internal payload strip.
   static constexpr uint32_t kInternalEntrySize = 24 + sizeof(V);
+  static constexpr uint32_t kInternalRec = 16 + sizeof(V);
 
   struct SplitResult {
     bool happened = false;
@@ -438,9 +463,8 @@ class EcdfBTree {
   static uint32_t LeafOff(uint32_t i) {
     return kHeaderSize + i * kLeafEntrySize;
   }
-  static uint32_t IntOff(uint32_t i) {
-    return kHeaderSize + i * kInternalEntrySize;
-  }
+
+  uint32_t PageSz() const { return pool_->file()->page_size(); }
 
   static Point LeafPoint(const Page* p, uint32_t i) {
     return p->ReadAt<Point>(LeafOff(i));
@@ -455,42 +479,41 @@ class EcdfBTree {
   }
 
   static double InternalLowKey(const Page* p, uint32_t i) {
-    return p->ReadAt<double>(IntOff(i));
+    return p->ReadAt<double>(InternalLowKeyOffset(i));
   }
-  static PageId InternalChild(const Page* p, uint32_t i) {
-    return p->ReadAt<uint64_t>(IntOff(i) + 8);
+  PageId InternalChild(const Page* p, uint32_t i) const {
+    return p->ReadAt<uint64_t>(InternalChildOffset(PageSz(), i));
   }
-  static PageId InternalBorder(const Page* p, uint32_t i) {
-    return p->ReadAt<uint64_t>(IntOff(i) + 16);
+  void SetInternalChild(Page* p, uint32_t i, PageId c) const {
+    p->WriteAt<uint64_t>(InternalChildOffset(PageSz(), i), c);
   }
-  static void SetInternalBorder(Page* p, uint32_t i, PageId b) {
-    p->WriteAt<uint64_t>(IntOff(i) + 16, b);
+  PageId InternalBorder(const Page* p, uint32_t i) const {
+    return p->ReadAt<uint64_t>(InternalBorderOffset(PageSz(), i));
   }
-  static void ReadInternalSum(const Page* p, uint32_t i, V* v) {
-    p->ReadBytes(IntOff(i) + 24, v, sizeof(V));
+  void SetInternalBorder(Page* p, uint32_t i, PageId b) const {
+    p->WriteAt<uint64_t>(InternalBorderOffset(PageSz(), i), b);
   }
-  static void WriteInternalEntry(Page* p, uint32_t i, double lowkey,
-                                 PageId child, PageId border, const V& sum) {
-    p->WriteAt<double>(IntOff(i), lowkey);
-    p->WriteAt<uint64_t>(IntOff(i) + 8, child);
-    p->WriteAt<uint64_t>(IntOff(i) + 16, border);
-    p->WriteBytes(IntOff(i) + 24, &sum, sizeof(V));
+  void ReadInternalSum(const Page* p, uint32_t i, V* v) const {
+    p->ReadBytes(InternalSumOffset(PageSz(), i), v, sizeof(V));
   }
-  static void WriteInternalSum(Page* p, uint32_t i, const V& sum) {
-    p->WriteBytes(IntOff(i) + 24, &sum, sizeof(V));
+  void WriteInternalEntry(Page* p, uint32_t i, double lowkey, PageId child,
+                          PageId border, const V& sum) const {
+    p->WriteAt<double>(InternalLowKeyOffset(i), lowkey);
+    p->WriteAt<uint64_t>(InternalChildOffset(PageSz(), i), child);
+    p->WriteAt<uint64_t>(InternalBorderOffset(PageSz(), i), border);
+    p->WriteBytes(InternalSumOffset(PageSz(), i), &sum, sizeof(V));
+  }
+  void WriteInternalSum(Page* p, uint32_t i, const V& sum) const {
+    p->WriteBytes(InternalSumOffset(PageSz(), i), &sum, sizeof(V));
   }
 
+  /// Last record with lowkey <= q (record 0's lowkey acts as -infinity):
+  /// simd::FirstGreater over the lowkey strip entries [1, n) returns exactly
+  /// that record's index (same contract as AggBTree::RouteInternal).
   static uint32_t RouteInternal(const Page* p, uint32_t n, double q) {
-    uint32_t lo = 1, hi = n;
-    while (lo < hi) {
-      uint32_t mid = (lo + hi) / 2;
-      if (InternalLowKey(p, mid) <= q) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo - 1;
+    const double* lowkeys =
+        reinterpret_cast<const double*>(p->data() + kHeaderSize);
+    return simd::FirstGreater(lowkeys + 1, n - 1, q);
   }
 
   // ---- verification -------------------------------------------------------
@@ -673,17 +696,18 @@ class EcdfBTree {
     if (src.page()->ReadAt<uint16_t>(0) == 2) {  // AggBTree internal
       uint32_t n = src.page()->ReadAt<uint32_t>(4);
       src.Release();
+      const uint32_t ps = pool_->file()->page_size();
       for (uint32_t i = 0; i < n; ++i) {
         // Re-fetch per child to bound pin counts.
         PageGuard d2;
         BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d2));
-        uint32_t off = 8 + i * (16 + sizeof(V));
-        PageId child = d2.page()->ReadAt<uint64_t>(off + 8);
+        const uint32_t child_off = AggBTree<V>::InternalChildOffset(ps, i);
+        PageId child = d2.page()->ReadAt<uint64_t>(child_off);
         d2.Release();
         PageId cloned;
         BOXAGG_RETURN_NOT_OK(CloneAgg(child, &cloned));
         BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d2));
-        d2.page()->WriteAt<uint64_t>(off + 8, cloned);
+        d2.page()->WriteAt<uint64_t>(child_off, cloned);
         d2.MarkDirty();
       }
     }
@@ -715,7 +739,7 @@ class EcdfBTree {
       BOXAGG_RETURN_NOT_OK(CloneRec(child, &child_copy));
       BOXAGG_RETURN_NOT_OK(CloneBorder(border, &border_copy));
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &g));
-      g.page()->WriteAt<uint64_t>(IntOff(i) + 8, child_copy);
+      SetInternalChild(g.page(), i, child_copy);
       SetInternalBorder(g.page(), i, border_copy);
       g.MarkDirty();
     }
@@ -850,9 +874,14 @@ class EcdfBTree {
     WriteInternalEntry(page, idx, child_split.left_lowkey, child, border1,
                        child_split.left_sum);
     if (n < InternalCapacity(page_size)) {
-      std::memmove(page->data() + IntOff(idx + 2),
-                   page->data() + IntOff(idx + 1),
-                   (n - idx - 1) * kInternalEntrySize);
+      // Shift both SoA strips independently: the lowkey strip and the
+      // {child, border, sum} record strip.
+      std::memmove(page->data() + InternalLowKeyOffset(idx + 2),
+                   page->data() + InternalLowKeyOffset(idx + 1),
+                   (n - idx - 1) * size_t{8});
+      std::memmove(page->data() + InternalChildOffset(page_size, idx + 2),
+                   page->data() + InternalChildOffset(page_size, idx + 1),
+                   (n - idx - 1) * size_t{kInternalRec});
       WriteInternalEntry(page, idx + 1, child_split.right_lowkey,
                          child_split.right_page, border2,
                          child_split.right_sum);
@@ -937,7 +966,8 @@ class EcdfBTree {
       size_t begin;
       size_t end;
     };
-    std::vector<Group> groups;
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Group> groups;
     {
       PageGuard g;
       BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
@@ -952,7 +982,7 @@ class EcdfBTree {
           for (uint32_t i = 0; i < n; ++i) {
             Point pt = LeafPoint(p, i);
             if (pt[0] > q[0]) break;
-            if (q.Dominates(pt, dims_)) {
+            if (simd::Dominates(q, pt, dims_)) {
               V v;
               ReadLeafValue(p, i, &v);
               *out += v;
@@ -977,8 +1007,8 @@ class EcdfBTree {
         // ascending i gives each probe its border additions in the same
         // order as the sequential `for (i < idx)` loop.
         size_t gi = 0;  // first group with route > i
-        std::vector<Point> pts;
-        std::vector<V> parts;
+        core::ArenaVector<Point> pts;
+        core::ArenaVector<V> parts;
         for (uint32_t i = 0; i < groups.back().route; ++i) {
           while (groups[gi].route <= i) ++gi;
           const size_t s = groups[gi].begin;
@@ -995,8 +1025,8 @@ class EcdfBTree {
         }
       } else {
         // Bq: each route group reads exactly one prefix border.
-        std::vector<Point> pts;
-        std::vector<V> parts;
+        core::ArenaVector<Point> pts;
+        core::ArenaVector<V> parts;
         for (const Group& gr : groups) {
           if (gr.route == 0) continue;
           const size_t gs = gr.end - gr.begin;
@@ -1017,7 +1047,10 @@ class EcdfBTree {
         }
       }
     }
-    for (const Group& gr : groups) {
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      // Warm the next group's child while the current one is processed.
+      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
                                              gr.end - gr.begin, qs, projected,
                                              outs, obs_level + 1));

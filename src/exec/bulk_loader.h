@@ -1,0 +1,173 @@
+// Parallel bulk-load building blocks: a blocking parallel-for over the
+// existing ThreadPool and a *deterministic* parallel sample sort for
+// PointEntry arrays.
+//
+// Everything here is designed so that the parallel path produces output that
+// is a pure function of its input — independent of thread count, scheduling
+// and timing:
+//
+//   * ParallelFor hands out indices from an atomic counter, but callers only
+//     write to disjoint per-index slots, so the aggregate result is
+//     order-independent.
+//   * ParallelSortCoalesce partitions into a FIXED number of buckets using
+//     splitters drawn from a deterministic strided sample, scatters
+//     chunk-major (each element's final pre-sort position is computed from
+//     per-chunk counts, not from execution order), and sorts each bucket
+//     with std::sort. The resulting sequence of distinct points is identical
+//     to the serial SortAndCoalesce; only the intra-point order in which
+//     duplicate values are summed may differ (both sorts are unstable).
+//
+// ParallelFor(pool=nullptr, ...) degenerates to a plain serial loop, which
+// lets the trees keep a single bulk-load code path whose serial behavior is
+// bit-identical to the pre-parallel implementation.
+//
+// Caveat: ParallelFor blocks the calling thread until every index has run.
+// It must not be invoked from inside a pool task (the wait could starve the
+// queue); the tree bulk loaders only call it from the build thread.
+
+#ifndef BOXAGG_EXEC_BULK_LOADER_H_
+#define BOXAGG_EXEC_BULK_LOADER_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/point_entry.h"
+#include "exec/thread_pool.h"
+
+namespace boxagg {
+namespace exec {
+
+/// Runs fn(0) .. fn(n-1), distributing indices across `pool`. Blocks until
+/// all calls complete. With a null pool, a single-thread pool, or n <= 1 the
+/// indices run serially, in order, on the calling thread.
+template <class Fn>
+void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t live = std::min(pool->size(), n);
+  const size_t workers = live;
+  for (size_t w = 0; w < workers; ++w) {
+    pool->Submit([&next, &mu, &cv, &live, &fn, n] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (--live == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&live] { return live == 0; });
+}
+
+namespace detail {
+/// Number of sample-sort buckets. Fixed (not derived from the thread count)
+/// so the output does not depend on how many workers happen to be present.
+inline constexpr size_t kSortBuckets = 16;
+/// Below this size the serial sort wins and the parallel path adds nothing.
+inline constexpr size_t kParallelSortMin = 4096;
+}  // namespace detail
+
+/// Parallel, deterministic replacement for SortAndCoalesce(): sorts
+/// `entries` lexicographically over the first `dims` coordinates and
+/// coalesces duplicate points by summing values. With a null/single-thread
+/// pool or a small input this IS SortAndCoalesce.
+template <class V>
+void ParallelSortCoalesce(std::vector<PointEntry<V>>* entries, int dims,
+                          ThreadPool* pool) {
+  using E = PointEntry<V>;
+  const size_t n = entries->size();
+  if (pool == nullptr || pool->size() <= 1 ||
+      n < detail::kParallelSortMin) {
+    SortAndCoalesce(entries, dims);
+    return;
+  }
+  auto less = [dims](const E& a, const E& b) {
+    return LexLess(a.pt, b.pt, dims);
+  };
+  constexpr size_t kB = detail::kSortBuckets;
+
+  // Splitters from a deterministic strided sample (8 candidates per bucket).
+  std::vector<Point> sample;
+  const size_t stride = std::max<size_t>(1, n / (kB * 8));
+  for (size_t i = 0; i < n; i += stride) sample.push_back((*entries)[i].pt);
+  std::sort(sample.begin(), sample.end(),
+            [dims](const Point& a, const Point& b) {
+              return LexLess(a, b, dims);
+            });
+  std::array<Point, kB - 1> splitters;
+  for (size_t b = 1; b < kB; ++b) {
+    splitters[b - 1] = sample[b * sample.size() / kB];
+  }
+
+  // Classify in fixed chunks: bucket = index of first splitter strictly
+  // greater than the point, so splitter-equal points co-locate.
+  std::array<std::pair<size_t, size_t>, kB> chunks;
+  for (size_t c = 0; c < kB; ++c) {
+    chunks[c] = {c * n / kB, (c + 1) * n / kB};
+  }
+  std::vector<uint8_t> bucket_of(n);
+  std::array<std::array<size_t, kB>, kB> counts{};  // [chunk][bucket]
+  ParallelFor(pool, kB, [&](size_t c) {
+    for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      const Point& p = (*entries)[i].pt;
+      auto it = std::upper_bound(splitters.begin(), splitters.end(), p,
+                                 [dims](const Point& a, const Point& b) {
+                                   return LexLess(a, b, dims);
+                                 });
+      auto b = static_cast<uint8_t>(it - splitters.begin());
+      bucket_of[i] = b;
+      ++counts[c][b];
+    }
+  });
+
+  // Exclusive chunk-major offsets: chunk c's slice of bucket b starts after
+  // every lower bucket and after chunks < c within bucket b.
+  std::array<size_t, kB + 1> bucket_start{};
+  for (size_t b = 0; b < kB; ++b) {
+    bucket_start[b + 1] = bucket_start[b];
+    for (size_t c = 0; c < kB; ++c) bucket_start[b + 1] += counts[c][b];
+  }
+  std::array<std::array<size_t, kB>, kB> offsets{};  // [chunk][bucket]
+  for (size_t b = 0; b < kB; ++b) {
+    size_t off = bucket_start[b];
+    for (size_t c = 0; c < kB; ++c) {
+      offsets[c][b] = off;
+      off += counts[c][b];
+    }
+  }
+
+  // Scatter (each chunk writes a private slice of every bucket), then sort
+  // buckets independently.
+  std::vector<E> scratch(n);
+  ParallelFor(pool, kB, [&](size_t c) {
+    std::array<size_t, kB> cursor = offsets[c];
+    for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      scratch[cursor[bucket_of[i]]++] = (*entries)[i];
+    }
+  });
+  ParallelFor(pool, kB, [&](size_t b) {
+    std::sort(scratch.begin() + static_cast<ptrdiff_t>(bucket_start[b]),
+              scratch.begin() + static_cast<ptrdiff_t>(bucket_start[b + 1]),
+              less);
+  });
+
+  entries->swap(scratch);
+  CoalesceSorted(entries, dims);
+}
+
+}  // namespace exec
+}  // namespace boxagg
+
+#endif  // BOXAGG_EXEC_BULK_LOADER_H_

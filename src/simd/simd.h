@@ -1,0 +1,340 @@
+// Portable SIMD kernels for the descent hot path.
+//
+// The wrapper exposes exactly the four operations the trees spend their CPU
+// time on, each with a scalar reference implementation (`simd::ref`) that is
+// always compiled and a vector implementation selected at build time:
+//
+//   FirstGreater        in-node key search (leaf cutoff + internal routing)
+//   Dominates           dominance test between two points (ECDF leaves)
+//   ContainsHalfOpen    half-open box membership (BaTree record scans)
+//   AccumulateSigned    corner inclusion-exclusion accumulation
+//
+// Backend selection: the default build compiles only the scalar path, so
+// TSan/ASan/clang-tidy CI and any non-x86 box behave exactly as before.
+// Configuring with -DBOXAGG_NATIVE=ON defines BOXAGG_NATIVE and adds
+// -march=native -ffp-contract=off; the wrapper then picks AVX2 or NEON when
+// the compiler advertises them.
+//
+// Bit-identity contract (enforced by tests/simd_test.cpp): every kernel here
+// produces *identical* results to its scalar reference on every input the
+// trees can present, including NaN, +/-inf and -0.0:
+//
+//   * FirstGreater requires keys sorted ascending (a B-tree node invariant;
+//     the seed code already binary-searched the same array) — on sorted input
+//     the binary-narrow + vector-scan hybrid returns the same index as a pure
+//     scalar search by construction.
+//   * Comparisons use ordered, non-signaling predicates (_CMP_LT_OQ /
+//     _CMP_GE_OQ / _CMP_GT_OQ) which evaluate to false on NaN, matching the
+//     scalar `<`, `>=`, `>` operators exactly.
+//   * AccumulateSigned performs an independent multiply-then-add per lane —
+//     the same two IEEE operations, in the same order, as the scalar loop.
+//     FMA contraction is disabled (-ffp-contract=off rides along with
+//     BOXAGG_NATIVE) so the compiler cannot fuse them.
+
+#ifndef BOXAGG_SIMD_SIMD_H_
+#define BOXAGG_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+#if defined(BOXAGG_NATIVE) && defined(__AVX2__)
+#define BOXAGG_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(BOXAGG_NATIVE) && (defined(__aarch64__) || defined(__ARM_NEON))
+#define BOXAGG_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace boxagg {
+namespace simd {
+
+/// Human-readable backend tag, surfaced in BENCH_*.json lines.
+inline constexpr const char* kBackend =
+#if defined(BOXAGG_SIMD_AVX2)
+    "avx2";
+#elif defined(BOXAGG_SIMD_NEON)
+    "neon";
+#else
+    "scalar";
+#endif
+
+/// Window below which the hybrid search switches from binary narrowing to a
+/// forward scan. Vector builds scan wider because each step covers several
+/// lanes; the scalar default keeps the window small so the operation count
+/// stays within a few comparisons of a pure binary search.
+inline constexpr uint32_t kSearchScanWindow =
+#if defined(BOXAGG_SIMD_AVX2)
+    32;
+#elif defined(BOXAGG_SIMD_NEON)
+    16;
+#else
+    8;
+#endif
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. Always compiled; the property tests and the
+// kernel microbenchmarks compare the active backend against these.
+
+namespace ref {
+
+/// First index i in the ascending-sorted array with keys[i] > q (n if none).
+inline uint32_t FirstGreater(const double* keys, uint32_t n, double q) {
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (!(keys[mid] > q)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// True iff q[i] >= p[i] for all i < dims (q dominates p).
+inline bool Dominates(const double* q, const double* p, int dims) {
+  for (int i = 0; i < dims; ++i) {
+    if (q[i] < p[i]) return false;
+  }
+  return true;
+}
+
+/// True iff lo[i] <= p[i] < hi[i] for all i < dims.
+inline bool ContainsHalfOpen(const double* lo, const double* hi,
+                             const double* p, int dims) {
+  for (int i = 0; i < dims; ++i) {
+    if (p[i] < lo[i] || p[i] >= hi[i]) return false;
+  }
+  return true;
+}
+
+/// out[i] += sign * parts[probe_of[i]] — the corner accumulation step.
+inline void AccumulateSigned(double* out, const double* parts,
+                             const uint32_t* probe_of, double sign,
+                             size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] += sign * parts[probe_of[i]];
+  }
+}
+
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// Active backend.
+
+#if defined(BOXAGG_SIMD_AVX2)
+
+namespace detail {
+/// First index i < n with keys[i] > q, scanning forward (n if none).
+inline uint32_t ScanGreater(const double* keys, uint32_t n, double q) {
+  const __m256d vq = _mm256_set1_pd(q);
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vk = _mm256_loadu_pd(keys + i);
+    int mask = _mm256_movemask_pd(_mm256_cmp_pd(vk, vq, _CMP_GT_OQ));
+    if (mask != 0) return i + static_cast<uint32_t>(__builtin_ctz(mask));
+  }
+  for (; i < n; ++i) {
+    if (keys[i] > q) break;
+  }
+  return i;
+}
+}  // namespace detail
+
+inline uint32_t FirstGreater(const double* keys, uint32_t n, double q) {
+  uint32_t lo = 0, hi = n;
+  while (hi - lo > kSearchScanWindow) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (!(keys[mid] > q)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + detail::ScanGreater(keys + lo, hi - lo, q);
+}
+
+/// `q` and `p` must each have kMaxDims (= 4) doubles readable; lanes at and
+/// beyond `dims` are masked off, so their contents are irrelevant.
+inline bool Dominates(const double* q, const double* p, int dims) {
+  __m256d vq = _mm256_loadu_pd(q);
+  __m256d vp = _mm256_loadu_pd(p);
+  int lt = _mm256_movemask_pd(_mm256_cmp_pd(vq, vp, _CMP_LT_OQ));
+  return (lt & ((1 << dims) - 1)) == 0;
+}
+
+/// `lo`, `hi` and `p` must each have kMaxDims doubles readable.
+inline bool ContainsHalfOpen(const double* lo, const double* hi,
+                             const double* p, int dims) {
+  __m256d vp = _mm256_loadu_pd(p);
+  int below = _mm256_movemask_pd(
+      _mm256_cmp_pd(vp, _mm256_loadu_pd(lo), _CMP_LT_OQ));
+  int at_or_above = _mm256_movemask_pd(
+      _mm256_cmp_pd(vp, _mm256_loadu_pd(hi), _CMP_GE_OQ));
+  return ((below | at_or_above) & ((1 << dims) - 1)) == 0;
+}
+
+inline void AccumulateSigned(double* out, const double* parts,
+                             const uint32_t* probe_of, double sign,
+                             size_t count) {
+  const __m256d vs = _mm256_set1_pd(sign);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(probe_of + i));
+    __m256d vp = _mm256_i32gather_pd(parts, idx, 8);
+    __m256d vo = _mm256_loadu_pd(out + i);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(vo, _mm256_mul_pd(vs, vp)));
+  }
+  for (; i < count; ++i) {
+    out[i] += sign * parts[probe_of[i]];
+  }
+}
+
+#elif defined(BOXAGG_SIMD_NEON)
+
+namespace detail {
+inline uint32_t ScanGreater(const double* keys, uint32_t n, double q) {
+  const float64x2_t vq = vdupq_n_f64(q);
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t gt = vcgtq_f64(vld1q_f64(keys + i), vq);
+    if (vgetq_lane_u64(gt, 0) != 0) return i;
+    if (vgetq_lane_u64(gt, 1) != 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (keys[i] > q) break;
+  }
+  return i;
+}
+
+/// 4-bit lane mask of q[lane] < p[lane] over kMaxDims lanes.
+inline int LessMask4(const double* q, const double* p) {
+  uint64x2_t lo = vcltq_f64(vld1q_f64(q), vld1q_f64(p));
+  uint64x2_t hi = vcltq_f64(vld1q_f64(q + 2), vld1q_f64(p + 2));
+  return static_cast<int>((vgetq_lane_u64(lo, 0) & 1) |
+                          ((vgetq_lane_u64(lo, 1) & 1) << 1) |
+                          ((vgetq_lane_u64(hi, 0) & 1) << 2) |
+                          ((vgetq_lane_u64(hi, 1) & 1) << 3));
+}
+}  // namespace detail
+
+inline uint32_t FirstGreater(const double* keys, uint32_t n, double q) {
+  uint32_t lo = 0, hi = n;
+  while (hi - lo > kSearchScanWindow) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (!(keys[mid] > q)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + detail::ScanGreater(keys + lo, hi - lo, q);
+}
+
+inline bool Dominates(const double* q, const double* p, int dims) {
+  return (detail::LessMask4(q, p) & ((1 << dims) - 1)) == 0;
+}
+
+inline bool ContainsHalfOpen(const double* lo, const double* hi,
+                             const double* p, int dims) {
+  // p < lo  ==  lo > p;  p >= hi  ==  !(p < hi) lane-wise, but NaN must map
+  // to "no violation" exactly as the scalar comparisons do, so build the
+  // >=-mask directly with vcgeq.
+  uint64x2_t below_a = vcltq_f64(vld1q_f64(p), vld1q_f64(lo));
+  uint64x2_t below_b = vcltq_f64(vld1q_f64(p + 2), vld1q_f64(lo + 2));
+  uint64x2_t above_a = vcgeq_f64(vld1q_f64(p), vld1q_f64(hi));
+  uint64x2_t above_b = vcgeq_f64(vld1q_f64(p + 2), vld1q_f64(hi + 2));
+  int mask = static_cast<int>(
+      ((vgetq_lane_u64(below_a, 0) | vgetq_lane_u64(above_a, 0)) & 1) |
+      (((vgetq_lane_u64(below_a, 1) | vgetq_lane_u64(above_a, 1)) & 1) << 1) |
+      (((vgetq_lane_u64(below_b, 0) | vgetq_lane_u64(above_b, 0)) & 1) << 2) |
+      (((vgetq_lane_u64(below_b, 1) | vgetq_lane_u64(above_b, 1)) & 1) << 3));
+  return (mask & ((1 << dims) - 1)) == 0;
+}
+
+inline void AccumulateSigned(double* out, const double* parts,
+                             const uint32_t* probe_of, double sign,
+                             size_t count) {
+  const float64x2_t vs = vdupq_n_f64(sign);
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    float64x2_t vp = {parts[probe_of[i]], parts[probe_of[i + 1]]};
+    float64x2_t vo = vld1q_f64(out + i);
+    vst1q_f64(out + i, vaddq_f64(vo, vmulq_f64(vs, vp)));
+  }
+  for (; i < count; ++i) {
+    out[i] += sign * parts[probe_of[i]];
+  }
+}
+
+#else  // scalar fallback
+
+inline uint32_t FirstGreater(const double* keys, uint32_t n, double q) {
+  uint32_t lo = 0, hi = n;
+  while (hi - lo > kSearchScanWindow) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (!(keys[mid] > q)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  while (lo < hi && !(keys[lo] > q)) ++lo;
+  return lo;
+}
+
+inline bool Dominates(const double* q, const double* p, int dims) {
+  return ref::Dominates(q, p, dims);
+}
+
+inline bool ContainsHalfOpen(const double* lo, const double* hi,
+                             const double* p, int dims) {
+  return ref::ContainsHalfOpen(lo, hi, p, dims);
+}
+
+inline void AccumulateSigned(double* out, const double* parts,
+                             const uint32_t* probe_of, double sign,
+                             size_t count) {
+  ref::AccumulateSigned(out, parts, probe_of, sign, count);
+}
+
+#endif
+
+// Point-typed conveniences (Point carries exactly kMaxDims doubles, so the
+// readability precondition of the raw overloads always holds).
+
+inline bool Dominates(const Point& q, const Point& p, int dims) {
+  return Dominates(q.coord.data(), p.coord.data(), dims);
+}
+
+/// Box::ContainsPointHalfOpen, vectorized (a Box is two full Points).
+inline bool ContainsHalfOpen(const Box& b, const Point& p, int dims) {
+  return ContainsHalfOpen(b.lo.coord.data(), b.hi.coord.data(),
+                          p.coord.data(), dims);
+}
+
+// ---------------------------------------------------------------------------
+// Software prefetch. No-ops cheaply when the target is already cached; used
+// by the batch descent to warm the next probe group's child while the
+// current group is being processed.
+
+inline void PrefetchBytes(const void* p, size_t bytes) {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* c = static_cast<const char*>(p);
+  for (size_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(c + off, /*rw=*/0, /*locality=*/3);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace simd
+}  // namespace boxagg
+
+#endif  // BOXAGG_SIMD_SIMD_H_

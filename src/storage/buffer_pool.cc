@@ -119,10 +119,7 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
     stats_.AddBufferHit();
     s.hits.fetch_add(1, std::memory_order_relaxed);
     Frame* f = it->second;
-    if (f->in_lru) {
-      s.lru.erase(f->lru_pos);
-      f->in_lru = false;
-    }
+    ParkLru(s, f);
     f->pin_count.fetch_add(1, std::memory_order_relaxed);
     *out = PageGuard(this, f);
     return Status::OK();
@@ -142,6 +139,30 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
   s.frames[id] = f;
   *out = PageGuard(this, f);
   return Status::OK();
+}
+
+void BufferPool::PrefetchHint(PageId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+  if (id == kInvalidPageId) return;
+  const Shard& s = *shards_[ShardOf(id)];
+  // try_lock only: a prefetch hint must never serialize against real pool
+  // traffic. Missing the hint costs nothing but the prefetch.
+  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  auto it = s.frames.find(id);
+  if (it == s.frames.end()) return;
+  // Warm the node header, key strip, and first record lines — enough for
+  // the in-node search to start without a compulsory miss. Bounded so a
+  // hint stays a handful of instructions regardless of page size.
+  const Page& page = it->second->page;
+  const uint32_t bytes = page.size() < 1024 ? page.size() : 1024;
+  const uint8_t* data = page.data();
+  for (uint32_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(data + off, /*rw=*/0, /*locality=*/3);
+  }
+#else
+  (void)id;
+#endif
 }
 
 Status BufferPool::ReadWithRetry(PageId id, Page* page) {
@@ -187,10 +208,7 @@ Status BufferPool::New(PageGuard* out) {
   if (it != s.frames.end()) {
     f = it->second;
     assert(f->pin_count.load(std::memory_order_relaxed) == 0);
-    if (f->in_lru) {
-      s.lru.erase(f->lru_pos);
-      f->in_lru = false;
-    }
+    ParkLru(s, f);
   } else {
     BOXAGG_RETURN_NOT_OK(GetFreeFrame(s, &f));
     f->id = id;
@@ -215,10 +233,7 @@ Status BufferPool::Delete(PageId id) {
       if (f->pin_count.load(std::memory_order_relaxed) != 0) {
         return Status::InvalidArgument("Delete of pinned page");
       }
-      if (f->in_lru) {
-        s.lru.erase(f->lru_pos);
-        f->in_lru = false;
-      }
+      ParkLru(s, f);
       f->id = kInvalidPageId;
       f->dirty.store(false, std::memory_order_relaxed);
       s.frames.erase(it);
@@ -257,7 +272,7 @@ Status BufferPool::Reset() {
       s.free_frames.push_back(f);
     }
     s.frames.clear();
-    s.lru.clear();
+    s.parked.splice(s.parked.end(), s.lru);  // keep every frame's node alive
   }
   return Status::OK();
 }
@@ -273,10 +288,17 @@ void BufferPool::Unpin(Frame* f, bool dirty) {
 }
 
 void BufferPool::Touch(Shard& s, Frame* f) {
-  if (f->in_lru) s.lru.erase(f->lru_pos);
-  s.lru.push_back(f);  // back = hottest
-  f->lru_pos = std::prev(s.lru.end());
+  // Move the frame's permanent node to the hot end (back) of the lru —
+  // repositioning within lru or adopting from parked, allocation-free
+  // either way.
+  s.lru.splice(s.lru.end(), f->in_lru ? s.lru : s.parked, f->lru_pos);
   f->in_lru = true;
+}
+
+void BufferPool::ParkLru(Shard& s, Frame* f) {
+  if (!f->in_lru) return;
+  s.parked.splice(s.parked.end(), s.lru, f->lru_pos);
+  f->in_lru = false;
 }
 
 Status BufferPool::GetFreeFrame(Shard& s, Frame** out) {
@@ -288,7 +310,11 @@ Status BufferPool::GetFreeFrame(Shard& s, Frame** out) {
   if (s.frame_storage.size() < s.capacity) {
     s.frame_storage.push_back(
         std::make_unique<Frame>(file_->page_size(), s.index));
-    *out = s.frame_storage.back().get();
+    Frame* f = s.frame_storage.back().get();
+    // The frame's one-and-only list node, allocated here and never freed.
+    s.parked.push_back(f);
+    f->lru_pos = std::prev(s.parked.end());
+    *out = f;
     return Status::OK();
   }
   BOXAGG_RETURN_NOT_OK(EvictOne(s));
@@ -305,8 +331,7 @@ Status BufferPool::EvictOne(Shard& s) {
     return Status::NoSpace("buffer pool exhausted (all pages pinned)");
   }
   Frame* f = s.lru.front();
-  s.lru.pop_front();
-  f->in_lru = false;
+  ParkLru(s, f);
   if (f->dirty.load(std::memory_order_relaxed)) {
     if (Status st = file_->WritePage(f->id, f->page); !st.ok()) {
       // Keep the frame resident and evictable so a transient I/O failure

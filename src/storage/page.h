@@ -10,7 +10,8 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
-#include <vector>
+#include <new>
+#include <type_traits>
 
 namespace boxagg {
 
@@ -25,23 +26,65 @@ inline constexpr uint32_t kDefaultPageSize = 8192;
 /// \brief A fixed-size buffer with typed, bounds-checked (in debug builds)
 /// read/write helpers.
 ///
+/// The buffer is cache-line (64-byte) aligned, so the SoA key strips the
+/// trees lay out at fixed in-page offsets start on predictable cache-line
+/// boundaries and vector loads never straddle a line unnecessarily.
+///
 /// Pages are owned by the BufferPool; index code receives Page* through
 /// PageGuard handles and must not retain the pointer past unpin.
 class Page {
  public:
-  explicit Page(uint32_t size) : data_(size, 0) {}
+  static constexpr size_t kAlign = 64;
 
-  [[nodiscard]] uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
-  uint8_t* data() { return data_.data(); }
-  [[nodiscard]] const uint8_t* data() const { return data_.data(); }
+  explicit Page(uint32_t size) : size_(size), data_(Alloc(size)) {
+    std::memset(data_, 0, size_);
+  }
+
+  Page(const Page& o) : size_(o.size_), data_(Alloc(o.size_)) {
+    std::memcpy(data_, o.data_, size_);
+  }
+
+  Page(Page&& o) noexcept : size_(o.size_), data_(o.data_) {
+    o.size_ = 0;
+    o.data_ = nullptr;
+  }
+
+  Page& operator=(const Page& o) {
+    if (this != &o) {
+      if (size_ != o.size_) {
+        Dealloc();
+        size_ = o.size_;
+        data_ = Alloc(size_);
+      }
+      std::memcpy(data_, o.data_, size_);
+    }
+    return *this;
+  }
+
+  Page& operator=(Page&& o) noexcept {
+    if (this != &o) {
+      Dealloc();
+      size_ = o.size_;
+      data_ = o.data_;
+      o.size_ = 0;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~Page() { Dealloc(); }
+
+  [[nodiscard]] uint32_t size() const { return size_; }
+  uint8_t* data() { return data_; }
+  [[nodiscard]] const uint8_t* data() const { return data_; }
 
   /// Copies a trivially-copyable value out of the page at byte offset `off`.
   template <typename T>
   [[nodiscard]] T ReadAt(uint32_t off) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    assert(off + sizeof(T) <= data_.size());
+    assert(off + sizeof(T) <= size_);
     T v;
-    std::memcpy(&v, data_.data() + off, sizeof(T));
+    std::memcpy(&v, data_ + off, sizeof(T));
     return v;
   }
 
@@ -49,24 +92,32 @@ class Page {
   template <typename T>
   void WriteAt(uint32_t off, const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    assert(off + sizeof(T) <= data_.size());
-    std::memcpy(data_.data() + off, &v, sizeof(T));
+    assert(off + sizeof(T) <= size_);
+    std::memcpy(data_ + off, &v, sizeof(T));
   }
 
   void ReadBytes(uint32_t off, void* out, uint32_t n) const {
-    assert(off + n <= data_.size());
-    std::memcpy(out, data_.data() + off, n);
+    assert(off + n <= size_);
+    std::memcpy(out, data_ + off, n);
   }
 
   void WriteBytes(uint32_t off, const void* in, uint32_t n) {
-    assert(off + n <= data_.size());
-    std::memcpy(data_.data() + off, in, n);
+    assert(off + n <= size_);
+    std::memcpy(data_ + off, in, n);
   }
 
-  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+  void Zero() { std::memset(data_, 0, size_); }
 
  private:
-  std::vector<uint8_t> data_;
+  static uint8_t* Alloc(uint32_t n) {
+    return static_cast<uint8_t*>(::operator new(n, std::align_val_t{kAlign}));
+  }
+  void Dealloc() {
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t{kAlign});
+  }
+
+  uint32_t size_;
+  uint8_t* data_;
 };
 
 }  // namespace boxagg

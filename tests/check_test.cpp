@@ -70,11 +70,11 @@ TEST(AggBTreeCheck, DetectsTamperedSubtreeSum) {
   for (const auto& e : RandomPoints(2000, 1, 8)) {
     ASSERT_TRUE(t.Insert(e.pt[0], e.value).ok());
   }
-  // Root must be internal at this size; entry 0's subtree sum lives at
-  // header(8) + lowkey(8) + child(8) = offset 24.
+  // Root must be internal at this size; entry 0's subtree sum lives in the
+  // record strip at the tree's published layout offset.
   TamperPage(&pool, t.root(), [](Page* p) {
     ASSERT_EQ(p->ReadAt<uint16_t>(0), 2);  // internal
-    p->WriteAt<double>(24, 1e18);
+    p->WriteAt<double>(AggBTree<double>::InternalSumOffset(512, 0), 1e18);
   });
   ExpectCorruption(t.CheckConsistency());
 }
@@ -122,11 +122,11 @@ TEST_P(EcdfCheck, DetectsTamperedRecordSum) {
   BufferPool pool(&file, 512);
   EcdfBTree<double> tree(&pool, 2, GetParam());
   ASSERT_TRUE(tree.BulkLoad(RandomPoints(1500, 2, 22)).ok());
-  // Internal record 0's aggregate sits at header(8) + lowkey(8) + child(8)
-  // + border_root(8) = offset 32.
+  // Internal record 0's aggregate sits in the {child, border, sum} record
+  // strip at the tree's published layout offset.
   TamperPage(&pool, tree.root(), [](Page* p) {
     ASSERT_EQ(p->ReadAt<uint16_t>(0), 4);  // ecdf internal
-    p->WriteAt<double>(32, 1e18);
+    p->WriteAt<double>(EcdfBTree<double>::InternalSumOffset(512, 0), 1e18);
   });
   ExpectCorruption(tree.CheckConsistency());
 }

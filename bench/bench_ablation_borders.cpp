@@ -18,7 +18,7 @@ using namespace boxagg::bench;
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Ablation A1: BA-tree border packing on/off");
+  cfg.Log("Ablation A1: BA-tree border packing on/off");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -35,15 +35,15 @@ int main() {
       2, [&] { return PackedBaTree<double>(packed_storage.pool(), 2); });
   DieIf(packed.BulkLoad(objects), "packed bulk");
 
-  std::printf("index size: unpacked %.1f MB, packed %.1f MB (%.0f%% saved)\n",
-              plain_storage.SizeMb(), packed_storage.SizeMb(),
-              100.0 * (1.0 - packed_storage.SizeMb() /
+  obs::LogInfo("index size: unpacked %.1f MB, packed %.1f MB (%.0f%% saved)",
+               plain_storage.SizeMb(), packed_storage.SizeMb(),
+               100.0 * (1.0 - packed_storage.SizeMb() /
                                  plain_storage.SizeMb()));
 
   const double kQbs[] = {0.0001, 0.01, 0.1};
   const char* kLabel[] = {"0.01%", "1%", "10%"};
-  std::printf("total I/Os over %zu queries:\n", cfg.queries);
-  std::printf("  %-6s %12s %12s\n", "QBS", "unpacked", "packed");
+  obs::LogInfo("total I/Os over %zu queries:", cfg.queries);
+  obs::LogInfo("  %-6s %12s %12s", "QBS", "unpacked", "packed");
   for (int i = 0; i < 3; ++i) {
     auto queries = workload::QueryBoxes(cfg.queries, kQbs[i], cfg.seed + 7);
     BatchCost a = MeasureQueries(
@@ -57,9 +57,9 @@ int main() {
       std::fprintf(stderr, "checksum mismatch at QBS %s!\n", kLabel[i]);
       return 1;
     }
-    std::printf("  %-6s %12llu %12llu\n", kLabel[i],
-                static_cast<unsigned long long>(a.ios),
-                static_cast<unsigned long long>(b.ios));
+    obs::LogInfo("  %-6s %12llu %12llu", kLabel[i],
+                 static_cast<unsigned long long>(a.ios),
+                 static_cast<unsigned long long>(b.ios));
   }
   return 0;
 }

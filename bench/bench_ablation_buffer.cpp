@@ -12,7 +12,7 @@ using namespace boxagg::bench;
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Ablation A2: buffer size sensitivity, QBS=1%");
+  cfg.Log("Ablation A2: buffer size sensitivity, QBS=1%");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -20,8 +20,8 @@ int main() {
   auto objects = workload::UniformRects(rc);
   auto queries = workload::QueryBoxes(cfg.queries, 0.01, cfg.seed + 7);
 
-  std::printf("total I/Os over %zu queries:\n", cfg.queries);
-  std::printf("  %-10s %12s %12s\n", "buffer", "aR", "BAT");
+  obs::LogInfo("total I/Os over %zu queries:", cfg.queries);
+  obs::LogInfo("  %-10s %12s %12s", "buffer", "aR", "BAT");
   uint64_t ar_last = 0, bat_last = 0;
   for (size_t mb : {1, 4, 10, 32, 64}) {
     Config c = cfg;
@@ -32,13 +32,13 @@ int main() {
     SimpleSuite suite(c, objects, opt);
     BatchCost ar = suite.MeasureAr(queries, true);
     BatchCost bat = suite.MeasureBat(queries);
-    std::printf("  %6zuMB   %12llu %12llu\n", mb,
-                static_cast<unsigned long long>(ar.ios),
-                static_cast<unsigned long long>(bat.ios));
+    obs::LogInfo("  %6zuMB   %12llu %12llu", mb,
+                 static_cast<unsigned long long>(ar.ios),
+                 static_cast<unsigned long long>(bat.ios));
     ar_last = ar.ios;
     bat_last = bat.ios;
   }
-  std::printf("shape check: BAT still cheaper at the largest buffer=%s\n",
-              bat_last <= ar_last ? "yes" : "NO");
+  obs::LogInfo("shape check: BAT still cheaper at the largest buffer=%s",
+               bat_last <= ar_last ? "yes" : "NO");
   return 0;
 }

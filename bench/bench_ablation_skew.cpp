@@ -25,10 +25,10 @@ void RunWorld(const Config& cfg, const char* label,
     std::fprintf(stderr, "checksum mismatch on %s!\n", label);
     std::abort();
   }
-  std::printf("  %-10s %12llu %12llu %10.2f\n", label,
-              static_cast<unsigned long long>(ar.ios),
-              static_cast<unsigned long long>(bat.ios),
-              static_cast<double>(ar.ios) /
+  obs::LogInfo("  %-10s %12llu %12llu %10.2f", label,
+               static_cast<unsigned long long>(ar.ios),
+               static_cast<unsigned long long>(bat.ios),
+               static_cast<double>(ar.ios) /
                   std::max<double>(1.0, static_cast<double>(bat.ios)));
 }
 
@@ -36,14 +36,14 @@ void RunWorld(const Config& cfg, const char* label,
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Ablation A4: uniform vs clustered data, QBS=1%");
+  cfg.Log("Ablation A4: uniform vs clustered data, QBS=1%");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
   rc.seed = cfg.seed;
 
-  std::printf("total I/Os over %zu queries:\n", cfg.queries);
-  std::printf("  %-10s %12s %12s %10s\n", "data", "aR", "BAT", "aR/BAT");
+  obs::LogInfo("total I/Os over %zu queries:", cfg.queries);
+  obs::LogInfo("  %-10s %12s %12s %10s", "data", "aR", "BAT", "aR/BAT");
   RunWorld(cfg, "uniform", workload::UniformRects(rc));
   RunWorld(cfg, "clustered", workload::ClusteredRects(rc, 8, 0.02));
   return 0;

@@ -23,7 +23,7 @@ int main() {
   const uint32_t side = 512;  // 512 x 512 cube
   const size_t fills = std::min<size_t>(cfg.n, 100000);
   const size_t updates = 2000;
-  cfg.Print("Extension: data-cube range-sum (512x512 grid)");
+  cfg.Log("Extension: data-cube range-sum (512x512 grid)");
 
   std::mt19937_64 rng(cfg.seed);
   std::uniform_int_distribution<uint32_t> uc(0, side - 1);
@@ -73,18 +73,18 @@ int main() {
     bat_ms = CpuMillis() - t0;
     bat_ios = storage.pool()->stats().Since(before).TotalIos();
   }
-  std::printf("updates (%zu random cells):\n", updates);
-  std::printf("  %-10s %16s %14s\n", "structure", "cells|IOs/update",
-              "CPU us/update");
-  std::printf("  %-10s %16.0f %14.2f\n", "prefix[18]",
-              static_cast<double>(prefix_cells) / static_cast<double>(updates),
-              prefix_ms * 1000 / static_cast<double>(updates));
-  std::printf("  %-10s %16.0f %14.2f\n", "blocked",
-              static_cast<double>(blocked_cells) / static_cast<double>(updates),
-              blocked_ms * 1000 / static_cast<double>(updates));
-  std::printf("  %-10s %16.2f %14.2f\n", "BAT",
-              static_cast<double>(bat_ios) / static_cast<double>(updates),
-              bat_ms * 1000 / static_cast<double>(updates));
+  obs::LogInfo("updates (%zu random cells):", updates);
+  obs::LogInfo("  %-10s %16s %14s", "structure", "cells|IOs/update",
+               "CPU us/update");
+  obs::LogInfo("  %-10s %16.0f %14.2f", "prefix[18]",
+               static_cast<double>(prefix_cells) / static_cast<double>(updates),
+               prefix_ms * 1000 / static_cast<double>(updates));
+  obs::LogInfo("  %-10s %16.0f %14.2f", "blocked",
+               static_cast<double>(blocked_cells) / static_cast<double>(updates),
+               blocked_ms * 1000 / static_cast<double>(updates));
+  obs::LogInfo("  %-10s %16.2f %14.2f", "BAT",
+               static_cast<double>(bat_ios) / static_cast<double>(updates),
+               bat_ms * 1000 / static_cast<double>(updates));
 
   // Queries.
   const size_t kQ = 3000;
@@ -123,15 +123,15 @@ int main() {
   double bat_q = (CpuMillis() - t0) * 1000 / static_cast<double>(kQ);
   uint64_t bat_q_ios = storage.pool()->stats().Since(before).TotalIos();
 
-  std::printf("queries (%zu random ranges):\n", kQ);
-  std::printf("  %-10s %14s %12s\n", "structure", "CPU us/query", "IOs/query");
-  std::printf("  %-10s %14.2f %12s\n", "prefix[18]", prefix_q, "-");
-  std::printf("  %-10s %14.2f %12s\n", "blocked", blocked_q, "-");
-  std::printf("  %-10s %14.2f %12.2f\n", "BAT", bat_q,
-              static_cast<double>(bat_q_ios) / static_cast<double>(kQ));
-  std::printf(
+  obs::LogInfo("queries (%zu random ranges):", kQ);
+  obs::LogInfo("  %-10s %14s %12s", "structure", "CPU us/query", "IOs/query");
+  obs::LogInfo("  %-10s %14.2f %12s", "prefix[18]", prefix_q, "-");
+  obs::LogInfo("  %-10s %14.2f %12s", "blocked", blocked_q, "-");
+  obs::LogInfo("  %-10s %14.2f %12.2f", "BAT", bat_q,
+               static_cast<double>(bat_q_ios) / static_cast<double>(kQ));
+  obs::LogInfo(
       "shape check: prefix-cube updates touch ~%.0fx more cells than the "
-      "blocked cube; checksum %.3f\n",
+      "blocked cube; checksum %.3f",
       static_cast<double>(prefix_cells) /
           std::max<double>(1.0, static_cast<double>(blocked_cells)),
       sink);

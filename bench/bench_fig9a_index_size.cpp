@@ -13,7 +13,7 @@ using namespace boxagg::bench;
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Figure 9a: index sizes (simple box-sum)");
+  cfg.Log("Figure 9a: index sizes (simple box-sum)");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -27,15 +27,15 @@ int main() {
   double bq = suite.ecdfq_storage().SizeMb();
   double bat = suite.bat_storage().SizeMb();
 
-  std::printf("index sizes (MB):\n");
-  std::printf("  %-8s %12s %12s\n", "index", "size(MB)", "vs aR");
-  std::printf("  %-8s %12.1f %12.2f\n", "aR", ar, 1.0);
-  std::printf("  %-8s %12.1f %12.2f\n", "ECDFu", bu, bu / ar);
-  std::printf("  %-8s %12.1f %12.2f\n", "ECDFq", bq, bq / ar);
-  std::printf("  %-8s %12.1f %12.2f\n", "BAT", bat, bat / ar);
-  std::printf(
+  obs::LogInfo("index sizes (MB):");
+  obs::LogInfo("  %-8s %12s %12s", "index", "size(MB)", "vs aR");
+  obs::LogInfo("  %-8s %12.1f %12.2f", "aR", ar, 1.0);
+  obs::LogInfo("  %-8s %12.1f %12.2f", "ECDFu", bu, bu / ar);
+  obs::LogInfo("  %-8s %12.1f %12.2f", "ECDFq", bq, bq / ar);
+  obs::LogInfo("  %-8s %12.1f %12.2f", "BAT", bat, bat / ar);
+  obs::LogInfo(
       "paper shape check: aR smallest=%s, ECDFq largest=%s, "
-      "BAT within ~4x of ECDFu=%s\n",
+      "BAT within ~4x of ECDFu=%s",
       (ar <= bu && ar <= bq && ar <= bat) ? "yes" : "NO",
       (bq >= bu && bq >= bat) ? "yes" : "NO",
       (bat < 4 * bu && bu < 4 * bat) ? "yes" : "NO");

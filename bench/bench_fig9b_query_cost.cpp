@@ -14,7 +14,7 @@ using namespace boxagg::bench;
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Figure 9b: query cost vs QBS (simple box-sum)");
+  cfg.Log("Figure 9b: query cost vs QBS (simple box-sum)");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -25,9 +25,9 @@ int main() {
   const double kQbs[] = {0.0001, 0.001, 0.01, 0.1};
   const char* kLabel[] = {"0.01%", "0.1%", "1%", "10%"};
 
-  std::printf("total I/Os over %zu queries per cell:\n", cfg.queries);
-  std::printf("  %-6s %12s %12s %12s %12s\n", "QBS", "aR", "ECDFu", "ECDFq",
-              "BAT");
+  obs::LogInfo("total I/Os over %zu queries per cell:", cfg.queries);
+  obs::LogInfo("  %-6s %12s %12s %12s %12s", "QBS", "aR", "ECDFu", "ECDFq",
+               "BAT");
   double ar_small = 0, ar_large = 0, bat_small = 0, bat_large = 0;
   for (int i = 0; i < 4; ++i) {
     auto queries = workload::QueryBoxes(cfg.queries, kQbs[i], cfg.seed + 7);
@@ -35,11 +35,11 @@ int main() {
     BatchCost bu = suite.MeasureEcdfu(queries);
     BatchCost bq = suite.MeasureEcdfq(queries);
     BatchCost bat = suite.MeasureBat(queries);
-    std::printf("  %-6s %12llu %12llu %12llu %12llu\n", kLabel[i],
-                static_cast<unsigned long long>(ar.ios),
-                static_cast<unsigned long long>(bu.ios),
-                static_cast<unsigned long long>(bq.ios),
-                static_cast<unsigned long long>(bat.ios));
+    obs::LogInfo("  %-6s %12llu %12llu %12llu %12llu", kLabel[i],
+                 static_cast<unsigned long long>(ar.ios),
+                 static_cast<unsigned long long>(bu.ios),
+                 static_cast<unsigned long long>(bq.ios),
+                 static_cast<unsigned long long>(bat.ios));
     // Cross-check the answers agree across approaches.
     double ref = ar.checksum;
     auto close = [&](double x) {
@@ -52,9 +52,9 @@ int main() {
     if (i == 0) { ar_small = static_cast<double>(ar.ios); bat_small = static_cast<double>(bat.ios); }
     if (i == 3) { ar_large = static_cast<double>(ar.ios); bat_large = static_cast<double>(bat.ios); }
   }
-  std::printf(
+  obs::LogInfo(
       "paper shape check: aR grows with QBS (x%.1f from 0.01%% to 10%%); "
-      "BAT stays flat (x%.1f)\n",
+      "BAT stays flat (x%.1f)",
       ar_large / std::max(1.0, ar_small),
       bat_large / std::max(1.0, bat_small));
   return 0;

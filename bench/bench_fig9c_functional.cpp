@@ -61,7 +61,7 @@ Cell RunAr(const Config& cfg, const std::vector<FunctionalObject>& objs,
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Figure 9c: functional box-sum, QBS=1%, degree 0 vs degree 2");
+  cfg.Log("Figure 9c: functional box-sum, QBS=1%, degree 0 vs degree 2");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -85,20 +85,20 @@ int main() {
     return 1;
   }
 
-  std::printf("execution time = CPU + I/Os x 10ms, %zu queries:\n",
-              cfg.queries);
-  std::printf("  %-8s %14s %12s\n", "index", "exec time(ms)", "I/Os");
-  std::printf("  %-8s %14.1f %12llu\n", "BATd0", bat_d0.model_ms,
-              static_cast<unsigned long long>(bat_d0.ios));
-  std::printf("  %-8s %14.1f %12llu\n", "aRd0", ar_d0.model_ms,
-              static_cast<unsigned long long>(ar_d0.ios));
-  std::printf("  %-8s %14.1f %12llu\n", "BATd2", bat_d2.model_ms,
-              static_cast<unsigned long long>(bat_d2.ios));
-  std::printf("  %-8s %14.1f %12llu\n", "aRd2", ar_d2.model_ms,
-              static_cast<unsigned long long>(ar_d2.ios));
-  std::printf(
+  obs::LogInfo("execution time = CPU + I/Os x 10ms, %zu queries:",
+               cfg.queries);
+  obs::LogInfo("  %-8s %14s %12s", "index", "exec time(ms)", "I/Os");
+  obs::LogInfo("  %-8s %14.1f %12llu", "BATd0", bat_d0.model_ms,
+               static_cast<unsigned long long>(bat_d0.ios));
+  obs::LogInfo("  %-8s %14.1f %12llu", "aRd0", ar_d0.model_ms,
+               static_cast<unsigned long long>(ar_d0.ios));
+  obs::LogInfo("  %-8s %14.1f %12llu", "BATd2", bat_d2.model_ms,
+               static_cast<unsigned long long>(bat_d2.ios));
+  obs::LogInfo("  %-8s %14.1f %12llu", "aRd2", ar_d2.model_ms,
+               static_cast<unsigned long long>(ar_d2.ios));
+  obs::LogInfo(
       "paper shape check: BAT faster than aR at degree 0 (x%.1f) and degree "
-      "2 (x%.1f); degree 2 costlier than degree 0 for BAT=%s\n",
+      "2 (x%.1f); degree 2 costlier than degree 0 for BAT=%s",
       ar_d0.model_ms / std::max(1.0, bat_d0.model_ms),
       ar_d2.model_ms / std::max(1.0, bat_d2.model_ms),
       bat_d2.model_ms >= bat_d0.model_ms ? "yes" : "NO");

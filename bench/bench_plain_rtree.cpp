@@ -11,7 +11,7 @@ using namespace boxagg::bench;
 
 int main() {
   Config cfg = Config::FromEnv();
-  cfg.Print("Sec. 6 claim: plain R*-tree vs aR-tree vs BA-tree, QBS=1%");
+  cfg.Log("Sec. 6 claim: plain R*-tree vs aR-tree vs BA-tree, QBS=1%");
 
   workload::RectConfig rc;
   rc.n = cfg.n;
@@ -36,19 +36,19 @@ int main() {
     return 1;
   }
 
-  std::printf("total I/Os and modeled time over %zu queries:\n", cfg.queries);
-  std::printf("  %-10s %12s %16s\n", "index", "I/Os", "exec time(ms)");
-  std::printf("  %-10s %12llu %16.1f\n", "plainR*",
-              static_cast<unsigned long long>(plain.ios),
-              plain.ModelMillis());
-  std::printf("  %-10s %12llu %16.1f\n", "aR",
-              static_cast<unsigned long long>(ar.ios), ar.ModelMillis());
-  std::printf("  %-10s %12llu %16.1f\n", "BAT",
-              static_cast<unsigned long long>(bat.ios), bat.ModelMillis());
-  std::printf(
+  obs::LogInfo("total I/Os and modeled time over %zu queries:", cfg.queries);
+  obs::LogInfo("  %-10s %12s %16s", "index", "I/Os", "exec time(ms)");
+  obs::LogInfo("  %-10s %12llu %16.1f", "plainR*",
+               static_cast<unsigned long long>(plain.ios),
+               plain.ModelMillis());
+  obs::LogInfo("  %-10s %12llu %16.1f", "aR",
+               static_cast<unsigned long long>(ar.ios), ar.ModelMillis());
+  obs::LogInfo("  %-10s %12llu %16.1f", "BAT",
+               static_cast<unsigned long long>(bat.ios), bat.ModelMillis());
+  obs::LogInfo(
       "BAT vs plain R* speedup: x%.1f on I/Os, x%.1f on modeled time\n"
       "(the paper's >200x holds at its 6M-object scale, where the R*-tree "
-      "leaves far exceed the 10MB buffer; the gap widens with BOXAGG_N)\n",
+      "leaves far exceed the 10MB buffer; the gap widens with BOXAGG_N)",
       static_cast<double>(plain.ios) /
           std::max<double>(1.0, static_cast<double>(bat.ios)),
       plain.ModelMillis() / std::max(1.0, bat.ModelMillis()));

@@ -16,16 +16,16 @@ using namespace boxagg::bench;
 int main() {
   Config cfg = Config::FromEnv();
   cfg.n = std::min<size_t>(cfg.n, 100000);  // live part is 12 indexes
-  cfg.Print("Theorems 1-2: reduction to dominance-sums");
+  cfg.Log("Theorems 1-2: reduction to dominance-sums");
 
-  std::printf("dominance-sum queries per d-dimensional box-sum query:\n");
-  std::printf("  %-4s %16s %16s %8s\n", "d", "[13] (3^d - 1)", "ours (2^d)",
-              "ratio");
+  obs::LogInfo("dominance-sum queries per d-dimensional box-sum query:");
+  obs::LogInfo("  %-4s %16s %16s %8s", "d", "[13] (3^d - 1)", "ours (2^d)",
+               "ratio");
   for (int d = 1; d <= 8; ++d) {
-    std::printf("  %-4d %16llu %16llu %8.2f\n", d,
-                static_cast<unsigned long long>(EoQueryCount(d)),
-                static_cast<unsigned long long>(CornerQueryCount(d)),
-                static_cast<double>(EoQueryCount(d)) /
+    obs::LogInfo("  %-4d %16llu %16llu %8.2f", d,
+                 static_cast<unsigned long long>(EoQueryCount(d)),
+                 static_cast<unsigned long long>(CornerQueryCount(d)),
+                 static_cast<double>(EoQueryCount(d)) /
                     static_cast<double>(CornerQueryCount(d)));
   }
 
@@ -62,16 +62,16 @@ int main() {
     return 1;
   }
 
-  std::printf("live 2-d comparison over ECDF-Bu backend, QBS=1%%:\n");
-  std::printf("  %-18s %12s %12s %12s\n", "reduction", "indexes",
-              "space(MB)", "I/Os");
-  std::printf("  %-18s %12zu %12.1f %12llu\n", "[13] (8 queries)",
-              eo.index_count(), eo_storage.SizeMb(),
-              static_cast<unsigned long long>(eo_cost.ios));
-  std::printf("  %-18s %12u %12.1f %12llu\n", "corner (4)",
-              corner.index_count(), corner_storage.SizeMb(),
-              static_cast<unsigned long long>(corner_cost.ios));
-  std::printf("paper shape check: corner transform cheaper per query=%s\n",
-              corner_cost.ios <= eo_cost.ios ? "yes" : "NO");
+  obs::LogInfo("live 2-d comparison over ECDF-Bu backend, QBS=1%%:");
+  obs::LogInfo("  %-18s %12s %12s %12s", "reduction", "indexes",
+               "space(MB)", "I/Os");
+  obs::LogInfo("  %-18s %12zu %12.1f %12llu", "[13] (8 queries)",
+               eo.index_count(), eo_storage.SizeMb(),
+               static_cast<unsigned long long>(eo_cost.ios));
+  obs::LogInfo("  %-18s %12u %12.1f %12llu", "corner (4)",
+               corner.index_count(), corner_storage.SizeMb(),
+               static_cast<unsigned long long>(corner_cost.ios));
+  obs::LogInfo("paper shape check: corner transform cheaper per query=%s",
+               corner_cost.ios <= eo_cost.ios ? "yes" : "NO");
   return 0;
 }

@@ -81,30 +81,30 @@ int main() {
   Config cfg = Config::FromEnv();
   // Small LRU so I/O counts reflect structure, not residency.
   cfg.buffer_mb = 1;
-  cfg.Print("Table 1: ECDF-B-tree complexity scaling (d=2)");
+  cfg.Log("Table 1: ECDF-B-tree complexity scaling (d=2)");
 
   std::vector<size_t> ns;
   for (size_t n = cfg.n / 16; n <= cfg.n; n *= 4) ns.push_back(n);
 
-  std::printf(
-      "  %-10s | %10s %10s %9s %10s | %10s %10s %9s %10s\n", "n",
+  obs::LogInfo(
+      "  %-10s | %10s %10s %9s %10s | %10s %10s %9s %10s", "n",
       "Su(pages)", "Lu(ms)", "Qu(IO/q)", "Uu(IO/ins)", "Sq(pages)", "Lq(ms)",
       "Qq(IO/q)", "Uq(IO/ins)");
   Row last_u{}, last_q{};
   for (size_t n : ns) {
     Row u = Measure(cfg, EcdfVariant::kUpdateOptimized, n);
     Row q = Measure(cfg, EcdfVariant::kQueryOptimized, n);
-    std::printf(
+    obs::LogInfo(
         "  %-10zu | %10.0f %10.0f %9.2f %10.2f | %10.0f %10.0f %9.2f "
-        "%10.2f\n",
+        "%10.2f",
         n, u.space_pages, u.bulk_ms, u.query_ios, u.update_ios,
         q.space_pages, q.bulk_ms, q.query_ios, q.update_ios);
     last_u = u;
     last_q = q;
   }
-  std::printf(
+  obs::LogInfo(
       "paper shape check at n=%zu: Sq/Su=%.1f (>1), Lq/Lu=%.1f (>1), "
-      "Qu/Qq=%.1f (>1), Uq/Uu=%.1f (>1)\n",
+      "Qu/Qq=%.1f (>1), Uq/Uu=%.1f (>1)",
       last_u.n, last_q.space_pages / last_u.space_pages,
       last_q.bulk_ms / std::max(0.01, last_u.bulk_ms),
       last_u.query_ios / std::max(0.01, last_q.query_ios),

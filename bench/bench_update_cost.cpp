@@ -44,9 +44,9 @@ int main() {
   // this bench and they are expensive by design.
   size_t base_n = std::min<size_t>(cfg.n, 50000);
   size_t updates = std::min<size_t>(cfg.queries * 10, 2000);
-  cfg.Print("Ablation A3: per-insert update cost");
-  std::printf("base load %zu objects, then %zu incremental inserts\n", base_n,
-              updates);
+  cfg.Log("Ablation A3: per-insert update cost");
+  obs::LogInfo("base load %zu objects, then %zu incremental inserts", base_n,
+               updates);
 
   workload::RectConfig rc;
   rc.n = base_n + updates;
@@ -57,7 +57,7 @@ int main() {
   std::vector<BoxObject> extra(all.begin() + static_cast<ptrdiff_t>(base_n),
                                all.end());
 
-  std::printf("  %-8s %14s %16s\n", "index", "I/Os/insert", "CPU us/insert");
+  obs::LogInfo("  %-8s %14s %16s", "index", "I/Os/insert", "CPU us/insert");
 
   {
     Storage s(cfg, "upar");
@@ -68,8 +68,8 @@ int main() {
     Row r = MeasureInserts(&s, extra, [&](const BoxObject& o) {
       DieIf(tree.Insert(o.box, o.value), "aR insert");
     });
-    std::printf("  %-8s %14.2f %16.1f\n", "aR", r.ios_per_insert,
-                r.cpu_us_per_insert);
+    obs::LogInfo("  %-8s %14.2f %16.1f", "aR", r.ios_per_insert,
+                 r.cpu_us_per_insert);
   }
   {
     Storage s(cfg, "upbu");
@@ -80,8 +80,8 @@ int main() {
     Row r = MeasureInserts(&s, extra, [&](const BoxObject& o) {
       DieIf(index.Insert(o.box, o.value), "ECDFu insert");
     });
-    std::printf("  %-8s %14.2f %16.1f\n", "ECDFu", r.ios_per_insert,
-                r.cpu_us_per_insert);
+    obs::LogInfo("  %-8s %14.2f %16.1f", "ECDFu", r.ios_per_insert,
+                 r.cpu_us_per_insert);
   }
   double bq_ios = 0;
   {
@@ -94,8 +94,8 @@ int main() {
       DieIf(index.Insert(o.box, o.value), "ECDFq insert");
     });
     bq_ios = r.ios_per_insert;
-    std::printf("  %-8s %14.2f %16.1f\n", "ECDFq", r.ios_per_insert,
-                r.cpu_us_per_insert);
+    obs::LogInfo("  %-8s %14.2f %16.1f", "ECDFq", r.ios_per_insert,
+                 r.cpu_us_per_insert);
   }
   double bat_ios = 0;
   {
@@ -107,11 +107,11 @@ int main() {
       DieIf(index.Insert(o.box, o.value), "BAT insert");
     });
     bat_ios = r.ios_per_insert;
-    std::printf("  %-8s %14.2f %16.1f\n", "BAT", r.ios_per_insert,
-                r.cpu_us_per_insert);
+    obs::LogInfo("  %-8s %14.2f %16.1f", "BAT", r.ios_per_insert,
+                 r.cpu_us_per_insert);
   }
-  std::printf(
-      "paper shape check: ECDFq update much costlier than BAT: x%.1f\n",
+  obs::LogInfo(
+      "paper shape check: ECDFq update much costlier than BAT: x%.1f",
       bq_ios / std::max(0.01, bat_ios));
   return 0;
 }

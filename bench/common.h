@@ -1,6 +1,6 @@
 // Shared infrastructure for the experiment harness: configuration via
 // environment variables, the paper's measurement conventions (Sec. 6), and
-// table printing.
+// stderr logging for the human-readable tables (stdout stays machine-only).
 //
 // Every bench binary reproduces one table or figure of the paper. Scale
 // defaults to laptop size; the paper's exact setup is reachable with
@@ -84,18 +84,9 @@ struct Config {
     return BufferPool::CapacityForMegabytes(buffer_mb, page_size);
   }
 
-  void Print(const char* experiment) const {
-    std::printf("== %s ==\n", experiment);
-    std::printf(
-        "config: n=%zu queries=%zu page=%uB buffer=%zuMB (%zu pages) "
-        "backend=%s seed=%llu shards=%zu\n",
-        n, queries, page_size, buffer_mb, BufferPages(),
-        disk ? "file" : "memory", static_cast<unsigned long long>(seed),
-        shards);
-  }
-
-  /// Logger variant of Print for benches whose stdout must stay
-  /// machine-readable (JSON/BASELINE lines only): config goes to stderr.
+  /// Banner + knobs to stderr via the logger. Bench stdout is reserved for
+  /// machine-readable BASELINE/JSON lines (enforced by tools/lint.sh), so
+  /// there is deliberately no stdout variant of this.
   void Log(const char* experiment) const {
     obs::LogInfo("== %s ==", experiment);
     obs::LogInfo(
@@ -210,10 +201,6 @@ BatchCost MeasureQueries(BufferPool* pool, const std::vector<Box>& queries,
   out.cpu_ms = CpuMillis() - cpu0;
   out.ios = pool->stats().Since(before).TotalIos();
   return out;
-}
-
-inline void PrintRow(const char* name, double value, const char* unit) {
-  std::printf("  %-12s %14.2f %s\n", name, value, unit);
 }
 
 }  // namespace bench

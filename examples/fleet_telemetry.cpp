@@ -12,6 +12,7 @@
 // bench/bench_fig9b_query_cost at full N.
 
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 
 #include "batree/ba_tree.h"
@@ -27,6 +28,15 @@ struct Segment {
   Box box;  // x, y in city km; z = time in minutes since midnight
   double fuel_l;
 };
+
+// A failed call here would leave the dashboard numbers below as garbage, so
+// every Status is checked; die loudly rather than print a wrong answer.
+void OrDie(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
 
 std::vector<Segment> SimulateDay(size_t n, uint64_t seed) {
   std::mt19937_64 rng(seed);
@@ -72,16 +82,16 @@ int main() {
 
   // A correction arrives: the first 100 segments were duplicates.
   for (size_t i = 0; i < 100; ++i) {
-    IgnoreStatus(fuel.Erase(segments[i].box, segments[i].fuel_l));
+    OrDie(fuel.Erase(segments[i].box, segments[i].fuel_l));
   }
   std::printf("retracted 100 duplicate segments from the aggregate index\n");
 
   // District dashboard: downtown (10..20 km square), rush hour 17:00-18:00.
   Box downtown_rush(Point(10, 10, 1020), Point(20, 20, 1080));
   double litres = 0, trips = 0, avg = 0;
-  IgnoreStatus(fuel.Sum(downtown_rush, &litres));
-  IgnoreStatus(fuel.Count(downtown_rush, &trips));
-  IgnoreStatus(fuel.Avg(downtown_rush, &avg));
+  OrDie(fuel.Sum(downtown_rush, &litres));
+  OrDie(fuel.Count(downtown_rush, &trips));
+  OrDie(fuel.Avg(downtown_rush, &avg));
   std::printf("downtown 17:00-18:00: %.1f L over %.0f trips (avg %.2f L)\n",
               litres, trips, avg);
 
@@ -95,15 +105,15 @@ int main() {
     dashboards.push_back(
         Box(Point(x, y, t), Point(x + 10, y + 10, t + 60)));
   }
-  IgnoreStatus(ba_pool.Reset());
-  IgnoreStatus(ar_pool.Reset());
+  OrDie(ba_pool.Reset());
+  OrDie(ar_pool.Reset());
   IoStats ba0 = ba_pool.stats(), ar0 = ar_pool.stats();
   double ba_sum = 0, ar_sum = 0;
   for (const Box& q : dashboards) {
     double r;
-    IgnoreStatus(fuel.Sum(q, &r));
+    OrDie(fuel.Sum(q, &r));
     ba_sum += r;
-    IgnoreStatus(artree.AggregateQuery(q, true, &r));
+    OrDie(artree.AggregateQuery(q, true, &r));
     ar_sum += r;
   }
   std::printf("dashboard refresh (100 box-sums):\n");

@@ -10,12 +10,26 @@
 // (p, d)") that the structure natively maintains.
 
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 
 #include "batree/ba_tree.h"
 #include "storage/buffer_pool.h"
 
 using namespace boxagg;
+
+namespace {
+
+// A failed call here would leave the printed answers below as garbage, so
+// every Status is checked; die loudly rather than print a wrong answer.
+void OrDie(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
 
 int main() {
   MemPageFile file(kDefaultPageSize);
@@ -49,7 +63,7 @@ int main() {
   auto range_sum = [&](double plo, double phi, double dlo, double dhi) {
     auto prefix = [&](double p, double d) {
       double s = 0;
-      IgnoreStatus(cube.DominanceSum(Point(p, d), &s));
+      OrDie(cube.DominanceSum(Point(p, d), &s));
       return s;
     };
     return prefix(phi, dhi) - prefix(plo - 1, dhi) - prefix(phi, dlo - 1) +
@@ -62,18 +76,18 @@ int main() {
 
   // Late-arriving correction: product 150 returns 10,000 of revenue on day
   // 120 — a negative update, O(log^2) I/Os, no cube rebuild.
-  IgnoreStatus(cube.Insert(Point(150, 120), -10000.0));
+  OrDie(cube.Insert(Point(150, 120), -10000.0));
   std::printf("after a -10000 correction: %.2f\n",
               range_sum(100, 200, 91, 181));
 
   // Dominance-sum = cumulative "running total up to (product, day)".
   double running;
-  IgnoreStatus(cube.DominanceSum(Point(499, 181), &running));
+  OrDie(cube.DominanceSum(Point(499, 181), &running));
   std::printf("running total through product 499, day 181: %.2f\n", running);
 
   std::printf("cube pages: ");
   uint64_t pages = 0;
-  IgnoreStatus(cube.PageCount(&pages));
+  OrDie(cube.PageCount(&pages));
   std::printf("%llu (%.1f MB)\n", static_cast<unsigned long long>(pages),
               static_cast<double>(pages) * kDefaultPageSize / (1024.0 * 1024));
   return 0;

@@ -10,6 +10,7 @@
 // f(x,y) = x - 2 spray.
 
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 
 #include "batree/ba_tree.h"
@@ -20,6 +21,15 @@
 using namespace boxagg;
 
 namespace {
+
+// A failed call here would leave the printed answers below as garbage, so
+// every Status is checked; die loudly rather than print a wrong answer.
+void OrDie(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
 
 // Synthetic county layout: space is a 100x100 mile region; months are day
 // numbers from the start of 1999.
@@ -59,7 +69,7 @@ int main() {
   }
 
   double total;
-  IgnoreStatus(volumes.Query(orange_county_march, &total));
+  OrDie(volumes.Query(orange_county_march, &total));
   std::printf(
       "Q: total volume of pesticide sprayed in Orange County in March 1999\n");
   std::printf("   index answer: %.1f gallons (direct check: %.1f)\n", total,
@@ -71,24 +81,24 @@ int main() {
   // The paper's uneven spray: field x in [5,20], y in [3,15], rate
   // f(x,y) = x - 2 grams per square yard (3 g at the left edge, 18 g at the
   // right).
-  IgnoreStatus(rates.Insert(Box(Point(5, 3), Point(20, 15)),
+  OrDie(rates.Insert(Box(Point(5, 3), Point(20, 15)),
                             {{1.0, 1, 0}, {-2.0, 0, 0}}));
   // A second, uniformly sprayed field: 2 g per square yard.
-  IgnoreStatus(rates.Insert(Box(Point(30, 30), Point(40, 42)), {{2.0, 0, 0}}));
+  OrDie(rates.Insert(Box(Point(30, 30), Point(40, 42)), {{2.0, 0, 0}}));
 
   double grams;
-  IgnoreStatus(rates.Query(Box(Point(15, 7), Point(30, 11)), &grams));
+  OrDie(rates.Query(Box(Point(15, 7), Point(30, 11)), &grams));
   std::printf(
       "Q: grams sprayed inside [15,30]x[7,11] (clips the uneven field)\n");
   std::printf("   functional answer: %.1f g (paper's Fig. 3b: 310)\n", grams);
 
-  IgnoreStatus(rates.Query(Box(Point(0, 7), Point(10, 11)), &grams));
+  OrDie(rates.Query(Box(Point(0, 7), Point(10, 11)), &grams));
   std::printf(
       "   same intersection size at the field's left border: %.1f g "
       "(paper: 110)\n",
       grams);
 
-  IgnoreStatus(rates.Query(Box(Point(0, 0), Point(50, 50)), &grams));
+  OrDie(rates.Query(Box(Point(0, 0), Point(50, 50)), &grams));
   // Full integrals: int_5^20 (x-2) dx * 12 = 157.5 * 12 = 1890; plus
   // 2 g * 10 * 12 = 240.
   std::printf("   whole region: %.1f g (1890 + 240 = 2130 expected)\n",

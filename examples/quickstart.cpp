@@ -57,7 +57,7 @@ int main() {
 
   // 5. Deletion = inserting the inverse (aggregate indexes store sums).
   if (!agg.Erase(rows[0].box, rows[0].value).ok()) return 1;
-  IgnoreStatus(agg.Sum(q, &sum));
+  if (!agg.Sum(q, &sum).ok()) return 1;
   std::printf("after deleting the value-4 object: SUM = %.1f\n", sum);
 
   // 6. The buffer pool tracked every physical page transfer.

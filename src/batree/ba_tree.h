@@ -70,9 +70,9 @@ class BaTree {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
-  PageId root() const { return root_; }
-  bool empty() const { return root_ == kInvalidPageId; }
-  int dims() const { return dims_; }
+  [[nodiscard]] PageId root() const { return root_; }
+  [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
+  [[nodiscard]] int dims() const { return dims_; }
 
   uint32_t LeafCapacity() const {
     return (pool_->file()->page_size() - kHeaderSize) / kLeafEntrySize;
@@ -128,6 +128,7 @@ class BaTree {
     return Status::OK();
   }
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// Total value of all points dominated by `q`. A +infinity coordinate
   /// (an unbounded query side) is clamped to the largest finite double,
   /// which dominates every storable point, so half-space and whole-space
@@ -227,6 +228,7 @@ class BaTree {
                              obs_level);
   }
 
+  // LINT:hot-path-end
   /// Collects every (point, value) stored in main-branch leaves (sorted
   /// lexicographically on return).
   Status ScanAll(std::vector<Entry>* out) const {
@@ -1017,6 +1019,7 @@ class BaTree {
 
   // ---- traversal ----------------------------------------------------------
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// One node of the batched descent: `idx[0..m)` are probe indices (already
   /// clamped queries) whose paths all pass through `pid`. Probes are
   /// assigned to the FIRST record whose box contains them, scanning records
@@ -1104,6 +1107,7 @@ class BaTree {
     return Status::OK();
   }
 
+  // LINT:hot-path-end
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;
     BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));

@@ -62,9 +62,9 @@ class PackedBaTree {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
-  PageId root() const { return root_; }
-  bool empty() const { return root_ == kInvalidPageId; }
-  int dims() const { return dims_; }
+  [[nodiscard]] PageId root() const { return root_; }
+  [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
+  [[nodiscard]] int dims() const { return dims_; }
 
   uint32_t LeafCapacity() const {
     return (pool_->file()->page_size() - kLeafHeader) / kLeafEntrySize;
@@ -127,6 +127,7 @@ class PackedBaTree {
     return Status::OK();
   }
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// Total value of all points dominated by `q`; +infinity coordinates are
   /// clamped to the largest finite double (see BaTree::DominanceSum).
   Status DominanceSum(const Point& query, V* out,
@@ -251,6 +252,7 @@ class PackedBaTree {
                              obs_level);
   }
 
+  // LINT:hot-path-end
   /// Collects every (point, value) in main-branch leaves, sorted.
   Status ScanAll(std::vector<Entry>* out) const {
     if (root_ == kInvalidPageId) return Status::OK();
@@ -593,6 +595,7 @@ class PackedBaTree {
     return Status::OK();
   }
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// One node of the batched descent: `idx[0..m)` are probe indices (already
   /// clamped queries) whose paths all pass through `pid`. Probes are
   /// assigned to the FIRST record whose box contains them, in page order.
@@ -712,6 +715,7 @@ class PackedBaTree {
     return Status::OK();
   }
 
+  // LINT:hot-path-end
   // ---- border image operations --------------------------------------------
 
   Status BorderTreeQuery(PageId tree_root, const Point& q, V* out,

@@ -63,8 +63,8 @@ class AggBTree {
   AggBTree(BufferPool* pool, PageId root = kInvalidPageId)
       : pool_(pool), root_(root) {}
 
-  PageId root() const { return root_; }
-  bool empty() const { return root_ == kInvalidPageId; }
+  [[nodiscard]] PageId root() const { return root_; }
+  [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
 
   static uint32_t LeafCapacity(uint32_t page_size) {
     return (page_size - kHeaderSize) / kLeafEntrySize;
@@ -130,6 +130,7 @@ class AggBTree {
     return Status::OK();
   }
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// Sum of values over all keys <= q. An empty tree yields V{}.
   ///
   /// `obs_level` offsets the per-level node-visit attribution (obs/): a
@@ -191,6 +192,7 @@ class AggBTree {
     return DominanceBatchRec(root_, order.data(), count, qs, outs, obs_level);
   }
 
+  // LINT:hot-path-end
   /// Sum of all values in the tree.
   Status TotalSum(V* out) const {
     *out = V{};
@@ -395,7 +397,7 @@ class AggBTree {
   static uint32_t Count(const Page* p) { return p->ReadAt<uint32_t>(4); }
   static void SetCount(Page* p, uint32_t c) { p->WriteAt<uint32_t>(4, c); }
 
-  uint32_t PageSz() const { return pool_->file()->page_size(); }
+  [[nodiscard]] uint32_t PageSz() const { return pool_->file()->page_size(); }
 
   static double LeafKey(const Page* p, uint32_t i) {
     return p->ReadAt<double>(LeafKeyOffset(i));
@@ -586,6 +588,7 @@ class AggBTree {
 
   // ---- traversal ----------------------------------------------------------
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// One node of the batched descent: `idx[0..m)` are probe indices sorted
   /// by key whose paths all pass through `pid`. The node is fetched once;
   /// per-probe arithmetic matches DominanceSum exactly. The pin is dropped
@@ -662,6 +665,7 @@ class AggBTree {
     return Status::OK();
   }
 
+  // LINT:hot-path-end
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;
     BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));

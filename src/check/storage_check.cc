@@ -28,7 +28,7 @@ Status BufferPool::CheckConsistency(CheckContext* ctx) const {
   if (ctx == nullptr) ctx = &local;
   for (size_t si = 0; si < shards_.size(); ++si) {
     const Shard& s = *shards_[si];
-    std::lock_guard<std::mutex> lock(s.mu);
+    sync::MutexLock lock(&s.mu);
 
     // Every lazily allocated frame is exactly one of: resident (page table)
     // or free. A frame in neither is leaked; one in both is double-owned.

@@ -234,7 +234,9 @@ Status BagFile::WritePage(PageId id, const Page& page) {
   BOXAGG_RETURN_NOT_OK(physical_->Allocate(&fresh_phys));
   Status st = physical_->WritePage(fresh_phys, page);
   if (!st.ok()) {
-    IgnoreStatus(physical_->Free(fresh_phys));  // never referenced
+    // why: undo of a failed write; the fresh page was never referenced, and
+    // the write error below is the one the caller must see.
+    IgnoreStatus(physical_->Free(fresh_phys));
     return st;
   }
   if (e.mapped()) deferred_frees_.push_back(e.physical);

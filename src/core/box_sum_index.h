@@ -105,6 +105,7 @@ class BoxSumIndex {
     return QueryBatch(&q, 1, out);
   }
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// Batched box sums: out[i] = Query(qs[i]), bit-identical to `count`
   /// independent Query calls. All queries are expanded into (sign index,
   /// corner point) probes, grouped per sign index, and identical corner
@@ -157,6 +158,7 @@ class BoxSumIndex {
     return Status::OK();
   }
 
+  // LINT:hot-path-end
   /// Vector convenience overload; resizes `out` to match.
   Status QueryBatch(const std::vector<Box>& qs,
                     std::vector<double>* out) const {

@@ -41,8 +41,8 @@ class PrefixSumCube {
       : width_(width), height_(height),
         prefix_(static_cast<size_t>(width + 1) * (height + 1), 0.0) {}
 
-  uint32_t width() const { return width_; }
-  uint32_t height() const { return height_; }
+  [[nodiscard]] uint32_t width() const { return width_; }
+  [[nodiscard]] uint32_t height() const { return height_; }
 
   /// Adds `delta` to cell (x, y), repairing every prefix cell that dominates
   /// it — the O(k) update cost the paper's Sec. 7 quotes for this scheme.
@@ -73,7 +73,7 @@ class PrefixSumCube {
     return At(x + 1, y + 1);
   }
 
-  size_t MemoryBytes() const { return prefix_.size() * sizeof(double); }
+  [[nodiscard]] size_t MemoryBytes() const { return prefix_.size() * sizeof(double); }
 
  private:
   double& At(uint32_t i, uint32_t j) {
@@ -103,9 +103,9 @@ class BlockedPrefixCube {
     }
   }
 
-  uint32_t width() const { return width_; }
-  uint32_t height() const { return height_; }
-  uint32_t block() const { return block_; }
+  [[nodiscard]] uint32_t width() const { return width_; }
+  [[nodiscard]] uint32_t height() const { return height_; }
+  [[nodiscard]] uint32_t block() const { return block_; }
 
   void Update(uint32_t x, uint32_t y, double delta) {
     assert(x < width_ && y < height_);

@@ -69,10 +69,10 @@ class EcdfBTree {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
-  PageId root() const { return root_; }
-  bool empty() const { return root_ == kInvalidPageId; }
-  int dims() const { return dims_; }
-  EcdfVariant variant() const { return variant_; }
+  [[nodiscard]] PageId root() const { return root_; }
+  [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] EcdfVariant variant() const { return variant_; }
 
   static uint32_t LeafCapacity(uint32_t page_size) {
     return (page_size - kHeaderSize) / kLeafEntrySize;
@@ -150,6 +150,7 @@ class EcdfBTree {
     return Status::OK();
   }
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// Total value of all points dominated by `q` (Sec. 2 semantics).
   ///
   /// `obs_level` offsets the per-level node-visit attribution (obs/):
@@ -235,6 +236,7 @@ class EcdfBTree {
                              outs, obs_level);
   }
 
+  // LINT:hot-path-end
   /// Sum of every value in the tree.
   Status TotalSum(V* out) const {
     *out = V{};
@@ -464,7 +466,7 @@ class EcdfBTree {
     return kHeaderSize + i * kLeafEntrySize;
   }
 
-  uint32_t PageSz() const { return pool_->file()->page_size(); }
+  [[nodiscard]] uint32_t PageSz() const { return pool_->file()->page_size(); }
 
   static Point LeafPoint(const Page* p, uint32_t i) {
     return p->ReadAt<Point>(LeafOff(i));
@@ -951,6 +953,7 @@ class EcdfBTree {
 
   // ---- traversal ----------------------------------------------------------
 
+  // LINT:hot-path — descent: no heap allocation past warm-up (lint.sh)
   /// One main-branch node of the batched descent: `idx[0..m)` are probe
   /// indices sorted by dim-0 key whose paths all pass through `pid`.
   /// Per-probe arithmetic matches DominanceSum exactly: borders are added in
@@ -1058,6 +1061,7 @@ class EcdfBTree {
     return Status::OK();
   }
 
+  // LINT:hot-path-end
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;
     BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));

@@ -46,8 +46,8 @@ class StaticEcdfTree {
     size_ = entries.size();
   }
 
-  int dims() const { return dims_; }
-  size_t size() const { return size_; }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] size_t size() const { return size_; }
 
   /// Total value of all points dominated by `q`.
   V Query(const Point& q) const {

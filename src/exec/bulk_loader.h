@@ -31,12 +31,11 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "core/point_entry.h"
+#include "core/sync.h"
 #include "exec/thread_pool.h"
 
 namespace boxagg {
@@ -52,8 +51,8 @@ void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
     return;
   }
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  sync::Mutex mu("bulkload.latch", sync::lock_rank::kBulkLoadLatch);
+  sync::CondVar cv;
   size_t live = std::min(pool->size(), n);
   const size_t workers = live;
   for (size_t w = 0; w < workers; ++w) {
@@ -63,12 +62,12 @@ void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
         if (i >= n) break;
         fn(i);
       }
-      std::lock_guard<std::mutex> lk(mu);
-      if (--live == 0) cv.notify_one();
+      sync::MutexLock lk(&mu);
+      if (--live == 0) cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lk(mu);
-  cv.wait(lk, [&live] { return live == 0; });
+  sync::MutexLock lk(&mu);
+  while (live != 0) cv.Wait(&mu);
 }
 
 namespace detail {

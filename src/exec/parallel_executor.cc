@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
@@ -76,8 +75,8 @@ Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
   std::vector<double> latencies(stats ? n : 0);
 
   // First-error capture + completion latch.
-  std::mutex mu;
-  std::condition_variable done_cv;
+  sync::Mutex mu("exec.latch", sync::lock_rank::kExecLatch);
+  sync::CondVar done_cv;
   size_t workers_done = 0;
   Status first_error = Status::OK();
 
@@ -98,14 +97,14 @@ Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
           if (!s.ok() && local.ok()) local = s;
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       if (!local.ok() && first_error.ok()) first_error = local;
-      if (++workers_done == workers) done_cv.notify_all();
+      if (++workers_done == workers) done_cv.NotifyAll();
     });
   }
   {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&] { return workers_done == workers; });
+    sync::MutexLock lock(&mu);
+    while (workers_done != workers) done_cv.Wait(&mu);
   }
   auto t1 = Clock::now();
 
@@ -147,8 +146,8 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
     depth_gauge->Set(static_cast<int64_t>(num_morsels));
   }
 
-  std::mutex mu;
-  std::condition_variable done_cv;
+  sync::Mutex mu("exec.latch", sync::lock_rank::kExecLatch);
+  sync::CondVar done_cv;
   size_t workers_done = 0;
   Status first_error = Status::OK();
 
@@ -171,14 +170,14 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
         if (record) latencies[m] = MicrosBetween(q0, Clock::now());
         if (!s.ok() && local.ok()) local = s;
       }
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       if (!local.ok() && first_error.ok()) first_error = local;
-      if (++workers_done == workers) done_cv.notify_all();
+      if (++workers_done == workers) done_cv.NotifyAll();
     });
   }
   {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&] { return workers_done == workers; });
+    sync::MutexLock lock(&mu);
+    while (workers_done != workers) done_cv.Wait(&mu);
   }
   auto t1 = Clock::now();
 

@@ -8,12 +8,12 @@
 #ifndef BOXAGG_EXEC_THREAD_POOL_H_
 #define BOXAGG_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace boxagg {
 namespace exec {
@@ -44,10 +44,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  sync::Mutex mu_{"threadpool.queue", sync::lock_rank::kThreadPoolQueue};
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

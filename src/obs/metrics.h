@@ -18,9 +18,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace boxagg {
 namespace obs {
@@ -169,10 +170,15 @@ class MetricsRegistry {
   static MetricsRegistry* Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Writer lock for registration (GetX may insert), reader lock for
+  // Snapshot — concurrent snapshots never serialize against each other,
+  // only against registration of new metrics.
+  mutable sync::SharedMutex mu_{"obs.metrics",
+                                sync::lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

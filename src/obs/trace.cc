@@ -28,11 +28,12 @@ uint64_t NowMicros() {
 }
 
 RingBufferSink::RingBufferSink(size_t capacity) : capacity_(capacity) {
+  sync::MutexLock lock(&mu_);  // uncontended; satisfies GUARDED_BY
   events_.reserve(capacity_);
 }
 
 void RingBufferSink::Record(const TraceEvent& e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (events_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -41,7 +42,7 @@ void RingBufferSink::Record(const TraceEvent& e) {
 }
 
 std::vector<TraceEvent> RingBufferSink::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   std::vector<TraceEvent> out;
   out.swap(events_);
   out.reserve(out.size());

@@ -17,8 +17,9 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace boxagg {
 namespace obs {
@@ -66,8 +67,8 @@ class RingBufferSink : public TraceSink {
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  sync::Mutex mu_{"obs.trace_ring", sync::lock_rank::kTraceSink};
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
   std::atomic<size_t> dropped_{0};
 };
 

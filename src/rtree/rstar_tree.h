@@ -101,10 +101,10 @@ class RStarTree {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
-  PageId root() const { return root_; }
-  uint16_t root_level() const { return root_level_; }
-  bool empty() const { return root_ == kInvalidPageId; }
-  int dims() const { return dims_; }
+  [[nodiscard]] PageId root() const { return root_; }
+  [[nodiscard]] uint16_t root_level() const { return root_level_; }
+  [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
+  [[nodiscard]] int dims() const { return dims_; }
 
   uint32_t LeafCapacity() const {
     return (pool_->file()->page_size() - kHeaderSize) / kLeafEntrySize;

@@ -31,7 +31,10 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards,
     s->capacity = cap < kMinShardFrames ? kMinShardFrames : cap;
     total += s->capacity;
     // Pre-size to capacity: avoids rehash/realloc churn while the pool warms
-    // up (frames are allocated lazily but never exceed capacity).
+    // up (frames are allocated lazily but never exceed capacity). The lock
+    // is uncontended (the shard is not published yet) but satisfies the
+    // static GUARDED_BY discipline.
+    sync::MutexLock lock(&s->mu);
     s->frames.reserve(s->capacity);
     s->frame_storage.reserve(s->capacity);
     s->free_frames.reserve(s->capacity);
@@ -44,14 +47,16 @@ BufferPool::~BufferPool() {
   // A pinned frame here means a PageGuard outlived the pool — it now holds a
   // dangling frame pointer. Debug builds fail fast at the teardown site.
   assert(PinnedFrames() == 0 && "PageGuard leaked past BufferPool teardown");
+  // why: destructor — there is no caller left to surface a flush error to.
   IgnoreStatus(FlushAll());
 }
 
 size_t BufferPool::PinnedFrames() const {
   size_t n = 0;
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
-    for (const auto& [id, f] : sp->frames) {
+    const Shard& s = *sp;
+    sync::MutexLock lock(&s.mu);
+    for (const auto& [id, f] : s.frames) {
       if (f->pin_count.load(std::memory_order_relaxed) > 0) ++n;
     }
   }
@@ -89,31 +94,35 @@ void BufferPool::ExportMetrics(obs::MetricsRegistry* reg) const {
 
 size_t BufferPool::resident() const {
   size_t n = 0;
-  for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
-    n += s->frames.size();
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    sync::MutexLock lock(&s.mu);
+    n += s.frames.size();
   }
   return n;
+}
+
+void BufferPool::LockShardTimed(Shard& s) {
+  // Pin-wait observability: uncontended acquisition takes the fast path
+  // with no clock read; only when the shard lock is held by another thread
+  // AND a metrics registry is installed do we time the wait.
+  if (s.mu.TryLock()) return;
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  if (reg == nullptr) {
+    s.mu.Lock();
+    return;
+  }
+  const uint64_t t0 = obs::NowMicros();
+  s.mu.Lock();
+  reg->GetHistogram("bufferpool.pin_wait_us", obs::LatencyBucketsUs())
+      ->Record(static_cast<double>(obs::NowMicros() - t0));
 }
 
 Status BufferPool::Fetch(PageId id, PageGuard* out) {
   stats_.AddLogicalRead();
   Shard& s = *shards_[ShardOf(id)];
-  // Pin-wait observability: uncontended acquisition takes the fast path
-  // with no clock read; only when the shard lock is held by another thread
-  // AND a metrics registry is installed do we time the wait.
-  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
-    if (reg != nullptr) {
-      const uint64_t t0 = obs::NowMicros();
-      lock.lock();
-      reg->GetHistogram("bufferpool.pin_wait_us", obs::LatencyBucketsUs())
-          ->Record(static_cast<double>(obs::NowMicros() - t0));
-    } else {
-      lock.lock();
-    }
-  }
+  LockShardTimed(s);
+  sync::MutexLock lock(&s.mu, sync::kAdoptLock);
   auto it = s.frames.find(id);
   if (it != s.frames.end()) {
     stats_.AddBufferHit();
@@ -147,10 +156,12 @@ void BufferPool::PrefetchHint(PageId id) const {
   const Shard& s = *shards_[ShardOf(id)];
   // try_lock only: a prefetch hint must never serialize against real pool
   // traffic. Missing the hint costs nothing but the prefetch.
-  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
-  if (!lock.owns_lock()) return;
+  if (!s.mu.TryLock()) return;
   auto it = s.frames.find(id);
-  if (it == s.frames.end()) return;
+  if (it == s.frames.end()) {
+    s.mu.Unlock();
+    return;
+  }
   // Warm the node header, key strip, and first record lines — enough for
   // the in-node search to start without a compulsory miss. Bounded so a
   // hint stays a handful of instructions regardless of page size.
@@ -160,6 +171,7 @@ void BufferPool::PrefetchHint(PageId id) const {
   for (uint32_t off = 0; off < bytes; off += 64) {
     __builtin_prefetch(data + off, /*rw=*/0, /*locality=*/3);
   }
+  s.mu.Unlock();
 #else
   (void)id;
 #endif
@@ -201,7 +213,7 @@ Status BufferPool::New(PageGuard* out) {
   PageId id;
   BOXAGG_RETURN_NOT_OK(file_->Allocate(&id));
   Shard& s = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  sync::MutexLock lock(&s.mu);
   // A freed-then-reused page may still be resident with stale contents.
   auto it = s.frames.find(id);
   Frame* f = nullptr;
@@ -226,7 +238,7 @@ Status BufferPool::New(PageGuard* out) {
 Status BufferPool::Delete(PageId id) {
   Shard& s = *shards_[ShardOf(id)];
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    sync::MutexLock lock(&s.mu);
     auto it = s.frames.find(id);
     if (it != s.frames.end()) {
       Frame* f = it->second;
@@ -246,7 +258,7 @@ Status BufferPool::Delete(PageId id) {
 Status BufferPool::FlushAll() {
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lock(s.mu);
+    sync::MutexLock lock(&s.mu);
     for (auto& [id, f] : s.frames) {
       if (f->dirty.load(std::memory_order_relaxed)) {
         BOXAGG_RETURN_NOT_OK(file_->WritePage(id, f->page));
@@ -262,7 +274,7 @@ Status BufferPool::Reset() {
   BOXAGG_RETURN_NOT_OK(FlushAll());
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lock(s.mu);
+    sync::MutexLock lock(&s.mu);
     for (auto& [id, f] : s.frames) {
       if (f->pin_count.load(std::memory_order_relaxed) != 0) {
         return Status::InvalidArgument("Reset with pinned pages");
@@ -279,7 +291,7 @@ Status BufferPool::Reset() {
 
 void BufferPool::Unpin(Frame* f, bool dirty) {
   Shard& s = *shards_[f->shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  sync::MutexLock lock(&s.mu);
   assert(f->pin_count.load(std::memory_order_relaxed) > 0);
   if (dirty) f->dirty.store(true, std::memory_order_relaxed);
   if (f->pin_count.fetch_sub(1, std::memory_order_relaxed) == 1) {

@@ -23,10 +23,10 @@
 #include <cassert>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -183,12 +183,15 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PageId, Frame*> frames;
-    std::list<Frame*> lru;     // front = coldest (evict first)
-    std::list<Frame*> parked;  // nodes of pinned/free frames (see Frame)
-    std::vector<std::unique_ptr<Frame>> frame_storage;
-    std::vector<Frame*> free_frames;
+    mutable sync::Mutex mu{"bufferpool.shard",
+                           sync::lock_rank::kBufferPoolShard};
+    std::unordered_map<PageId, Frame*> frames GUARDED_BY(mu);
+    // front = coldest (evict first)
+    std::list<Frame*> lru GUARDED_BY(mu);
+    // nodes of pinned/free frames (see Frame)
+    std::list<Frame*> parked GUARDED_BY(mu);
+    std::vector<std::unique_ptr<Frame>> frame_storage GUARDED_BY(mu);
+    std::vector<Frame*> free_frames GUARDED_BY(mu);
     size_t capacity = 0;
     uint32_t index = 0;  // position in shards_, stamped into new Frames
     // Per-shard traffic breakdown (observability; relaxed atomics so they
@@ -210,11 +213,16 @@ class BufferPool {
   }
 
   void Unpin(Frame* f, bool dirty);
-  // All three require s.mu to be held by the caller.
-  Status GetFreeFrame(Shard& s, Frame** out);
-  Status EvictOne(Shard& s);
-  void Touch(Shard& s, Frame* f);
-  static void ParkLru(Shard& s, Frame* f);
+  Status GetFreeFrame(Shard& s, Frame** out) REQUIRES(s.mu);
+  Status EvictOne(Shard& s) REQUIRES(s.mu);
+  void Touch(Shard& s, Frame* f) REQUIRES(s.mu);
+  static void ParkLru(Shard& s, Frame* f) REQUIRES(s.mu);
+
+  /// Acquires s.mu, timing the wait into the pin-wait histogram when the
+  /// lock is contended and a metrics registry is installed; uncontended
+  /// acquisition is one try-lock with no clock read. The caller owns the
+  /// lock on return — wrap it in a kAdoptLock MutexLock.
+  void LockShardTimed(Shard& s) ACQUIRE(s.mu);
 
   /// ReadPage with bounded retry on kIoError and checksum-failure
   /// accounting on kCorruption; called under the owning shard's lock.

@@ -138,7 +138,7 @@ Status MemPageFile::WritePage(PageId id, const Page& page) {
 // FilePageFile
 
 FilePageFile::~FilePageFile() {
-  IgnoreStatus(Close());  // best-effort: destructor cannot surface errors
+  IgnoreStatus(Close());  // why: best-effort close; destructors cannot surface errors
 }
 
 Status FilePageFile::Open(const std::string& path, uint32_t page_size,

@@ -19,7 +19,7 @@ struct Interval {
   double start = 0;
   double end = 0;
 
-  Box ToBox() const { return Box(Point(start), Point(end)); }
+  [[nodiscard]] Box ToBox() const { return Box(Point(start), Point(end)); }
 };
 
 /// \brief Cumulative (and instantaneous) temporal SUM/COUNT/AVG over

@@ -263,6 +263,8 @@ TEST(BufferPoolCheck, DestructorAssertsOnLeakedGuard) {
         MemPageFile file(512);
         auto* pool = new BufferPool(&file, 16);
         PageGuard g;
+        // why: the death assertion below is the point; if New failed the
+        // guard holds no pin and the test fails by not dying.
         IgnoreStatus(pool->New(&g));
         delete pool;  // guard still holds a pin
       },

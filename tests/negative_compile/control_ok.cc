@@ -1,0 +1,33 @@
+// Negative-compile harness CONTROL: a correctly annotated use of the sync
+// layer. This file MUST compile — if it doesn't, the harness itself
+// (include paths, flags, compiler) is broken and the failure of the
+// negative cases proves nothing. See tests/CMakeLists.txt.
+
+#include "core/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    boxagg::sync::MutexLock lock(&mu_);
+    ++n_;
+  }
+
+  int Get() {
+    boxagg::sync::MutexLock lock(&mu_);
+    return n_;
+  }
+
+ private:
+  boxagg::sync::Mutex mu_{"negative_compile.control", 1000};
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative-compile case: writing a GUARDED_BY member without holding its
+// mutex. Under Clang with -Werror=thread-safety this file MUST FAIL to
+// compile; if it ever compiles, the annotation discipline has silently
+// stopped being checked. See tests/CMakeLists.txt.
+
+#include "core/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ++n_;  // BAD: no lock held — the whole point of this file
+  }
+
+ private:
+  boxagg::sync::Mutex mu_{"negative_compile.guarded_by", 1000};
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

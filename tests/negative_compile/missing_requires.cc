@@ -1,0 +1,28 @@
+// Negative-compile case: calling a REQUIRES-annotated function without
+// holding the required mutex. Under Clang with -Werror=thread-safety this
+// file MUST FAIL to compile. See tests/CMakeLists.txt.
+
+#include "core/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpLocked() REQUIRES(mu_) { ++n_; }
+
+  void Bump() {
+    BumpLocked();  // BAD: mu_ not held across the REQUIRES call
+  }
+
+ private:
+  boxagg::sync::Mutex mu_{"negative_compile.requires", 1000};
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

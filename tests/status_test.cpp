@@ -59,6 +59,7 @@ TEST(StatusAudit, ReturnNotOkPropagatesThroughNestedCalls) {
 TEST(StatusAudit, IgnoreStatusIsAnExplicitSink) {
   // Would be a -Wunused-result error if written as a bare statement; the
   // named sink is the sanctioned way to drop a best-effort Status.
+  // why: this test exercises the IgnoreStatus sink itself.
   IgnoreStatus(Status::IoError("best-effort flush failed"));
 }
 

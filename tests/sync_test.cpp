@@ -1,0 +1,240 @@
+// Tests for the annotated sync layer (src/core/sync.h): the Mutex /
+// SharedMutex / CondVar wrappers and, in debug builds, the
+// LockOrderRegistry's rank-inversion and held-stack behavior.
+//
+// The registry's failure mode is an abort with both lock names on stderr,
+// so the inversion cases are death tests. TSan builds skip them: death
+// tests fork, and forking a TSan-instrumented process mid-test is both
+// slow and unreliable — the TSan job covers the same code through the
+// registry-enabled concurrent suite instead.
+
+#include "core/sync.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace boxagg {
+namespace sync {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+#define BOXAGG_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BOXAGG_TSAN 1
+#endif
+#endif
+#ifndef BOXAGG_TSAN
+#define BOXAGG_TSAN 0
+#endif
+
+TEST(SyncMutex, LockUnlockRoundTrip) {
+  Mutex mu("test.roundtrip", lock_rank::kLeaf);
+  mu.Lock();
+#if BOXAGG_LOCK_ORDER_CHECKS
+  EXPECT_EQ(LockOrderRegistry::HeldCount(), 1u);
+#endif
+  mu.Unlock();
+#if BOXAGG_LOCK_ORDER_CHECKS
+  EXPECT_EQ(LockOrderRegistry::HeldCount(), 0u);
+#endif
+}
+
+TEST(SyncMutex, TryLockReportsContention) {
+  Mutex mu("test.trylock", lock_rank::kLeaf);
+  ASSERT_TRUE(mu.TryLock());
+  std::thread contender([&] { EXPECT_FALSE(mu.TryLock()); });
+  contender.join();
+  mu.Unlock();
+}
+
+TEST(SyncMutex, ScopesReleaseOnDestruction) {
+  Mutex mu("test.scope", lock_rank::kLeaf);
+  {
+    MutexLock lock(&mu);
+#if BOXAGG_LOCK_ORDER_CHECKS
+    EXPECT_EQ(LockOrderRegistry::HeldCount(), 1u);
+#endif
+  }
+  // Released: an uncontended TryLock must succeed.
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncMutex, AdoptingScopeReleasesAnAlreadyHeldLock) {
+  Mutex mu("test.adopt", lock_rank::kLeaf);
+  mu.Lock();
+  {
+    MutexLock lock(&mu, kAdoptLock);  // takes ownership, no second Lock()
+  }
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncSharedMutex, ManyConcurrentReaders) {
+  SharedMutex mu("test.shared", lock_rank::kLeaf);
+  constexpr int kReaders = 4;
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&] {
+      ReaderLock lock(&mu);
+      int now = inside.fetch_add(1, std::memory_order_acq_rel) + 1;
+      int seen = peak.load(std::memory_order_relaxed);
+      while (now > seen &&
+             !peak.compare_exchange_weak(seen, now,
+                                         std::memory_order_relaxed)) {
+      }
+      // Linger so the readers overlap; shared mode must admit all of them.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      inside.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(inside.load(), 0);
+  EXPECT_GT(peak.load(), 1) << "readers never overlapped — shared mode "
+                               "is behaving like an exclusive lock";
+  WriterLock lock(&mu);  // and the writer path still works afterwards
+}
+
+TEST(SyncCondVar, WaitNotifyRoundTrip) {
+  Mutex mu("test.cv", lock_rank::kLeaf);
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  }
+  waiter.join();
+#if BOXAGG_LOCK_ORDER_CHECKS
+  EXPECT_EQ(LockOrderRegistry::HeldCount(), 0u);
+#endif
+}
+
+#if BOXAGG_LOCK_ORDER_CHECKS
+
+TEST(LockOrderRegistry, ConsistentOrderPasses) {
+  Mutex low("test.order_low", 1100);
+  Mutex high("test.order_high", 1200);
+  {
+    MutexLock a(&low);
+    MutexLock b(&high);  // ascending rank: legal
+    EXPECT_EQ(LockOrderRegistry::HeldCount(), 2u);
+  }
+  EXPECT_EQ(LockOrderRegistry::HeldCount(), 0u);
+}
+
+TEST(LockOrderRegistry, NestingRecordsAnEdge) {
+  size_t before = LockOrderRegistry::EdgeCount();
+  Mutex low("test.edge_low", 1300);
+  Mutex high("test.edge_high", 1310);
+  {
+    MutexLock a(&low);
+    MutexLock b(&high);
+  }
+  EXPECT_GE(LockOrderRegistry::EdgeCount(), before + 1);
+}
+
+TEST(LockOrderRegistry, TryLockBelowHeldRankIsAllowed) {
+  // A try-lock never blocks, so taking a LOWER-ranked lock via TryLock
+  // while holding a higher one must not trip the checker — this is the
+  // BufferPool::PrefetchHint pattern.
+  Mutex high("test.try_high", 1400);
+  Mutex low("test.try_low", 1390);
+  MutexLock a(&high);
+  ASSERT_TRUE(low.TryLock());
+  EXPECT_EQ(LockOrderRegistry::HeldCount(), 2u);
+  low.Unlock();
+}
+
+TEST(LockOrderRegistry, CondVarWaitVacatesTheHeldStack) {
+  Mutex mu("test.cv_rank", 1500);
+  CondVar cv;
+  bool woken = false;
+  std::atomic<bool> parked{false};
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!woken) {
+      parked.store(true, std::memory_order_release);
+      cv.Wait(&mu);
+    }
+    // Re-acquired: the lock is back on this thread's stack.
+    EXPECT_EQ(LockOrderRegistry::HeldCount(), 1u);
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  {
+    MutexLock lock(&mu);
+    woken = true;
+    cv.NotifyAll();
+  }
+  waiter.join();
+}
+
+#if !BOXAGG_TSAN
+
+using LockOrderDeathTest = ::testing::Test;
+
+TEST(LockOrderDeathTest, RankInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex high("test.death_high", 1700);
+        Mutex low("test.death_low", 1600);
+        MutexLock a(&high);
+        MutexLock b(&low);  // blocking acquire below a held rank
+      },
+      "rank inversion.*test\\.death_low");
+}
+
+TEST(LockOrderDeathTest, EqualRankAborts) {
+  // Equal ranks are an inversion too: two threads nesting two same-rank
+  // locks in opposite orders is the classic AB/BA deadlock.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a_mu("test.death_eq_a", 1800);
+        Mutex b_mu("test.death_eq_b", 1800);
+        MutexLock a(&a_mu);
+        MutexLock b(&b_mu);
+      },
+      "rank inversion");
+}
+
+TEST(LockOrderDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu("test.death_recursive", 1900);
+        mu.Lock();
+        mu.Lock();
+      },
+      "recursive acquisition");
+}
+
+TEST(LockOrderDeathTest, ForeignReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu("test.death_foreign", 2000);
+        mu.Unlock();  // never locked by this thread
+      },
+      "does not hold");
+}
+
+#endif  // !BOXAGG_TSAN
+#endif  // BOXAGG_LOCK_ORDER_CHECKS
+
+}  // namespace
+}  // namespace sync
+}  // namespace boxagg

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Project-invariant lint gate: thin wrapper so CI and humans run the same
+# command. See tools/lint_invariants.py for the rule list.
+exec python3 "$(dirname "$0")/lint_invariants.py" "$@"

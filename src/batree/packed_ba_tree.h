@@ -350,6 +350,10 @@ class PackedBaTree {
   }
 
  private:
+  // The replica builder snapshots nodes through the raw accessors below.
+  template <class>
+  friend class ReplicaBuilder;
+
   static constexpr uint16_t kLeaf = 5;        // shared with BaTree
   static constexpr uint16_t kInternal = 10;   // packed internal node
   static constexpr uint32_t kLeafHeader = 8;

@@ -364,6 +364,10 @@ class AggBTree {
   }
 
  private:
+  // The replica builder snapshots nodes through the raw accessors below.
+  template <class>
+  friend class ReplicaBuilder;
+
   static constexpr uint16_t kLeaf = 1;
   static constexpr uint16_t kInternal = 2;
   static constexpr uint32_t kHeaderSize = 8;

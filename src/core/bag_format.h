@@ -55,6 +55,9 @@ namespace boxagg {
 
 // v3: SoA internal-node layouts (key strip + record strip) replaced the v2
 // interleaved entries; old bags would be misread, so the magic gates them out.
+// v3 roots may also be compact read-replica segments (replica/replica_format.h,
+// page types 20 header / 21 meta / 22 data): readers and fsck sniff the root
+// page's leading u16 type to pick the backend, so no magic bump was needed.
 inline constexpr uint64_t kBagMagic = 0xb0cca99a66700302ull;  // "boxagg" v3
 inline constexpr uint64_t kBagMapMagic = 0xb0cca99a66700303ull;
 

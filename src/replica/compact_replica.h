@@ -1,0 +1,1281 @@
+// CompactReplica: the compressed, immutable read backend built by
+// ReplicaBuilder (replica/replica_builder.h) from a live PackedBaTree or
+// AggBTree snapshot. Format details live in replica/replica_format.h;
+// DESIGN.md §13 has the full layout diagram and the rebuild plan.
+//
+// The replica plugs into BoxSumIndex unchanged: it answers DominanceSum and
+// DominanceSumBatch with results BYTE-IDENTICAL to the source tree — the
+// descent mirrors PackedBaTree / AggBTree addition for addition (same
+// values, same order, FP addition is not associative), it only reads them
+// from delta/dictionary-compressed strips instead of pointer-rich pages.
+// Mutation entry points refuse with InvalidArgument: replicas are rebuilt
+// from the writer tree at generation publish, never patched in place.
+//
+// Concurrency: Open() loads the directory / dictionary cache from the meta
+// chain and must complete before the replica is queried from multiple
+// threads (BoxSumIndex handles are copied into ParallelQueryExecutor
+// workers; the cache is shared through a shared_ptr, so copies are cheap
+// and all see the same immutable cache). Queries open lazily as a
+// single-threaded convenience.
+//
+// I/O discipline: one BufferPool::Fetch per node visit, paired with one
+// obs::NoteNodeVisit — the replica keeps boxagg_stats' attribution
+// identity sum(node_visits) == logical_reads intact. Batched descents note
+// saved probe fetches and PrefetchHint the next group's page exactly like
+// the live trees.
+
+#ifndef BOXAGG_REPLICA_COMPACT_REPLICA_H_
+#define BOXAGG_REPLICA_COMPACT_REPLICA_H_
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "check/checkable.h"
+#include "core/arena.h"
+#include "core/point_entry.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "obs/query_obs.h"
+#include "replica/replica_format.h"
+#include "simd/simd.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_header.h"
+
+namespace boxagg {
+
+template <class V>
+class CompactReplica {
+ public:
+  static_assert(std::is_trivially_copyable_v<V> && sizeof(V) == 8,
+                "replica value strips assume trivially copyable 8-byte V");
+  using Entry = PointEntry<V>;
+
+  CompactReplica(BufferPool* pool, int dims, PageId root = kInvalidPageId)
+      : pool_(pool), dims_(dims), root_(root) {
+    assert(dims_ >= 1 && dims_ <= kMaxDims);
+  }
+
+  [[nodiscard]] PageId root() const { return root_; }
+  [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] bool is_open() const { return cache_ != nullptr; }
+
+  /// Loads the header, meta chain, directory and dictionaries. Call once
+  /// before concurrent querying; repeat calls are no-ops.
+  Status Open() {
+    if (cache_) return Status::OK();
+    auto c = std::make_shared<Cache>();
+    if (root_ == kInvalidPageId) {
+      cache_ = std::move(c);  // empty replica: every sum is V{}
+      return Status::OK();
+    }
+    uint64_t data_page_count = 0, meta_page_count = 0;
+    uint64_t key_dict_count = 0, val_dict_count = 0;
+    PageId first_meta = kInvalidPageId;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(root_, &g));
+      const Page* p = g.page();
+      if (p->ReadAt<uint16_t>(replica::kHdrType) != replica::kHeaderPageType) {
+        return CorruptionAt(root_, "compact-replica: not a replica header");
+      }
+      if (p->ReadAt<uint16_t>(replica::kHdrVersion) !=
+          replica::kFormatVersion) {
+        return CorruptionAt(root_, "compact-replica: unknown format version");
+      }
+      if (Crc32c(p->data(), replica::kHdrCrc) !=
+          p->ReadAt<uint32_t>(replica::kHdrCrc)) {
+        return CorruptionAt(root_, "compact-replica: header crc mismatch");
+      }
+      if (p->ReadAt<uint32_t>(replica::kHdrDims) !=
+          static_cast<uint32_t>(dims_)) {
+        return CorruptionAt(root_, "compact-replica: dims mismatch");
+      }
+      if (p->ReadAt<uint32_t>(replica::kHdrValueSize) != sizeof(V)) {
+        return CorruptionAt(root_, "compact-replica: value size mismatch");
+      }
+      c->node_count = p->ReadAt<uint64_t>(replica::kHdrNodeCount);
+      c->entry_count = p->ReadAt<uint64_t>(replica::kHdrEntryCount);
+      c->data_bytes = p->ReadAt<uint64_t>(replica::kHdrDataBytes);
+      data_page_count = p->ReadAt<uint64_t>(replica::kHdrDataPageCount);
+      meta_page_count = p->ReadAt<uint64_t>(replica::kHdrMetaPageCount);
+      key_dict_count = p->ReadAt<uint64_t>(replica::kHdrKeyDictCount);
+      val_dict_count = p->ReadAt<uint64_t>(replica::kHdrValDictCount);
+      first_meta = p->ReadAt<uint64_t>(replica::kHdrFirstMeta);
+    }
+    std::vector<uint8_t> meta;
+    meta.reserve((data_page_count + c->node_count + key_dict_count +
+                  val_dict_count) *
+                 sizeof(uint64_t));
+    for (PageId pid = first_meta; pid != kInvalidPageId;) {
+      if (c->meta_pages.size() >= meta_page_count) {
+        return CorruptionAt(pid, "compact-replica: meta chain too long");
+      }
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      if (p->ReadAt<uint16_t>(0) != replica::kMetaPageType) {
+        return CorruptionAt(pid, "compact-replica: bad meta page type");
+      }
+      const uint32_t len = p->ReadAt<uint32_t>(replica::kMetaPayloadLen);
+      if (replica::kMetaHeaderBytes + len > p->size()) {
+        return CorruptionAt(pid, "compact-replica: meta payload overruns");
+      }
+      if (Crc32c(p->data() + replica::kMetaHeaderBytes, len) !=
+          p->ReadAt<uint32_t>(replica::kMetaCrc)) {
+        return CorruptionAt(pid, "compact-replica: meta crc mismatch");
+      }
+      const PageId next = p->ReadAt<uint64_t>(replica::kMetaNext);
+      if (next != kInvalidPageId) pool_->PrefetchHint(next);
+      meta.insert(meta.end(), p->data() + replica::kMetaHeaderBytes,
+                  p->data() + replica::kMetaHeaderBytes + len);
+      c->meta_pages.push_back(pid);
+      pid = next;
+    }
+    if (c->meta_pages.size() != meta_page_count) {
+      return CorruptionAt(root_, "compact-replica: meta chain truncated");
+    }
+    const uint64_t expected = (data_page_count + c->node_count +
+                               key_dict_count + val_dict_count) *
+                              sizeof(uint64_t);
+    if (meta.size() != expected) {
+      return CorruptionAt(root_, "compact-replica: meta payload size drift");
+    }
+    const uint8_t* m = meta.data();
+    c->data_pages.resize(data_page_count);
+    std::memcpy(c->data_pages.data(), m, data_page_count * 8);
+    m += data_page_count * 8;
+    c->dir.resize(c->node_count);
+    std::memcpy(c->dir.data(), m, c->node_count * 8);
+    m += c->node_count * 8;
+    c->key_dict.resize(key_dict_count);
+    for (uint64_t i = 0; i < key_dict_count; ++i) {
+      uint64_t mapped;
+      std::memcpy(&mapped, m + i * 8, 8);
+      c->key_dict[i] = replica::UnmapDouble(mapped);
+    }
+    m += key_dict_count * 8;
+    c->val_dict.resize(val_dict_count);
+    for (uint64_t i = 0; i < val_dict_count; ++i) {
+      uint64_t mapped;
+      std::memcpy(&mapped, m + i * 8, 8);
+      c->val_dict[i] = replica::UnmapOrderedBits(mapped);
+    }
+    for (const uint64_t de : c->dir) {
+      if ((de >> 32) >= data_page_count) {
+        return CorruptionAt(root_, "compact-replica: directory page index "
+                                   "out of range");
+      }
+    }
+    cache_ = std::move(c);
+    return Status::OK();
+  }
+
+  // Immutable backend: the BoxSumIndex mutation entry points are refused —
+  // a stale replica is rebuilt from the writer tree, never patched.
+  Status Insert(const Point&, const V&) {
+    return Status::InvalidArgument(
+        "CompactReplica is immutable; rebuild it with ReplicaBuilder");
+  }
+  Status BulkLoad(std::vector<Entry>) {
+    return Status::InvalidArgument(
+        "CompactReplica is immutable; rebuild it with ReplicaBuilder");
+  }
+
+  // LINT:hot-path — replica descent: no heap allocation past warm-up (lint.sh)
+  /// Total value over points dominated by `q`; mirrors
+  /// PackedBaTree::DominanceSum (and AggBTree's when dims == 1) addition
+  /// for addition, so results are byte-identical to the source tree.
+  Status DominanceSum(const Point& query, V* out,
+                      unsigned obs_level = 0) const {
+    *out = V{};
+    BOXAGG_RETURN_NOT_OK(EnsureOpen());
+    const Cache& c = *cache_;
+    if (root_ == kInvalidPageId || c.node_count == 0) return Status::OK();
+    Point q = query;
+    for (int d = 0; d < dims_; ++d) {
+      q[d] = std::min(q[d], std::numeric_limits<double>::max());
+    }
+    return SumRec(c, 0, q, dims_, out, obs_level);
+  }
+
+  /// Batched dominance sums, bit-identical to `count` independent calls —
+  /// the same grouping discipline as the live trees (first containing
+  /// record wins, spilled borders before descents, prefetch hints between
+  /// groups), so count == 1 reproduces the sequential fetch sequence.
+  Status DominanceSumBatch(const Point* queries, size_t count, V* outs,
+                           unsigned obs_level = 0) const {
+    for (size_t i = 0; i < count; ++i) outs[i] = V{};
+    BOXAGG_RETURN_NOT_OK(EnsureOpen());
+    const Cache& c = *cache_;
+    if (root_ == kInvalidPageId || c.node_count == 0 || count == 0) {
+      return Status::OK();
+    }
+    return SortedBatch(c, 0, queries, count, outs, dims_, obs_level);
+  }
+  // LINT:hot-path-end
+
+  /// Header + meta chain + data pages.
+  Status PageCount(uint64_t* out) const {
+    *out = 0;
+    if (root_ == kInvalidPageId) return Status::OK();
+    BOXAGG_RETURN_NOT_OK(EnsureOpen());
+    *out = 1 + cache_->meta_pages.size() + cache_->data_pages.size();
+    return Status::OK();
+  }
+
+  Status Destroy() {
+    if (root_ == kInvalidPageId) return Status::OK();
+    BOXAGG_RETURN_NOT_OK(EnsureOpen());
+    for (PageId pid : cache_->data_pages) {
+      BOXAGG_RETURN_NOT_OK(pool_->Delete(pid));
+    }
+    for (PageId pid : cache_->meta_pages) {
+      BOXAGG_RETURN_NOT_OK(pool_->Delete(pid));
+    }
+    BOXAGG_RETURN_NOT_OK(pool_->Delete(root_));
+    cache_.reset();
+    root_ = kInvalidPageId;
+    return Status::OK();
+  }
+
+  /// Deep structural audit (fresh from the pages, not the cached state):
+  /// header/meta/data crc envelopes, directory and dictionary sanity, a
+  /// full strict re-decode of every node, breadth-first reachability of
+  /// exactly node_count ordinals, aggregate subtree identities (within
+  /// kAggDriftTolerance — replica sums are the source's, re-derived sums
+  /// are a different addition order), EXACT equality of the re-counted
+  /// entries against the header's entry_count, and the self-oracle.
+  Status CheckConsistency(CheckContext* ctx) const {
+    if (root_ == kInvalidPageId) return Status::OK();
+    BOXAGG_RETURN_NOT_OK(ctx->Visit(root_, "compact-replica"));
+    Cache c;
+    uint64_t data_page_count = 0, meta_page_count = 0;
+    uint64_t key_dict_count = 0, val_dict_count = 0;
+    PageId first_meta = kInvalidPageId;
+    {
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(root_, &g));
+      const Page* p = g.page();
+      if (p->ReadAt<uint16_t>(replica::kHdrType) != replica::kHeaderPageType) {
+        return CorruptionAt(root_, "compact-replica: bad header page type " +
+                                       std::to_string(p->ReadAt<uint16_t>(0)));
+      }
+      if (p->ReadAt<uint16_t>(replica::kHdrVersion) !=
+          replica::kFormatVersion) {
+        return CorruptionAt(root_, "compact-replica: unknown format version");
+      }
+      if (Crc32c(p->data(), replica::kHdrCrc) !=
+          p->ReadAt<uint32_t>(replica::kHdrCrc)) {
+        return CorruptionAt(root_, "compact-replica: header crc mismatch");
+      }
+      if (p->ReadAt<uint32_t>(replica::kHdrDims) !=
+          static_cast<uint32_t>(dims_)) {
+        return CorruptionAt(root_, "compact-replica: dims mismatch");
+      }
+      if (p->ReadAt<uint32_t>(replica::kHdrValueSize) != sizeof(V)) {
+        return CorruptionAt(root_, "compact-replica: value size mismatch");
+      }
+      if (p->ReadAt<uint32_t>(replica::kHdrLevelCount) >
+          replica::kHdrLevelSlots) {
+        return CorruptionAt(root_, "compact-replica: level count out of "
+                                   "range");
+      }
+      c.node_count = p->ReadAt<uint64_t>(replica::kHdrNodeCount);
+      c.entry_count = p->ReadAt<uint64_t>(replica::kHdrEntryCount);
+      c.data_bytes = p->ReadAt<uint64_t>(replica::kHdrDataBytes);
+      data_page_count = p->ReadAt<uint64_t>(replica::kHdrDataPageCount);
+      meta_page_count = p->ReadAt<uint64_t>(replica::kHdrMetaPageCount);
+      key_dict_count = p->ReadAt<uint64_t>(replica::kHdrKeyDictCount);
+      val_dict_count = p->ReadAt<uint64_t>(replica::kHdrValDictCount);
+      first_meta = p->ReadAt<uint64_t>(replica::kHdrFirstMeta);
+    }
+    // Meta chain: envelope checks + payload reassembly.
+    std::vector<uint8_t> meta;
+    for (PageId pid = first_meta; pid != kInvalidPageId;) {
+      if (c.meta_pages.size() >= meta_page_count) {
+        return CorruptionAt(pid, "compact-replica: meta chain longer than "
+                                 "the header's count");
+      }
+      BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "compact-replica"));
+      PageGuard g;
+      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      const Page* p = g.page();
+      if (p->ReadAt<uint16_t>(0) != replica::kMetaPageType) {
+        return CorruptionAt(pid, "compact-replica: bad meta page type");
+      }
+      const uint32_t len = p->ReadAt<uint32_t>(replica::kMetaPayloadLen);
+      if (replica::kMetaHeaderBytes + len > p->size()) {
+        return CorruptionAt(pid, "compact-replica: meta payload overruns "
+                                 "the page");
+      }
+      if (Crc32c(p->data() + replica::kMetaHeaderBytes, len) !=
+          p->ReadAt<uint32_t>(replica::kMetaCrc)) {
+        return CorruptionAt(pid, "compact-replica: meta crc mismatch");
+      }
+      meta.insert(meta.end(), p->data() + replica::kMetaHeaderBytes,
+                  p->data() + replica::kMetaHeaderBytes + len);
+      c.meta_pages.push_back(pid);
+      pid = p->ReadAt<uint64_t>(replica::kMetaNext);
+    }
+    if (c.meta_pages.size() != meta_page_count) {
+      return CorruptionAt(root_, "compact-replica: meta chain truncated");
+    }
+    if (meta.size() != (data_page_count + c.node_count + key_dict_count +
+                        val_dict_count) *
+                           sizeof(uint64_t)) {
+      return CorruptionAt(root_, "compact-replica: meta payload size drift");
+    }
+    const uint8_t* m = meta.data();
+    c.data_pages.resize(data_page_count);
+    std::memcpy(c.data_pages.data(), m, data_page_count * 8);
+    m += data_page_count * 8;
+    c.dir.resize(c.node_count);
+    std::memcpy(c.dir.data(), m, c.node_count * 8);
+    m += c.node_count * 8;
+    // Dictionaries must be strictly increasing in the order-mapped domain
+    // (the builder emits them sorted + deduplicated; the strip encoder's
+    // binary search depends on it).
+    c.key_dict.resize(key_dict_count);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < key_dict_count; ++i) {
+      uint64_t mapped;
+      std::memcpy(&mapped, m + i * 8, 8);
+      if (i > 0 && mapped <= prev) {
+        return CorruptionAt(root_, "compact-replica: key dictionary not "
+                                   "strictly sorted");
+      }
+      prev = mapped;
+      c.key_dict[i] = replica::UnmapDouble(mapped);
+    }
+    m += key_dict_count * 8;
+    c.val_dict.resize(val_dict_count);
+    for (uint64_t i = 0; i < val_dict_count; ++i) {
+      uint64_t mapped;
+      std::memcpy(&mapped, m + i * 8, 8);
+      if (i > 0 && mapped <= prev) {
+        return CorruptionAt(root_, "compact-replica: value dictionary not "
+                                   "strictly sorted");
+      }
+      prev = mapped;
+      c.val_dict[i] = replica::UnmapOrderedBits(mapped);
+    }
+    // Data pages: visit + envelope-check every one (FetchMulti in chunks —
+    // the physical sweep fsck wants), and pin down per-page node counts.
+    std::vector<uint32_t> nodes_in_page(data_page_count, 0);
+    for (uint64_t i = 0; i < c.node_count; ++i) {
+      const uint64_t de = c.dir[i];
+      if ((de >> 32) >= data_page_count) {
+        return CorruptionAt(root_, "compact-replica: directory page index "
+                                   "out of range");
+      }
+      ++nodes_in_page[de >> 32];
+    }
+    constexpr size_t kSweepChunk = 32;
+    for (size_t base = 0; base < c.data_pages.size(); base += kSweepChunk) {
+      const size_t n = std::min(kSweepChunk, c.data_pages.size() - base);
+      std::vector<PageGuard> guards;
+      BOXAGG_RETURN_NOT_OK(
+          pool_->FetchMulti(c.data_pages.data() + base, n, &guards));
+      for (size_t k = 0; k < n; ++k) {
+        const PageId pid = c.data_pages[base + k];
+        BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "compact-replica"));
+        const Page* p = guards[k].page();
+        if (p->ReadAt<uint16_t>(0) != replica::kDataPageType) {
+          return CorruptionAt(pid, "compact-replica: bad data page type");
+        }
+        const uint32_t len = p->ReadAt<uint32_t>(replica::kDataPayloadLen);
+        if (replica::kDataHeaderBytes + len > p->size()) {
+          return CorruptionAt(pid, "compact-replica: data payload overruns "
+                                   "the page");
+        }
+        if (Crc32c(p->data() + replica::kDataHeaderBytes, len) !=
+            p->ReadAt<uint32_t>(replica::kDataCrc)) {
+          return CorruptionAt(pid, "compact-replica: data crc mismatch");
+        }
+        if (p->ReadAt<uint16_t>(replica::kDataNodeCount) !=
+            nodes_in_page[base + k]) {
+          return CorruptionAt(pid, "compact-replica: node count disagrees "
+                                   "with the directory");
+        }
+        for (uint64_t i = 0; i < c.node_count; ++i) {
+          if ((c.dir[i] >> 32) != base + k) continue;
+          const uint32_t off = static_cast<uint32_t>(c.dir[i]);
+          if (off < replica::kDataHeaderBytes ||
+              off >= replica::kDataHeaderBytes + len) {
+            return CorruptionAt(pid, "compact-replica: directory offset "
+                                     "outside the payload");
+          }
+        }
+      }
+    }
+    // Structural walk: strict re-decode from ordinal 0, each ordinal
+    // reached exactly once, subtree aggregates re-derived, entries counted.
+    if (c.node_count == 0) {
+      if (c.entry_count != 0) {
+        return CorruptionAt(root_, "compact-replica: empty replica with a "
+                                   "non-zero entry count");
+      }
+      return Status::OK();
+    }
+    std::vector<uint8_t> reached(c.node_count, 0);
+    uint64_t entries = 0;
+    std::vector<Entry> pts;
+    WalkInfo info;
+    BOXAGG_RETURN_NOT_OK(
+        CheckNodeRec(c, 0, dims_, &reached, &entries, &pts, &info));
+    for (uint64_t i = 0; i < c.node_count; ++i) {
+      if (!reached[i]) {
+        return CorruptionAt(root_, "compact-replica: ordinal " +
+                                       std::to_string(i) +
+                                       " unreachable from the root");
+      }
+    }
+    if (entries != c.entry_count) {
+      return CorruptionAt(
+          root_, "compact-replica: encoded entries (" +
+                     std::to_string(entries) + ") != source root count (" +
+                     std::to_string(c.entry_count) + ")");
+    }
+    if (ctx->check_oracle) {
+      BOXAGG_RETURN_NOT_OK(EnsureOpen());
+      BOXAGG_RETURN_NOT_OK(SelfOracle(pts));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Cache {
+    uint64_t node_count = 0;
+    uint64_t entry_count = 0;
+    uint64_t data_bytes = 0;
+    std::vector<PageId> meta_pages;
+    std::vector<PageId> data_pages;
+    std::vector<uint64_t> dir;  // ordinal -> (page_index << 32 | offset)
+    std::vector<double> key_dict;
+    std::vector<uint64_t> val_dict;  // raw V bit patterns
+  };
+
+  struct SpillProbe {
+    int b;
+    uint64_t ord;
+  };
+
+  Status EnsureOpen() const {
+    if (cache_) return Status::OK();
+    return const_cast<CompactReplica*>(this)->Open();
+  }
+
+  // LINT:hot-path — replica descent: no heap allocation past warm-up (lint.sh)
+  Status FetchNode(const Cache& c, uint64_t ord, PageGuard* g,
+                   const uint8_t** node) const {
+    const uint64_t de = c.dir[ord];
+    BOXAGG_RETURN_NOT_OK(pool_->Fetch(c.data_pages[de >> 32], g));
+    *node = g->page()->data() + static_cast<uint32_t>(de);
+    return Status::OK();
+  }
+
+  PageId PageOf(const Cache& c, uint64_t ord) const {
+    return c.data_pages[c.dir[ord] >> 32];
+  }
+
+  /// Decodes `dims` per-dimension coordinate strips at *p into pts[0..n).
+  void DecodePointColumns(const Cache& c, const uint8_t** p, uint32_t n,
+                          int dims, uint64_t* tok, Point* pts) const {
+    for (int d = 0; d < dims; ++d) {
+      const replica::StripRef s = replica::ParseStrip(p, n);
+      replica::DecodeStripU64(s, n, tok);
+      if ((s.header & replica::kStripDictBit) != 0) {
+        for (uint32_t i = 0; i < n; ++i) pts[i][d] = c.key_dict[tok[i]];
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          pts[i][d] = replica::UnmapDouble(tok[i]);
+        }
+      }
+    }
+  }
+
+  /// Decodes the first `take` values of the strip at *p (stored count n).
+  void DecodeValueStrip(const Cache& c, const uint8_t** p, uint32_t n,
+                        uint32_t take, uint64_t* tok, V* out) const {
+    const replica::StripRef s = replica::ParseStrip(p, n);
+    replica::DecodeStripU64(s, take, tok);
+    if ((s.header & replica::kStripDictBit) != 0) {
+      for (uint32_t i = 0; i < take; ++i) {
+        const uint64_t bits = c.val_dict[tok[i]];
+        std::memcpy(&out[i], &bits, sizeof(V));
+      }
+    } else {
+      for (uint32_t i = 0; i < take; ++i) {
+        const uint64_t bits = replica::UnmapOrderedBits(tok[i]);
+        std::memcpy(&out[i], &bits, sizeof(V));
+      }
+    }
+  }
+
+  /// Advances *p past one record's border sections without decoding.
+  static void SkipBorderSection(const uint8_t** p, int dims) {
+    for (int b = 0; b < dims; ++b) {
+      const uint8_t tag = *(*p)++;
+      if (tag == replica::kBorderEmpty) continue;
+      if (tag == replica::kBorderInline) {
+        const uint32_t cnt =
+            static_cast<uint32_t>(replica::ReadVarint(p));
+        for (int d = 0; d < dims - 1; ++d) replica::SkipStrip(p, cnt);
+        replica::SkipStrip(p, cnt);
+      } else {
+        replica::ReadVarint(p);
+      }
+    }
+  }
+
+  /// Sequential descent; mirrors PackedBaTree::DominanceSum's per-level
+  /// pin/arena discipline, and AggBTree::DominanceSum for the 1-d node
+  /// kinds (the main tree when dims_ == 1, spilled borders at depth 1).
+  Status SumRec(const Cache& c, uint64_t ord, const Point& q, int dims,
+                V* out, unsigned obs_level) const {
+    for (unsigned level = obs_level;; ++level) {
+      core::ArenaScope scope(core::ScratchArena());
+      core::ArenaVector<SpillProbe> tree_borders;
+      uint64_t next = 0;
+      {
+        PageGuard g;
+        const uint8_t* p = nullptr;
+        BOXAGG_RETURN_NOT_OK(FetchNode(c, ord, &g, &p));
+        obs::NoteNodeVisit(level);
+        const uint8_t kind = *p++;
+        const uint32_t n = static_cast<uint32_t>(replica::ReadVarint(&p));
+        // Drained leaves (possible after forced splits in the source tree)
+        // are encoded as a bare kind + count; nothing follows.
+        if (n == 0) return Status::OK();
+        if (kind == replica::kNodeAggLeaf) {
+          core::ArenaVector<uint64_t> tok(n);
+          core::ArenaVector<double> keys(n);
+          const replica::StripRef ks = replica::ParseStrip(&p, n);
+          replica::DecodeStripU64(ks, n, tok.data());
+          if ((ks.header & replica::kStripDictBit) != 0) {
+            for (uint32_t i = 0; i < n; ++i) keys[i] = c.key_dict[tok[i]];
+          } else {
+            for (uint32_t i = 0; i < n; ++i) {
+              keys[i] = replica::UnmapDouble(tok[i]);
+            }
+          }
+          const uint32_t cut = simd::FirstGreater(keys.data(), n, q[0]);
+          core::ArenaVector<V> vals(cut);
+          DecodeValueStrip(c, &p, n, cut, tok.data(), vals.data());
+          for (uint32_t i = 0; i < cut; ++i) *out += vals[i];
+          return Status::OK();
+        }
+        if (kind == replica::kNodeAggInternal) {
+          const uint64_t first_child = replica::ReadVarint(&p);
+          core::ArenaVector<uint64_t> tok(n);
+          core::ArenaVector<double> lowkeys(n);
+          const replica::StripRef ks = replica::ParseStrip(&p, n);
+          replica::DecodeStripU64(ks, n, tok.data());
+          if ((ks.header & replica::kStripDictBit) != 0) {
+            for (uint32_t i = 0; i < n; ++i) {
+              lowkeys[i] = c.key_dict[tok[i]];
+            }
+          } else {
+            for (uint32_t i = 0; i < n; ++i) {
+              lowkeys[i] = replica::UnmapDouble(tok[i]);
+            }
+          }
+          const uint32_t route =
+              simd::FirstGreater(lowkeys.data() + 1, n - 1, q[0]);
+          core::ArenaVector<V> sums(route);
+          DecodeValueStrip(c, &p, n, route, tok.data(), sums.data());
+          for (uint32_t i = 0; i < route; ++i) *out += sums[i];
+          next = first_child + route;
+        } else if (kind == replica::kNodeBaLeaf) {
+          core::ArenaVector<uint64_t> tok(n);
+          core::ArenaVector<Point> pts(n);
+          DecodePointColumns(c, &p, n, dims, tok.data(), pts.data());
+          core::ArenaVector<V> vals(n);
+          DecodeValueStrip(c, &p, n, n, tok.data(), vals.data());
+          for (uint32_t i = 0; i < n; ++i) {
+            if (simd::Dominates(q, pts[i], dims)) *out += vals[i];
+          }
+          return Status::OK();
+        } else {  // kNodeBaInternal
+          const uint64_t first_child = replica::ReadVarint(&p);
+          core::ArenaVector<uint64_t> tok(n);
+          core::ArenaVector<Box> boxes(n);
+          for (uint32_t i = 0; i < n; ++i) boxes[i] = Box{};
+          DecodeBoxColumns(c, &p, n, dims, tok.data(), boxes.data());
+          core::ArenaVector<V> subs(n);
+          DecodeValueStrip(c, &p, n, n, tok.data(), subs.data());
+          bool found = false;
+          for (uint32_t i = 0; i < n && !found; ++i) {
+            if (!simd::ContainsHalfOpen(boxes[i], q, dims)) {
+              SkipBorderSection(&p, dims);
+              continue;
+            }
+            found = true;
+            *out += subs[i];
+            for (int b = 0; b < dims; ++b) {
+              const uint8_t tag = *p++;
+              if (tag == replica::kBorderEmpty) continue;
+              Point projected = q.DropDim(b, dims);
+              if (tag == replica::kBorderInline) {
+                const uint32_t cnt =
+                    static_cast<uint32_t>(replica::ReadVarint(&p));
+                core::ArenaVector<uint64_t> btok(cnt);
+                core::ArenaVector<Point> bpts(cnt);
+                DecodePointColumns(c, &p, cnt, dims - 1, btok.data(),
+                                   bpts.data());
+                core::ArenaVector<V> bvals(cnt);
+                DecodeValueStrip(c, &p, cnt, cnt, btok.data(), bvals.data());
+                for (uint32_t k = 0; k < cnt; ++k) {
+                  if (simd::Dominates(projected, bpts[k], dims - 1)) {
+                    *out += bvals[k];
+                  }
+                }
+              } else {
+                tree_borders.push_back(
+                    SpillProbe{b, replica::ReadVarint(&p)});
+              }
+            }
+            next = first_child + i;
+          }
+          if (!found) {
+            return Status::Corruption(
+                "query point not covered by any record");
+          }
+        }
+      }
+      for (const SpillProbe& tb : tree_borders) {
+        obs::NoteBorderProbes(1);
+        V part{};
+        BOXAGG_RETURN_NOT_OK(SumRec(c, tb.ord, q.DropDim(tb.b, dims),
+                                    dims - 1, &part, level + 1));
+        *out += part;
+      }
+      ord = next;
+    }
+  }
+
+  /// Zeroes outs, clamps, sorts probes lexicographically (tie: original
+  /// index) and runs the batched descent — the entry discipline of both
+  /// PackedBaTree::DominanceSumBatch (lex sort over dims) and
+  /// AggBTree::DominanceSumBatch (key sort == lex sort at dims == 1), so
+  /// it serves as the top-level batch AND the spilled-border sub-batch.
+  Status SortedBatch(const Cache& c, uint64_t ord, const Point* queries,
+                     size_t count, V* outs, int dims,
+                     unsigned obs_level) const {
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Point> qs(queries, queries + count);
+    for (auto& q : qs) {
+      for (int d = 0; d < dims; ++d) {
+        q[d] = std::min(q[d], std::numeric_limits<double>::max());
+      }
+    }
+    core::ArenaVector<uint32_t> order(count);
+    for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+    const core::ArenaVector<Point>& q_ref = qs;
+    std::sort(order.begin(), order.end(),
+              [dims, &q_ref](uint32_t a, uint32_t b) {
+                if (LexLess(q_ref[a], q_ref[b], dims)) return true;
+                if (LexLess(q_ref[b], q_ref[a], dims)) return false;
+                return a < b;
+              });
+    return BatchRec(c, ord, order.data(), count, qs.data(), outs, dims,
+                    obs_level);
+  }
+
+  /// One node of the batched descent; kind-dispatched mirror of
+  /// PackedBaTree::DominanceBatchRec and AggBTree::DominanceBatchRec.
+  Status BatchRec(const Cache& c, uint64_t ord, const uint32_t* idx,
+                  size_t m, const Point* qs, V* outs, int dims,
+                  unsigned obs_level) const {
+    struct Spill {
+      int b;
+      uint64_t ord;
+    };
+    struct Group {
+      uint64_t child;
+      core::ArenaVector<uint32_t> members;  // original probe indices
+      core::ArenaVector<Spill> spills;
+    };
+    struct Run {  // agg-internal groups: contiguous slices of idx
+      uint64_t child;
+      size_t begin;
+      size_t end;
+    };
+    core::ArenaScope scope(core::ScratchArena());
+    core::ArenaVector<Group> groups;
+    core::ArenaVector<Run> runs;
+    {
+      PageGuard g;
+      const uint8_t* p = nullptr;
+      BOXAGG_RETURN_NOT_OK(FetchNode(c, ord, &g, &p));
+      obs::NoteNodeVisit(obs_level);
+      if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
+      const uint8_t kind = *p++;
+      const uint32_t n = static_cast<uint32_t>(replica::ReadVarint(&p));
+      if (n == 0) return Status::OK();  // drained leaf: nothing follows
+      if (kind == replica::kNodeAggLeaf) {
+        core::ArenaVector<uint64_t> tok(n);
+        core::ArenaVector<double> keys(n);
+        const replica::StripRef ks = replica::ParseStrip(&p, n);
+        replica::DecodeStripU64(ks, n, tok.data());
+        if ((ks.header & replica::kStripDictBit) != 0) {
+          for (uint32_t i = 0; i < n; ++i) keys[i] = c.key_dict[tok[i]];
+        } else {
+          for (uint32_t i = 0; i < n; ++i) {
+            keys[i] = replica::UnmapDouble(tok[i]);
+          }
+        }
+        core::ArenaVector<V> vals(n);
+        DecodeValueStrip(c, &p, n, n, tok.data(), vals.data());
+        for (size_t j = 0; j < m; ++j) {
+          const uint32_t cut =
+              simd::FirstGreater(keys.data(), n, qs[idx[j]][0]);
+          V* out = &outs[idx[j]];
+          for (uint32_t i = 0; i < cut; ++i) *out += vals[i];
+        }
+        return Status::OK();
+      }
+      if (kind == replica::kNodeAggInternal) {
+        const uint64_t first_child = replica::ReadVarint(&p);
+        core::ArenaVector<uint64_t> tok(n);
+        core::ArenaVector<double> lowkeys(n);
+        const replica::StripRef ks = replica::ParseStrip(&p, n);
+        replica::DecodeStripU64(ks, n, tok.data());
+        if ((ks.header & replica::kStripDictBit) != 0) {
+          for (uint32_t i = 0; i < n; ++i) lowkeys[i] = c.key_dict[tok[i]];
+        } else {
+          for (uint32_t i = 0; i < n; ++i) {
+            lowkeys[i] = replica::UnmapDouble(tok[i]);
+          }
+        }
+        core::ArenaVector<V> sums(n);
+        DecodeValueStrip(c, &p, n, n, tok.data(), sums.data());
+        size_t j = 0;
+        while (j < m) {
+          const uint32_t route =
+              simd::FirstGreater(lowkeys.data() + 1, n - 1, qs[idx[j]][0]);
+          size_t k = j + 1;
+          while (k < m &&
+                 simd::FirstGreater(lowkeys.data() + 1, n - 1,
+                                    qs[idx[k]][0]) == route) {
+            ++k;
+          }
+          for (size_t t = j; t < k; ++t) {
+            V* out = &outs[idx[t]];
+            for (uint32_t i = 0; i < route; ++i) *out += sums[i];
+          }
+          runs.push_back(Run{first_child + route, j, k});
+          j = k;
+        }
+      } else if (kind == replica::kNodeBaLeaf) {
+        core::ArenaVector<uint64_t> tok(n);
+        core::ArenaVector<Point> pts(n);
+        DecodePointColumns(c, &p, n, dims, tok.data(), pts.data());
+        core::ArenaVector<V> vals(n);
+        DecodeValueStrip(c, &p, n, n, tok.data(), vals.data());
+        for (size_t j = 0; j < m; ++j) {
+          const Point& q = qs[idx[j]];
+          V* out = &outs[idx[j]];
+          for (uint32_t i = 0; i < n; ++i) {
+            if (simd::Dominates(q, pts[i], dims)) *out += vals[i];
+          }
+        }
+        return Status::OK();
+      } else {  // kNodeBaInternal
+        const uint64_t first_child = replica::ReadVarint(&p);
+        core::ArenaVector<uint64_t> tok(n);
+        core::ArenaVector<Box> boxes(n);
+        for (uint32_t i = 0; i < n; ++i) boxes[i] = Box{};
+        DecodeBoxColumns(c, &p, n, dims, tok.data(), boxes.data());
+        core::ArenaVector<V> subs(n);
+        DecodeValueStrip(c, &p, n, n, tok.data(), subs.data());
+        core::ArenaVector<uint8_t> taken(m, 0);
+        size_t assigned = 0;
+        for (uint32_t i = 0; i < n && assigned < m; ++i) {
+          core::ArenaVector<uint32_t> members;
+          for (size_t j = 0; j < m; ++j) {
+            if (taken[j]) continue;
+            if (simd::ContainsHalfOpen(boxes[i], qs[idx[j]], dims)) {
+              taken[j] = 1;
+              ++assigned;
+              members.push_back(idx[j]);
+            }
+          }
+          if (members.empty()) {
+            SkipBorderSection(&p, dims);
+            continue;
+          }
+          for (uint32_t probe : members) outs[probe] += subs[i];
+          core::ArenaVector<Spill> spills;
+          for (int b = 0; b < dims; ++b) {
+            const uint8_t tag = *p++;
+            if (tag == replica::kBorderEmpty) continue;
+            if (tag == replica::kBorderInline) {
+              const uint32_t cnt =
+                  static_cast<uint32_t>(replica::ReadVarint(&p));
+              core::ArenaVector<uint64_t> btok(cnt);
+              core::ArenaVector<Point> bpts(cnt);
+              DecodePointColumns(c, &p, cnt, dims - 1, btok.data(),
+                                 bpts.data());
+              core::ArenaVector<V> bvals(cnt);
+              DecodeValueStrip(c, &p, cnt, cnt, btok.data(), bvals.data());
+              for (uint32_t probe : members) {
+                Point projected = qs[probe].DropDim(b, dims);
+                for (uint32_t k = 0; k < cnt; ++k) {
+                  if (simd::Dominates(projected, bpts[k], dims - 1)) {
+                    outs[probe] += bvals[k];
+                  }
+                }
+              }
+            } else {
+              spills.push_back(Spill{b, replica::ReadVarint(&p)});
+            }
+          }
+          groups.push_back(Group{first_child + i, std::move(members),
+                                 std::move(spills)});
+        }
+        if (assigned != m) {
+          return Status::Corruption(
+              "query point not covered by any record");
+        }
+      }
+    }
+    if (!runs.empty()) {
+      for (size_t gi = 0; gi < runs.size(); ++gi) {
+        if (gi + 1 < runs.size()) {
+          pool_->PrefetchHint(PageOf(c, runs[gi + 1].child));
+        }
+        const Run& r = runs[gi];
+        BOXAGG_RETURN_NOT_OK(BatchRec(c, r.child, idx + r.begin,
+                                      r.end - r.begin, qs, outs, dims,
+                                      obs_level + 1));
+      }
+      return Status::OK();
+    }
+    // Spilled borders of this node before any descent, like the live
+    // tree's per-level tree_borders pass; each sub-batch re-clamps and
+    // re-sorts its projected probes exactly as a fresh
+    // PackedBaTree::DominanceSumBatch over the spilled root would.
+    core::ArenaVector<Point> pts;
+    core::ArenaVector<V> parts;
+    for (const Group& gr : groups) {
+      const size_t gs = gr.members.size();
+      for (const Spill& sp : gr.spills) {
+        pts.resize(gs);
+        parts.resize(gs);
+        for (size_t t = 0; t < gs; ++t) {
+          pts[t] = qs[gr.members[t]].DropDim(sp.b, dims);
+        }
+        for (size_t t = 0; t < gs; ++t) parts[t] = V{};
+        obs::NoteBorderProbes(gs);
+        BOXAGG_RETURN_NOT_OK(SortedBatch(c, sp.ord, pts.data(), gs,
+                                         parts.data(), dims - 1,
+                                         obs_level + 1));
+        for (size_t t = 0; t < gs; ++t) outs[gr.members[t]] += parts[t];
+      }
+    }
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      if (gi + 1 < groups.size()) {
+        pool_->PrefetchHint(PageOf(c, groups[gi + 1].child));
+      }
+      const Group& gr = groups[gi];
+      BOXAGG_RETURN_NOT_OK(BatchRec(c, gr.child, gr.members.data(),
+                                    gr.members.size(), qs, outs, dims,
+                                    obs_level + 1));
+    }
+    return Status::OK();
+  }
+
+  /// Decodes 2*dims box-corner strips (lo columns then hi columns).
+  void DecodeBoxColumns(const Cache& c, const uint8_t** p, uint32_t n,
+                        int dims, uint64_t* tok, Box* boxes) const {
+    for (int side = 0; side < 2; ++side) {
+      for (int d = 0; d < dims; ++d) {
+        const replica::StripRef s = replica::ParseStrip(p, n);
+        replica::DecodeStripU64(s, n, tok);
+        if ((s.header & replica::kStripDictBit) != 0) {
+          for (uint32_t i = 0; i < n; ++i) {
+            (side == 0 ? boxes[i].lo : boxes[i].hi)[d] = c.key_dict[tok[i]];
+          }
+        } else {
+          for (uint32_t i = 0; i < n; ++i) {
+            (side == 0 ? boxes[i].lo : boxes[i].hi)[d] =
+                replica::UnmapDouble(tok[i]);
+          }
+        }
+      }
+    }
+  }
+  // LINT:hot-path-end
+
+  // ---- verification (check path: free to allocate) -------------------------
+
+  struct WalkInfo {
+    V total{};
+    uint32_t depth = 0;
+  };
+
+  Status CheckedVarint(PageId pid, const uint8_t** p, const uint8_t* end,
+                       uint64_t* out) const {
+    if (*p >= end) {
+      return CorruptionAt(pid, "compact-replica: varint overruns the node");
+    }
+    *out = replica::ReadVarint(p);
+    if (*p > end) {
+      return CorruptionAt(pid, "compact-replica: varint overruns the node");
+    }
+    return Status::OK();
+  }
+
+  Status CheckedTokens(const Cache& c, PageId pid, const uint8_t** p,
+                       const uint8_t* end, uint32_t m, bool key_dict,
+                       std::vector<uint64_t>* tok, uint8_t* header) const {
+    if (*p + 1 + 8 > end) {
+      return CorruptionAt(pid, "compact-replica: strip header overruns");
+    }
+    const replica::StripRef s = replica::ParseStrip(p, m);
+    if ((s.header & replica::kStripWidthMask) > 8) {
+      return CorruptionAt(pid, "compact-replica: strip width out of range");
+    }
+    if (*p > end) {
+      return CorruptionAt(pid, "compact-replica: strip payload overruns");
+    }
+    tok->resize(m);
+    replica::DecodeStripU64(s, m, tok->data());
+    if ((s.header & replica::kStripDictBit) != 0) {
+      const size_t limit =
+          key_dict ? c.key_dict.size() : c.val_dict.size();
+      for (uint32_t i = 0; i < m; ++i) {
+        if ((*tok)[i] >= limit) {
+          return CorruptionAt(pid, "compact-replica: dictionary index out "
+                                   "of range");
+        }
+      }
+    }
+    *header = s.header;
+    return Status::OK();
+  }
+
+  Status CheckedKeys(const Cache& c, PageId pid, const uint8_t** p,
+                     const uint8_t* end, uint32_t m,
+                     std::vector<double>* out) const {
+    std::vector<uint64_t> tok;
+    uint8_t header = 0;
+    BOXAGG_RETURN_NOT_OK(
+        CheckedTokens(c, pid, p, end, m, /*key_dict=*/true, &tok, &header));
+    out->resize(m);
+    if ((header & replica::kStripDictBit) != 0) {
+      for (uint32_t i = 0; i < m; ++i) (*out)[i] = c.key_dict[tok[i]];
+    } else {
+      for (uint32_t i = 0; i < m; ++i) {
+        (*out)[i] = replica::UnmapDouble(tok[i]);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CheckedValues(const Cache& c, PageId pid, const uint8_t** p,
+                       const uint8_t* end, uint32_t m,
+                       std::vector<V>* out) const {
+    std::vector<uint64_t> tok;
+    uint8_t header = 0;
+    BOXAGG_RETURN_NOT_OK(
+        CheckedTokens(c, pid, p, end, m, /*key_dict=*/false, &tok, &header));
+    out->resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      const uint64_t bits = (header & replica::kStripDictBit) != 0
+                                ? c.val_dict[tok[i]]
+                                : replica::UnmapOrderedBits(tok[i]);
+      std::memcpy(&(*out)[i], &bits, sizeof(V));
+    }
+    return Status::OK();
+  }
+
+  /// Strict re-decode of one subtree: kinds match the dimensionality, keys
+  /// sorted, aggregates re-derived, entries collected (main branch) or
+  /// counted (spilled borders), child/spill ordinals in range and reached
+  /// exactly once.
+  Status CheckNodeRec(const Cache& c, uint64_t ord, int dims,
+                      std::vector<uint8_t>* reached, uint64_t* entries,
+                      std::vector<Entry>* out, WalkInfo* info) const {
+    if (ord >= c.node_count) {
+      return CorruptionAt(root_, "compact-replica: ordinal " +
+                                     std::to_string(ord) + " out of range");
+    }
+    if ((*reached)[ord]) {
+      return CorruptionAt(root_, "compact-replica: ordinal " +
+                                     std::to_string(ord) +
+                                     " reached twice (cycle or shared "
+                                     "ownership)");
+    }
+    (*reached)[ord] = 1;
+    const PageId pid = PageOf(c, ord);
+    uint8_t kind = 0;
+    uint32_t n = 0;
+    uint64_t first_child = 0;
+    std::vector<double> keys;          // agg kinds
+    std::vector<V> vals;               // leaf values / agg sums
+    std::vector<std::vector<double>> cols;  // ba kinds, per-dim columns
+    std::vector<Box> boxes;
+    struct BorderRef {
+      int b = 0;
+      bool spill = false;
+      uint64_t ord = 0;
+      std::vector<Point> pts;  // inline entries
+      std::vector<V> vals;
+    };
+    std::vector<std::vector<BorderRef>> rec_borders;
+    {
+      PageGuard g;
+      const uint8_t* p = nullptr;
+      BOXAGG_RETURN_NOT_OK(FetchNode(c, ord, &g, &p));
+      const uint8_t* end = g.page()->data() + replica::kDataHeaderBytes +
+                           g.page()->ReadAt<uint32_t>(
+                               replica::kDataPayloadLen);
+      if (p >= end) {
+        return CorruptionAt(pid, "compact-replica: node offset at or past "
+                                 "the payload end");
+      }
+      kind = *p++;
+      uint64_t n64 = 0;
+      BOXAGG_RETURN_NOT_OK(CheckedVarint(pid, &p, end, &n64));
+      n = static_cast<uint32_t>(n64);
+      const bool leaf_kind = kind == replica::kNodeBaLeaf ||
+                             kind == replica::kNodeAggLeaf;
+      // Leaves may be drained (n == 0, bare kind + count) after forced
+      // splits in the source tree; internal nodes never are.
+      if ((n == 0 && !leaf_kind) || n > g.page()->size()) {
+        return CorruptionAt(pid, "compact-replica: node entry count " +
+                                     std::to_string(n64) +
+                                     " out of range");
+      }
+      const bool agg_kind = kind == replica::kNodeAggLeaf ||
+                            kind == replica::kNodeAggInternal;
+      const bool ba_kind = kind == replica::kNodeBaLeaf ||
+                           kind == replica::kNodeBaInternal;
+      if (!agg_kind && !ba_kind) {
+        return CorruptionAt(pid, "compact-replica: unknown node kind " +
+                                     std::to_string(kind));
+      }
+      if (agg_kind != (dims == 1)) {
+        return CorruptionAt(pid, "compact-replica: node kind disagrees "
+                                 "with its dimensionality");
+      }
+      if (n == 0) {
+        info->total = V{};
+        info->depth = 1;
+        return Status::OK();
+      }
+      if (kind == replica::kNodeAggLeaf) {
+        BOXAGG_RETURN_NOT_OK(CheckedKeys(c, pid, &p, end, n, &keys));
+        BOXAGG_RETURN_NOT_OK(CheckedValues(c, pid, &p, end, n, &vals));
+      } else if (kind == replica::kNodeAggInternal) {
+        BOXAGG_RETURN_NOT_OK(CheckedVarint(pid, &p, end, &first_child));
+        BOXAGG_RETURN_NOT_OK(CheckedKeys(c, pid, &p, end, n, &keys));
+        BOXAGG_RETURN_NOT_OK(CheckedValues(c, pid, &p, end, n, &vals));
+      } else if (kind == replica::kNodeBaLeaf) {
+        cols.resize(static_cast<size_t>(dims));
+        for (int d = 0; d < dims; ++d) {
+          BOXAGG_RETURN_NOT_OK(CheckedKeys(c, pid, &p, end, n, &cols[d]));
+        }
+        BOXAGG_RETURN_NOT_OK(CheckedValues(c, pid, &p, end, n, &vals));
+      } else {
+        BOXAGG_RETURN_NOT_OK(CheckedVarint(pid, &p, end, &first_child));
+        boxes.assign(n, Box{});
+        std::vector<double> col;
+        for (int side = 0; side < 2; ++side) {
+          for (int d = 0; d < dims; ++d) {
+            BOXAGG_RETURN_NOT_OK(CheckedKeys(c, pid, &p, end, n, &col));
+            for (uint32_t i = 0; i < n; ++i) {
+              (side == 0 ? boxes[i].lo : boxes[i].hi)[d] = col[i];
+            }
+          }
+        }
+        BOXAGG_RETURN_NOT_OK(CheckedValues(c, pid, &p, end, n, &vals));
+        rec_borders.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          for (int b = 0; b < dims; ++b) {
+            if (p >= end) {
+              return CorruptionAt(pid, "compact-replica: border section "
+                                       "overruns the node");
+            }
+            const uint8_t tag = *p++;
+            if (tag == replica::kBorderEmpty) continue;
+            BorderRef br;
+            br.b = b;
+            if (tag == replica::kBorderInline) {
+              uint64_t cnt64 = 0;
+              BOXAGG_RETURN_NOT_OK(CheckedVarint(pid, &p, end, &cnt64));
+              const uint32_t cnt = static_cast<uint32_t>(cnt64);
+              if (cnt == 0 || cnt > g.page()->size()) {
+                return CorruptionAt(pid, "compact-replica: inline border "
+                                         "count out of range");
+              }
+              br.pts.assign(cnt, Point{});
+              for (int d = 0; d < dims - 1; ++d) {
+                BOXAGG_RETURN_NOT_OK(
+                    CheckedKeys(c, pid, &p, end, cnt, &col));
+                for (uint32_t k = 0; k < cnt; ++k) br.pts[k][d] = col[k];
+              }
+              BOXAGG_RETURN_NOT_OK(
+                  CheckedValues(c, pid, &p, end, cnt, &br.vals));
+              for (uint32_t k = 1; k < cnt; ++k) {
+                if (!LexLess(br.pts[k - 1], br.pts[k], dims - 1)) {
+                  return CorruptionAt(pid, "compact-replica: inline border "
+                                           "entries not strictly sorted");
+                }
+              }
+            } else if (tag == replica::kBorderSpill) {
+              br.spill = true;
+              BOXAGG_RETURN_NOT_OK(CheckedVarint(pid, &p, end, &br.ord));
+            } else {
+              return CorruptionAt(pid, "compact-replica: unknown border "
+                                       "tag " + std::to_string(tag));
+            }
+            rec_borders[i].push_back(std::move(br));
+          }
+        }
+      }
+      if (p > end) {
+        return CorruptionAt(pid, "compact-replica: node overruns the "
+                                 "payload");
+      }
+    }
+    // Per-kind structural checks + recursion (pin dropped).
+    info->total = V{};
+    if (kind == replica::kNodeAggLeaf) {
+      for (uint32_t i = 1; i < n; ++i) {
+        if (!(keys[i - 1] < keys[i])) {
+          return CorruptionAt(pid, "compact-replica: agg leaf keys not "
+                                   "strictly increasing");
+        }
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.pt = Point{};
+        e.pt[0] = keys[i];
+        e.value = vals[i];
+        out->push_back(e);
+        info->total += vals[i];
+      }
+      *entries += n;
+      info->depth = 1;
+      return Status::OK();
+    }
+    if (kind == replica::kNodeAggInternal) {
+      for (uint32_t i = 1; i < n; ++i) {
+        if (!(keys[i - 1] < keys[i])) {
+          return CorruptionAt(pid, "compact-replica: agg internal lowkeys "
+                                   "not strictly increasing");
+        }
+      }
+      uint32_t child_depth = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        WalkInfo ci;
+        BOXAGG_RETURN_NOT_OK(CheckNodeRec(c, first_child + i, dims, reached,
+                                          entries, out, &ci));
+        if (i == 0) {
+          child_depth = ci.depth;
+        } else if (ci.depth != child_depth) {
+          return CorruptionAt(pid, "compact-replica: agg subtree depths "
+                                   "differ");
+        }
+        if (AggDrift(vals[i], ci.total) > kAggDriftTolerance) {
+          return CorruptionAt(pid, "compact-replica: agg subtree sum "
+                                   "drifts from the stored aggregate");
+        }
+        info->total += vals[i];
+      }
+      info->depth = child_depth + 1;
+      return Status::OK();
+    }
+    if (kind == replica::kNodeBaLeaf) {
+      for (uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.pt = Point{};
+        for (int d = 0; d < dims; ++d) e.pt[d] = cols[d][i];
+        e.value = vals[i];
+        out->push_back(e);
+      }
+      *entries += n;
+      info->depth = 1;
+      return Status::OK();
+    }
+    // kNodeBaInternal: child points inside their record box, boxes tile
+    // the node scope, borders audited (inline counted above, spills
+    // recursed structurally like PackedBaTree::CheckBorderTree).
+    const size_t begin = out->size();
+    for (uint32_t i = 0; i < n; ++i) {
+      const size_t lo = out->size();
+      WalkInfo ci;
+      BOXAGG_RETURN_NOT_OK(CheckNodeRec(c, first_child + i, dims, reached,
+                                        entries, out, &ci));
+      for (size_t k = lo; k < out->size(); ++k) {
+        if (!boxes[i].ContainsPointHalfOpen((*out)[k].pt, dims)) {
+          return CorruptionAt(pid, "compact-replica: subtree point escapes "
+                                   "its record box");
+        }
+      }
+      for (const BorderRef& br : rec_borders[i]) {
+        if (br.spill) {
+          std::vector<Entry> scratch;
+          WalkInfo bi;
+          BOXAGG_RETURN_NOT_OK(CheckNodeRec(c, br.ord, dims - 1, reached,
+                                            entries, &scratch, &bi));
+        } else {
+          *entries += br.pts.size();
+        }
+      }
+    }
+    for (size_t k = begin; k < out->size(); ++k) {
+      int owners = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (boxes[i].ContainsPointHalfOpen((*out)[k].pt, dims)) ++owners;
+      }
+      if (owners != 1) {
+        return CorruptionAt(pid, "compact-replica: record boxes do not "
+                                 "tile the node scope");
+      }
+    }
+    info->depth = 0;  // mixed-depth forests: BA depth is not audited here
+    return Status::OK();
+  }
+
+  /// Sampled naive-oracle comparison over the main-branch points, the same
+  /// discipline (and tolerance) as PackedBaTree::SelfOracle.
+  Status SelfOracle(const std::vector<Entry>& pts) const {
+    const size_t step = pts.size() <= 400 ? 1 : pts.size() / 400;
+    for (size_t k = 0; k < pts.size(); k += step) {
+      for (double jitter : {0.0, 0.25}) {
+        Point q = pts[k].pt;
+        for (int d = 0; d < dims_; ++d) q[d] += jitter;
+        V got;
+        BOXAGG_RETURN_NOT_OK(DominanceSum(q, &got));
+        V want{};
+        for (const Entry& e : pts) {
+          if (q.Dominates(e.pt, dims_)) want += e.value;
+        }
+        if (AggDrift(want, got) > kAggDriftTolerance) {
+          return Status::Corruption(
+              "compact-replica: self-oracle dominance-sum mismatch");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  BufferPool* pool_;
+  int dims_;
+  PageId root_;
+  std::shared_ptr<const Cache> cache_;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_REPLICA_COMPACT_REPLICA_H_

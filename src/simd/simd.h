@@ -8,6 +8,7 @@
 //   Dominates           dominance test between two points (ECDF leaves)
 //   ContainsHalfOpen    half-open box membership (BaTree record scans)
 //   AccumulateSigned    corner inclusion-exclusion accumulation
+//   UnpackFixedWidth    fixed-width integer strip decode (compact replicas)
 //
 // Backend selection: the default build compiles only the scalar path, so
 // TSan/ASan/clang-tidy CI and any non-x86 box behave exactly as before.
@@ -36,6 +37,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "geom/box.h"
 #include "geom/point.h"
@@ -120,6 +122,22 @@ inline void AccumulateSigned(double* out, const double* parts,
   }
 }
 
+/// out[i] = base + the little-endian `width`-byte unsigned integer at
+/// src + i*width, for width in [0, 8]; width 0 means every element equals
+/// base and nothing is stored. The replica strip decoder's inner loop.
+inline void UnpackFixedWidth(const uint8_t* src, uint32_t count,
+                             uint32_t width, uint64_t base, uint64_t* out) {
+  if (width == 0) {
+    for (uint32_t i = 0; i < count; ++i) out[i] = base;
+    return;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    std::memcpy(&v, src + size_t{i} * width, width);
+    out[i] = base + v;
+  }
+}
+
 }  // namespace ref
 
 // ---------------------------------------------------------------------------
@@ -191,6 +209,61 @@ inline void AccumulateSigned(double* out, const double* parts,
   }
   for (; i < count; ++i) {
     out[i] += sign * parts[probe_of[i]];
+  }
+}
+
+/// Widths 1/2/4 widen four lanes per step with cvtepu*_epi64; width 8 is a
+/// vector add. Odd widths (3, 5, 6, 7) fall through to the scalar tail,
+/// which computes the identical base + LE(src) sum.
+inline void UnpackFixedWidth(const uint8_t* src, uint32_t count,
+                             uint32_t width, uint64_t base, uint64_t* out) {
+  if (width == 0) {
+    for (uint32_t i = 0; i < count; ++i) out[i] = base;
+    return;
+  }
+  const __m256i vb = _mm256_set1_epi64x(static_cast<long long>(base));
+  uint32_t i = 0;
+  switch (width) {
+    case 1:
+      for (; i + 4 <= count; i += 4) {
+        int32_t raw;
+        std::memcpy(&raw, src + i, 4);
+        __m256i v = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(raw));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_add_epi64(v, vb));
+      }
+      break;
+    case 2:
+      for (; i + 4 <= count; i += 4) {
+        __m128i raw = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(src + size_t{i} * 2));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_add_epi64(_mm256_cvtepu16_epi64(raw), vb));
+      }
+      break;
+    case 4:
+      for (; i + 4 <= count; i += 4) {
+        __m128i raw = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + size_t{i} * 4));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_add_epi64(_mm256_cvtepu32_epi64(raw), vb));
+      }
+      break;
+    case 8:
+      for (; i + 4 <= count; i += 4) {
+        __m256i raw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + size_t{i} * 8));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_add_epi64(raw, vb));
+      }
+      break;
+    default:
+      break;
+  }
+  for (; i < count; ++i) {
+    uint64_t v = 0;
+    std::memcpy(&v, src + size_t{i} * width, width);
+    out[i] = base + v;
   }
 }
 
@@ -271,6 +344,38 @@ inline void AccumulateSigned(double* out, const double* parts,
   }
 }
 
+/// Widths 4 and 8 (the common dictionary-index and raw strips) widen two
+/// lanes per step; other widths take the scalar tail, which computes the
+/// identical base + LE(src) sum.
+inline void UnpackFixedWidth(const uint8_t* src, uint32_t count,
+                             uint32_t width, uint64_t base, uint64_t* out) {
+  if (width == 0) {
+    for (uint32_t i = 0; i < count; ++i) out[i] = base;
+    return;
+  }
+  const uint64x2_t vb = vdupq_n_u64(base);
+  uint32_t i = 0;
+  if (width == 4) {
+    for (; i + 2 <= count; i += 2) {
+      uint32_t lanes[2];
+      std::memcpy(lanes, src + size_t{i} * 4, 8);
+      uint64x2_t v = vmovl_u32(vld1_u32(lanes));
+      vst1q_u64(out + i, vaddq_u64(v, vb));
+    }
+  } else if (width == 8) {
+    for (; i + 2 <= count; i += 2) {
+      uint64_t lanes[2];
+      std::memcpy(lanes, src + size_t{i} * 8, 16);
+      vst1q_u64(out + i, vaddq_u64(vld1q_u64(lanes), vb));
+    }
+  }
+  for (; i < count; ++i) {
+    uint64_t v = 0;
+    std::memcpy(&v, src + size_t{i} * width, width);
+    out[i] = base + v;
+  }
+}
+
 #else  // scalar fallback
 
 inline uint32_t FirstGreater(const double* keys, uint32_t n, double q) {
@@ -300,6 +405,11 @@ inline void AccumulateSigned(double* out, const double* parts,
                              const uint32_t* probe_of, double sign,
                              size_t count) {
   ref::AccumulateSigned(out, parts, probe_of, sign, count);
+}
+
+inline void UnpackFixedWidth(const uint8_t* src, uint32_t count,
+                             uint32_t width, uint64_t base, uint64_t* out) {
+  ref::UnpackFixedWidth(src, count, width, base, out);
 }
 
 #endif

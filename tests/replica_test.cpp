@@ -1,0 +1,491 @@
+// Compact read-replica tests (src/replica/): snapshot fidelity against the
+// live trees and the naive oracle across dimensions, build modes, and data
+// skew; strip codec round-trips; structural self-checks against injected
+// byte corruption (in-pool and through a real .bag file via fsck); the
+// immutability contract; and the descent's zero-heap-allocation guarantee.
+// Global operator new/delete are replaced in this translation unit with
+// counting versions, so the steady-state assertion observes every
+// allocation in the process (same idiom as arena_test.cpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "batree/packed_ba_tree.h"
+#include "bptree/agg_btree.h"
+#include "check/fsck.h"
+#include "core/bag_file.h"
+#include "core/box_sum_index.h"
+#include "core/naive.h"
+#include "replica/compact_replica.h"
+#include "replica/replica_builder.h"
+#include "replica/replica_format.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "workload/generators.h"
+
+namespace {
+std::atomic<uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(size_t n, std::align_val_t al) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<size_t>(al),
+                                   (n + static_cast<size_t>(al) - 1) &
+                                       ~(static_cast<size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace boxagg {
+namespace {
+
+std::vector<PointEntry<double>> MakeEntries(int dims, size_t n, bool skewed,
+                                            unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<PointEntry<double>> es(n);
+  for (auto& e : es) {
+    for (int d = 0; d < dims; ++d) {
+      double c = uni(rng);
+      if (skewed) c = c * c * c;  // cluster near the origin
+      e.pt[d] = c;
+    }
+    e.value = uni(rng) * 10.0;
+  }
+  if (skewed) {
+    // Repeat coordinates so dictionary encoding and equal-key runs trigger.
+    for (size_t i = 1; i < es.size(); i += 3) es[i].pt[0] = es[i - 1].pt[0];
+  }
+  return es;
+}
+
+/// The full fidelity property for one (dims, build mode, distribution):
+/// replica opens, passes its own structural + self-oracle check, and every
+/// query answer is byte-identical to the live tree (sequential AND batch)
+/// and numerically equal to the naive oracle.
+void CheckReplicaAgainstLive(int dims, size_t n, bool bulk, bool skewed,
+                             unsigned seed) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 4096);
+  PackedBaTree<double> live(&pool, dims);
+  const auto entries = MakeEntries(dims, n, skewed, seed);
+  NaiveDominanceSum<double> naive(dims);
+  for (const auto& e : entries) naive.Insert(e.pt, e.value);
+  if (bulk) {
+    ASSERT_TRUE(live.BulkLoad(entries).ok());
+  } else {
+    for (const auto& e : entries) {
+      ASSERT_TRUE(live.Insert(e.pt, e.value).ok());
+    }
+  }
+
+  ReplicaBuilder<double> builder(&pool);
+  PageId root = kInvalidPageId;
+  ASSERT_TRUE(builder.Build(live, &root).ok());
+  CompactReplica<double> rep(&pool, dims, root);
+  ASSERT_TRUE(rep.Open().ok());
+  CheckContext ctx;
+  ctx.check_oracle = true;
+  Status check = rep.CheckConsistency(&ctx);
+  ASSERT_TRUE(check.ok()) << check.ToString();
+
+  std::mt19937_64 rng(seed ^ 0xabcdu);
+  std::uniform_real_distribution<double> uni(-0.1, 1.1);
+  std::vector<Point> qs;
+  for (int i = 0; i < 200; ++i) {
+    Point q;
+    for (int d = 0; d < dims; ++d) q[d] = uni(rng);
+    qs.push_back(q);
+  }
+  // Exact data points: boundary-inclusive dominance must agree too.
+  for (size_t i = 0; i < std::min<size_t>(50, entries.size()); ++i) {
+    qs.push_back(entries[i].pt);
+  }
+  std::vector<double> want(qs.size()), got(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_TRUE(live.DominanceSum(qs[i], &want[i]).ok());
+    ASSERT_TRUE(rep.DominanceSum(qs[i], &got[i]).ok());
+    ASSERT_EQ(std::memcmp(&want[i], &got[i], sizeof(double)), 0)
+        << "query " << i << ": live=" << want[i] << " replica=" << got[i];
+    const double oracle = naive.Query(qs[i]);
+    EXPECT_NEAR(got[i], oracle, 1e-9 * (1.0 + std::abs(oracle)));
+  }
+  std::vector<double> batch(qs.size());
+  ASSERT_TRUE(rep.DominanceSumBatch(qs.data(), qs.size(), batch.data()).ok());
+  EXPECT_EQ(std::memcmp(batch.data(), want.data(),
+                        qs.size() * sizeof(double)),
+            0);
+}
+
+TEST(ReplicaTest, MatchesLiveTreeAndOracleAcrossDimsAndBuilds) {
+  for (int dims = 1; dims <= 3; ++dims) {
+    for (bool bulk : {true, false}) {
+      for (bool skewed : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "dims=" << dims << " bulk=" << bulk
+                     << " skewed=" << skewed);
+        CheckReplicaAgainstLive(dims, bulk ? 2500 : 900, bulk, skewed,
+                                1000u * dims + (bulk ? 7u : 0u) +
+                                    (skewed ? 3u : 0u));
+      }
+    }
+  }
+}
+
+TEST(ReplicaTest, EmptyTreeSnapshotsToHeaderOnlyReplica) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  PackedBaTree<double> live(&pool, 2);
+  ReplicaBuilder<double> builder(&pool);
+  PageId root = kInvalidPageId;
+  ASSERT_TRUE(builder.Build(live, &root).ok());
+  CompactReplica<double> rep(&pool, 2, root);
+  ASSERT_TRUE(rep.Open().ok());
+  CheckContext ctx;
+  EXPECT_TRUE(rep.CheckConsistency(&ctx).ok());
+  double out = 1.0;
+  ASSERT_TRUE(rep.DominanceSum(Point(0.5, 0.5), &out).ok());
+  EXPECT_EQ(out, 0.0);
+  uint64_t pages = 0;
+  ASSERT_TRUE(rep.PageCount(&pages).ok());
+  EXPECT_EQ(pages, 1u);  // header only: no meta needed, no data
+  ASSERT_TRUE(rep.Destroy().ok());
+}
+
+TEST(ReplicaTest, SinglePageReplica) {
+  CheckReplicaAgainstLive(2, 3, /*bulk=*/true, /*skewed=*/false, 5);
+  CheckReplicaAgainstLive(1, 1, /*bulk=*/false, /*skewed=*/false, 6);
+}
+
+TEST(ReplicaTest, SnapshotsAggBTreeDirectly) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 2048);
+  AggBTree<double> agg(&pool);
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> uni(0.0, 1000.0);
+  std::vector<AggBTree<double>::Entry> sorted(4000);
+  for (auto& e : sorted) e = {uni(rng), uni(rng)};
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.key == b.key;
+                           }),
+               sorted.end());
+  ASSERT_TRUE(agg.BulkLoad(sorted).ok());
+
+  ReplicaBuilder<double> builder(&pool);
+  PageId root = kInvalidPageId;
+  ASSERT_TRUE(builder.Build(agg, &root).ok());
+  CompactReplica<double> rep(&pool, 1, root);
+  ASSERT_TRUE(rep.Open().ok());
+  CheckContext ctx;
+  ctx.check_oracle = true;
+  Status check = rep.CheckConsistency(&ctx);
+  ASSERT_TRUE(check.ok()) << check.ToString();
+
+  for (int i = 0; i < 300; ++i) {
+    const double q = uni(rng) * 1.1 - 20.0;
+    double want = 0, got = 0;
+    ASSERT_TRUE(agg.DominanceSum(q, &want).ok());
+    ASSERT_TRUE(rep.DominanceSum(Point(q), &got).ok());
+    ASSERT_EQ(std::memcmp(&want, &got, sizeof(double)), 0) << "q=" << q;
+  }
+}
+
+TEST(ReplicaTest, BoxSumsAreByteIdenticalToLiveIndex) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 4096);
+  workload::RectConfig rc;
+  rc.n = 3000;
+  rc.seed = 11;
+  const auto objects = workload::UniformRects(rc);
+  const auto queries = workload::QueryBoxes(128, 0.0001, 18);
+
+  BoxSumIndex<PackedBaTree<double>> live(
+      2, [&] { return PackedBaTree<double>(&pool, 2); });
+  ASSERT_TRUE(live.BulkLoad(objects).ok());
+  std::vector<double> want;
+  ASSERT_TRUE(live.QueryBatch(queries, &want).ok());
+
+  ReplicaBuilder<double> builder(&pool);
+  std::vector<PageId> roots;
+  for (uint32_t s = 0; s < live.index_count(); ++s) {
+    PageId root = kInvalidPageId;
+    ASSERT_TRUE(builder.Build(live.index(s), &root).ok());
+    roots.push_back(root);
+  }
+  ASSERT_TRUE(live.Destroy().ok());
+
+  uint32_t next = 0;
+  BoxSumIndex<CompactReplica<double>> repidx(
+      2, [&] { return CompactReplica<double>(&pool, 2, roots[next++]); });
+  for (uint32_t s = 0; s < repidx.index_count(); ++s) {
+    ASSERT_TRUE(repidx.index(s).Open().ok());
+  }
+  std::vector<double> got;
+  ASSERT_TRUE(repidx.QueryBatch(queries, &got).ok());
+  ASSERT_EQ(want.size(), got.size());
+  EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                        want.size() * sizeof(double)),
+            0);
+}
+
+TEST(ReplicaTest, InsertAndBulkLoadAreRejected) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 256);
+  PackedBaTree<double> live(&pool, 2);
+  ASSERT_TRUE(live.Insert(Point(0.5, 0.5), 1.0).ok());
+  ReplicaBuilder<double> builder(&pool);
+  PageId root = kInvalidPageId;
+  ASSERT_TRUE(builder.Build(live, &root).ok());
+  CompactReplica<double> rep(&pool, 2, root);
+  ASSERT_TRUE(rep.Open().ok());
+  EXPECT_EQ(rep.Insert(Point(0.1, 0.1), 1.0).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(rep.BulkLoad({{Point(0.1, 0.1), 1.0}}).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ReplicaTest, StripCodecRoundTrips) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint32_t m = 1 + rng() % 200;
+    std::vector<uint64_t> tok(m);
+    switch (trial % 4) {
+      case 0:  // constant
+        for (auto& t : tok) t = 0x1234567890abcdefull;
+        break;
+      case 1:  // narrow range (small width)
+        for (auto& t : tok) t = (1ull << 40) + rng() % 1000;
+        break;
+      case 2:  // monotone (delta candidate)
+        tok[0] = rng() % 1000;
+        for (uint32_t i = 1; i < m; ++i) tok[i] = tok[i - 1] + rng() % 5000;
+        break;
+      default:  // full-range random
+        for (auto& t : tok) t = rng();
+        break;
+    }
+    std::vector<uint8_t> buf;
+    replica::EncodeStrip(tok.data(), m, /*dict=*/nullptr, &buf);
+    const uint8_t* p = buf.data();
+    const replica::StripRef ref = replica::ParseStrip(&p, m);
+    EXPECT_EQ(p, buf.data() + buf.size());
+    std::vector<uint64_t> out(m);
+    replica::DecodeStripU64(ref, m, out.data());
+    ASSERT_EQ(out, tok) << "trial " << trial;
+    // Prefix decode must match the full decode's prefix.
+    const uint32_t take = 1 + rng() % m;
+    std::vector<uint64_t> prefix(take);
+    replica::DecodeStripU64(ref, take, prefix.data());
+    for (uint32_t i = 0; i < take; ++i) ASSERT_EQ(prefix[i], tok[i]);
+  }
+}
+
+TEST(ReplicaTest, UnpackFixedWidthMatchesScalarReference) {
+  std::mt19937_64 rng(99);
+  std::vector<uint8_t> src(8 * 257);
+  for (auto& b : src) b = static_cast<uint8_t>(rng());
+  for (uint32_t width = 0; width <= 8; ++width) {
+    std::vector<uint64_t> a(257), b(257);
+    const uint64_t base = rng();
+    simd::ref::UnpackFixedWidth(src.data(), 257, width, base, a.data());
+    simd::UnpackFixedWidth(src.data(), 257, width, base, b.data());
+    EXPECT_EQ(a, b) << "width " << width;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption detection: flip bytes under the CRC envelopes and prove
+// CheckConsistency (and fsck, below) notices.
+
+TEST(ReplicaTest, CheckConsistencyDetectsDataPageCorruption) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 4096);
+  PackedBaTree<double> live(&pool, 2);
+  ASSERT_TRUE(live.BulkLoad(MakeEntries(2, 2000, false, 21)).ok());
+  ReplicaBuilder<double> builder(&pool);
+  PageId root = kInvalidPageId;
+  ASSERT_TRUE(builder.Build(live, &root).ok());
+
+  // Find one replica data page and flip a payload byte (CRC left stale).
+  bool flipped = false;
+  for (PageId pid = 0; pid < file.page_count() && !flipped; ++pid) {
+    PageGuard g;
+    ASSERT_TRUE(pool.Fetch(pid, &g).ok());
+    if (g.page()->ReadAt<uint16_t>(0) == replica::kDataPageType) {
+      const uint32_t off = replica::kDataHeaderBytes + 3;
+      g.page()->WriteAt<uint8_t>(off, g.page()->ReadAt<uint8_t>(off) ^ 0xff);
+      g.MarkDirty();
+      flipped = true;
+    }
+  }
+  ASSERT_TRUE(flipped);
+
+  CompactReplica<double> rep(&pool, 2, root);
+  CheckContext ctx;
+  Status st = rep.CheckConsistency(&ctx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kCorruption) << st.ToString();
+}
+
+TEST(ReplicaTest, CheckConsistencyDetectsHeaderCorruption) {
+  MemPageFile file(1024);
+  BufferPool pool(&file, 4096);
+  PackedBaTree<double> live(&pool, 2);
+  ASSERT_TRUE(live.BulkLoad(MakeEntries(2, 500, false, 22)).ok());
+  ReplicaBuilder<double> builder(&pool);
+  PageId root = kInvalidPageId;
+  ASSERT_TRUE(builder.Build(live, &root).ok());
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.Fetch(root, &g).ok());
+    g.page()->WriteAt<uint64_t>(
+        replica::kHdrEntryCount,
+        g.page()->ReadAt<uint64_t>(replica::kHdrEntryCount) + 1);
+    g.MarkDirty();
+  }
+  CompactReplica<double> rep(&pool, 2, root);
+  CheckContext ctx;
+  EXPECT_FALSE(rep.CheckConsistency(&ctx).ok());
+  CompactReplica<double> rep2(&pool, 2, root);
+  EXPECT_FALSE(rep2.Open().ok());  // Open verifies the same envelope
+}
+
+// fsck sniffs the root page class and routes replica roots through
+// CompactReplica::CheckConsistency — end-to-end over a real .bag file.
+TEST(ReplicaTest, FsckRecognizesAndChecksReplicaRoots) {
+  constexpr uint32_t kPageSize = 4096;
+  constexpr uint64_t kSlotSize = kPageSize + kPageHeaderSize;
+  const std::string path = ::testing::TempDir() + "replica_fsck.bag";
+  PageId root_phys = kInvalidPageId;
+  {
+    std::unique_ptr<FilePageFile> file;
+    ASSERT_TRUE(
+        FilePageFile::Open(path, kPageSize, /*truncate=*/true, &file).ok());
+    std::unique_ptr<BagFile> bag;
+    ASSERT_TRUE(BagFile::Create(file.get(), 2, 4, &bag).ok());
+    BufferPool pool(bag.get(), 512);
+    workload::RectConfig cfg;
+    cfg.n = 800;
+    cfg.avg_side = 1e-2;
+    cfg.seed = 77;
+    BoxSumIndex<PackedBaTree<double>> sums(
+        2, [&] { return PackedBaTree<double>(&pool, 2); });
+    ASSERT_TRUE(sums.BulkLoad(workload::UniformRects(cfg)).ok());
+    ReplicaBuilder<double> builder(&pool);
+    std::vector<PageId> roots;
+    for (uint32_t s = 0; s < sums.index_count(); ++s) {
+      PageId root = kInvalidPageId;
+      ASSERT_TRUE(builder.Build(sums.index(s), &root).ok());
+      roots.push_back(root);
+    }
+    ASSERT_TRUE(sums.Destroy().ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(bag->Commit(roots).ok());
+    root_phys = bag->MapEntry(roots[0]).physical;
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  FsckOptions options;
+  options.page_size = kPageSize;
+  FsckReport report;
+  Status clean = FsckIndexFile(path, options, &report);
+  EXPECT_TRUE(clean.ok()) << clean.ToString();
+  EXPECT_TRUE(report.root_errors.empty());
+  EXPECT_GT(report.visited_pages, 4u);
+
+  // Smash bytes inside the first replica header's payload on disk.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(root_phys * kSlotSize +
+                                        kPageHeaderSize + 16));
+    for (int i = 0; i < 8; ++i) f.put('\xff');
+    ASSERT_TRUE(f.good());
+  }
+  Status corrupt = FsckIndexFile(path, options, &report);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), Status::Code::kCorruption) << corrupt.ToString();
+  EXPECT_EQ(report.root_errors.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The replica descent is a LINT:hot-path region: after warm-up, a QueryBatch
+// over replicas performs ZERO heap allocations.
+
+TEST(ReplicaTest, WarmBatchMakesNoHeapAllocations) {
+  MemPageFile file(4096);
+  BufferPool pool(&file, 4096);
+  workload::RectConfig rc;
+  rc.n = 3000;
+  rc.seed = 13;
+  const auto objects = workload::UniformRects(rc);
+  const auto queries = workload::QueryBoxes(64, 0.0001, 14);
+
+  std::vector<PageId> roots;
+  {
+    BoxSumIndex<PackedBaTree<double>> live(
+        2, [&] { return PackedBaTree<double>(&pool, 2); });
+    ASSERT_TRUE(live.BulkLoad(objects).ok());
+    ReplicaBuilder<double> builder(&pool);
+    for (uint32_t s = 0; s < live.index_count(); ++s) {
+      PageId root = kInvalidPageId;
+      ASSERT_TRUE(builder.Build(live.index(s), &root).ok());
+      roots.push_back(root);
+    }
+    ASSERT_TRUE(live.Destroy().ok());
+  }
+  uint32_t next = 0;
+  BoxSumIndex<CompactReplica<double>> index(
+      2, [&] { return CompactReplica<double>(&pool, 2, roots[next++]); });
+  for (uint32_t s = 0; s < index.index_count(); ++s) {
+    ASSERT_TRUE(index.index(s).Open().ok());
+  }
+  std::vector<double> out(queries.size());
+  // Warm-up: grows the arena to the batch's high-water mark and faults every
+  // page the queries touch into the buffer pool.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(
+        index.QueryBatch(queries.data(), queries.size(), out.data()).ok());
+  }
+  const std::vector<double> expected = out;
+  // Measured region: nothing but the queries themselves (even a passing
+  // gtest assertion is kept outside it).
+  const uint64_t before = g_news.load(std::memory_order_relaxed);
+  bool all_ok = true;
+  for (int round = 0; round < 5; ++round) {
+    all_ok &=
+        index.QueryBatch(queries.data(), queries.size(), out.data()).ok();
+  }
+  const uint64_t after = g_news.load(std::memory_order_relaxed);
+  ASSERT_TRUE(all_ok);
+  EXPECT_EQ(after - before, 0u) << "heap allocations on warm QueryBatch";
+  EXPECT_EQ(out, expected);  // and the answers did not drift
+}
+
+}  // namespace
+}  // namespace boxagg

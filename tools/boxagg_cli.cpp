@@ -3,10 +3,17 @@
 // queries) without writing any C++.
 //
 //   boxagg_cli gen   data.csv [n] [avg_side] [seed]   synthesize a dataset
-//   boxagg_cli build data.csv index.bag               bulk-load 2x4 packed
-//                                                     BA-trees (SUM + COUNT)
+//   boxagg_cli build data.csv index.bag [--replica]   bulk-load 2x4 packed
+//                                                     BA-trees (SUM + COUNT);
+//                                                     with --replica, freeze
+//                                                     them into compact
+//                                                     read-replica segments
+//                                                     and publish those
 //   boxagg_cli query index.bag xlo ylo xhi yhi        SUM / COUNT / AVG
 //   boxagg_cli stats index.bag                        size & structure info
+//
+// query and stats sniff the root page class, so they work transparently on
+// both live-tree and replica index files.
 //
 // The index file is a crash-safe BagFile (core/bag_file.h): every page is
 // stored under a CRC32C envelope, and `build` publishes the finished trees
@@ -24,6 +31,9 @@
 #include "batree/packed_ba_tree.h"
 #include "core/bag_file.h"
 #include "core/box_sum_index.h"
+#include "replica/compact_replica.h"
+#include "replica/replica_builder.h"
+#include "replica/replica_format.h"
 #include "storage/buffer_pool.h"
 #include "workload/generators.h"
 
@@ -87,7 +97,19 @@ bool ParseCsv(const std::string& path, std::vector<BoxObject>* out) {
 }
 
 int CmdBuild(int argc, char** argv) {
-  if (argc < 2) return Die("build: usage: build data.csv index.bag");
+  bool replica = false;
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replica") == 0) {
+      replica = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) {
+    return Die("build: usage: build data.csv index.bag [--replica]");
+  }
+  argv = pos.data();
   std::vector<BoxObject> objs;
   if (!ParseCsv(argv[0], &objs)) return Die("build: cannot parse csv");
   std::printf("loaded %zu objects from %s\n", objs.size(), argv[0]);
@@ -115,8 +137,30 @@ int CmdBuild(int argc, char** argv) {
         kDims, [&] { return PackedBaTree<double>(&pool, kDims); });
     for (auto& o : objs) o.value = 1.0;
     if (DieIf(counts.BulkLoad(objs), "bulk load counts")) return 1;
-    for (uint32_t s = 0; s < 4; ++s) roots.push_back(sums.index(s).root());
-    for (uint32_t s = 0; s < 4; ++s) roots.push_back(counts.index(s).root());
+    if (replica) {
+      // Snapshot every live sign index into a compact replica segment, then
+      // drop the live trees so the committed generation holds replicas only.
+      ReplicaBuilder<double> builder(&pool);
+      for (uint32_t s = 0; s < 4; ++s) {
+        PageId r = kInvalidPageId;
+        if (DieIf(builder.Build(sums.index(s), &r), "replica build")) return 1;
+        roots.push_back(r);
+      }
+      for (uint32_t s = 0; s < 4; ++s) {
+        PageId r = kInvalidPageId;
+        if (DieIf(builder.Build(counts.index(s), &r), "replica build")) {
+          return 1;
+        }
+        roots.push_back(r);
+      }
+      if (DieIf(sums.Destroy(), "destroy live sums")) return 1;
+      if (DieIf(counts.Destroy(), "destroy live counts")) return 1;
+    } else {
+      for (uint32_t s = 0; s < 4; ++s) roots.push_back(sums.index(s).root());
+      for (uint32_t s = 0; s < 4; ++s) {
+        roots.push_back(counts.index(s).root());
+      }
+    }
   }
   // Flush the trees' pages into the shadow layer, then publish them as
   // generation 1 in one atomic, durable step.
@@ -148,24 +192,17 @@ int OpenIndex(const char* path, std::unique_ptr<FilePageFile>* file,
   return 0;
 }
 
-int CmdQuery(int argc, char** argv) {
-  if (argc < 5) {
-    return Die("query: usage: query index.bag xlo ylo xhi yhi");
-  }
-  std::unique_ptr<FilePageFile> file;
-  std::unique_ptr<BagFile> bag;
-  std::unique_ptr<BufferPool> pool;
-  std::vector<PageId> roots;
-  if (OpenIndex(argv[0], &file, &bag, &pool, &roots)) return 1;
+/// True when the root page carries a replica header (page class sniffing).
+bool IsReplicaRoot(BufferPool* pool, PageId root) {
+  if (root == kInvalidPageId) return false;
+  PageGuard g;
+  if (!pool->Fetch(root, &g).ok()) return false;
+  return g.page()->ReadAt<uint16_t>(0) == replica::kHeaderPageType;
+}
 
-  uint32_t next_sum = 0, next_count = 4;
-  BoxSumIndex<PackedBaTree<double>> sums(kDims, [&] {
-    return PackedBaTree<double>(pool.get(), kDims, roots[next_sum++]);
-  });
-  BoxSumIndex<PackedBaTree<double>> counts(kDims, [&] {
-    return PackedBaTree<double>(pool.get(), kDims, roots[next_count++]);
-  });
-
+template <class Index>
+int RunQuery(BoxSumIndex<Index>& sums, BoxSumIndex<Index>& counts,
+             BufferPool* pool, char** argv) {
   Box q;
   q.lo[0] = std::strtod(argv[1], nullptr);
   q.lo[1] = std::strtod(argv[2], nullptr);
@@ -182,6 +219,39 @@ int CmdQuery(int argc, char** argv) {
   std::printf("  AVG   = %.6f\n", count < 0.5 ? 0.0 : sum / count);
   std::printf("  cost  = %" PRIu64 " physical I/Os\n", d.TotalIos());
   return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) {
+    return Die("query: usage: query index.bag xlo ylo xhi yhi");
+  }
+  std::unique_ptr<FilePageFile> file;
+  std::unique_ptr<BagFile> bag;
+  std::unique_ptr<BufferPool> pool;
+  std::vector<PageId> roots;
+  if (OpenIndex(argv[0], &file, &bag, &pool, &roots)) return 1;
+
+  uint32_t next_sum = 0, next_count = 4;
+  if (IsReplicaRoot(pool.get(), roots[0])) {
+    BoxSumIndex<CompactReplica<double>> sums(kDims, [&] {
+      return CompactReplica<double>(pool.get(), kDims, roots[next_sum++]);
+    });
+    BoxSumIndex<CompactReplica<double>> counts(kDims, [&] {
+      return CompactReplica<double>(pool.get(), kDims, roots[next_count++]);
+    });
+    for (uint32_t s = 0; s < 4; ++s) {
+      if (DieIf(sums.index(s).Open(), "open replica")) return 1;
+      if (DieIf(counts.index(s).Open(), "open replica")) return 1;
+    }
+    return RunQuery(sums, counts, pool.get(), argv);
+  }
+  BoxSumIndex<PackedBaTree<double>> sums(kDims, [&] {
+    return PackedBaTree<double>(pool.get(), kDims, roots[next_sum++]);
+  });
+  BoxSumIndex<PackedBaTree<double>> counts(kDims, [&] {
+    return PackedBaTree<double>(pool.get(), kDims, roots[next_count++]);
+  });
+  return RunQuery(sums, counts, pool.get(), argv);
 }
 
 int CmdStats(int argc, char** argv) {
@@ -202,11 +272,18 @@ int CmdStats(int argc, char** argv) {
                                   "sum[hh]",   "count[ll]", "count[hl]",
                                   "count[lh]", "count[hh]"};
   for (uint32_t i = 0; i < kNumRoots; ++i) {
-    PackedBaTree<double> t(pool.get(), kDims, roots[i]);
     uint64_t pages = 0;
-    if (DieIf(t.PageCount(&pages), "page count")) return 1;
-    std::printf("  %-10s root=%" PRIu64 " pages=%" PRIu64 "\n", names[i],
-                roots[i], pages);
+    const bool rep = IsReplicaRoot(pool.get(), roots[i]);
+    if (rep) {
+      CompactReplica<double> t(pool.get(), kDims, roots[i]);
+      if (DieIf(t.Open(), "open replica")) return 1;
+      if (DieIf(t.PageCount(&pages), "page count")) return 1;
+    } else {
+      PackedBaTree<double> t(pool.get(), kDims, roots[i]);
+      if (DieIf(t.PageCount(&pages), "page count")) return 1;
+    }
+    std::printf("  %-10s root=%" PRIu64 " pages=%" PRIu64 "%s\n", names[i],
+                roots[i], pages, rep ? " (replica)" : "");
   }
   return 0;
 }
@@ -218,7 +295,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: boxagg_cli gen|build|query|stats ...\n"
                  "  gen   out.csv [n] [avg_side] [seed]\n"
-                 "  build data.csv index.bag\n"
+                 "  build data.csv index.bag [--replica]\n"
                  "  query index.bag xlo ylo xhi yhi\n"
                  "  stats index.bag\n");
     return 1;

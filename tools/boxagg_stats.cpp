@@ -1,7 +1,7 @@
 // boxagg_stats: runs a fig9b-style box-sum workload with full observability
 // enabled and reports the latency / I/O breakdown.
 //
-//   boxagg_stats [--backend ecdfu|ecdfq|bat] [--n N] [--queries Q]
+//   boxagg_stats [--backend ecdfu|ecdfq|bat|replica] [--n N] [--queries Q]
 //                [--batch B] [--threads T] [--seed S]
 //                [--json PATH|-] [--trace PATH]
 //
@@ -44,6 +44,8 @@
 #include "obs/metrics.h"
 #include "obs/query_obs.h"
 #include "obs/trace.h"
+#include "replica/compact_replica.h"
+#include "replica/replica_builder.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "workload/generators.h"
@@ -68,7 +70,8 @@ struct Options {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: boxagg_stats [--backend ecdfu|ecdfq|bat] [--n N]\n"
+               "usage: boxagg_stats [--backend ecdfu|ecdfq|bat|replica]\n"
+               "                    [--n N]\n"
                "                    [--queries Q] [--batch B] [--threads T]\n"
                "                    [--shards S] [--buffer-mb M] [--seed S]\n"
                "                    [--json PATH|-] [--trace PATH]\n");
@@ -122,7 +125,7 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     }
   }
   if (opt->backend != "ecdfu" && opt->backend != "ecdfq" &&
-      opt->backend != "bat") {
+      opt->backend != "bat" && opt->backend != "replica") {
     std::fprintf(stderr, "boxagg_stats: unknown backend %s\n",
                  opt->backend.c_str());
     return false;
@@ -173,17 +176,15 @@ void ExportIoStats(obs::MetricsRegistry* reg, const IoStats& d) {
   set("io.probe_fetches_saved", d.probe_fetches_saved);
 }
 
-template <class Index, class Factory>
-int RunWorkload(const Options& opt, BufferPool* pool,
-                const std::vector<BoxObject>& objects,
-                const std::vector<Box>& queries, Factory&& factory) {
+/// Runs the query phase against an already-built index and reports the
+/// metric/invariant breakdown. Callers flush+reset the pool first so the
+/// measured deltas cover query traffic only.
+template <class Index>
+int QueryAndReport(const Options& opt, BufferPool* pool,
+                   BoxSumIndex<Index>* indexp, const std::vector<Box>& queries) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
   obs::QueryObs* qobs = obs::CurrentQueryObs();
-
-  BoxSumIndex<Index> index(2, factory);
-  if (Status s = index.BulkLoad(objects); !s.ok()) return Die("bulk load", s);
-  if (Status s = pool->FlushAll(); !s.ok()) return Die("flush", s);
-  if (Status s = pool->Reset(); !s.ok()) return Die("reset", s);
+  BoxSumIndex<Index>& index = *indexp;
 
   const IoStats io0 = pool->stats();
   const obs::QueryObsSnapshot q0 = qobs->Snapshot();
@@ -271,6 +272,53 @@ int RunWorkload(const Options& opt, BufferPool* pool,
   return rc;
 }
 
+template <class Index, class Factory>
+int RunWorkload(const Options& opt, BufferPool* pool,
+                const std::vector<BoxObject>& objects,
+                const std::vector<Box>& queries, Factory&& factory) {
+  BoxSumIndex<Index> index(2, factory);
+  if (Status s = index.BulkLoad(objects); !s.ok()) return Die("bulk load", s);
+  if (Status s = pool->FlushAll(); !s.ok()) return Die("flush", s);
+  if (Status s = pool->Reset(); !s.ok()) return Die("reset", s);
+  return QueryAndReport(opt, pool, &index, queries);
+}
+
+/// Replica mode: bulk-load a live BA-tree index, freeze each sign index into
+/// a compact replica segment, drop the live tree, and answer the whole
+/// workload from the replicas alone.
+int RunReplicaWorkload(const Options& opt, BufferPool* pool,
+                       const std::vector<BoxObject>& objects,
+                       const std::vector<Box>& queries) {
+  std::vector<PageId> roots;
+  {
+    BoxSumIndex<PackedBaTree<double>> live(
+        2, [&] { return PackedBaTree<double>(pool, 2); });
+    if (Status s = live.BulkLoad(objects); !s.ok()) {
+      return Die("bulk load", s);
+    }
+    ReplicaBuilder<double> builder(pool);
+    for (uint32_t s = 0; s < live.index_count(); ++s) {
+      PageId root = kInvalidPageId;
+      if (Status st = builder.Build(live.index(s), &root); !st.ok()) {
+        return Die("replica build", st);
+      }
+      roots.push_back(root);
+    }
+    if (Status s = live.Destroy(); !s.ok()) return Die("destroy live", s);
+  }
+  size_t next = 0;
+  BoxSumIndex<CompactReplica<double>> index(
+      2, [&] { return CompactReplica<double>(pool, 2, roots[next++]); });
+  for (uint32_t s = 0; s < index.index_count(); ++s) {
+    if (Status st = index.index(s).Open(); !st.ok()) {
+      return Die("replica open", st);
+    }
+  }
+  if (Status s = pool->FlushAll(); !s.ok()) return Die("flush", s);
+  if (Status s = pool->Reset(); !s.ok()) return Die("reset", s);
+  return QueryAndReport(opt, pool, &index, queries);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +346,9 @@ int main(int argc, char** argv) {
                                                    opt.page_size),
                   opt.shards);
 
+  if (opt.backend == "replica") {
+    return RunReplicaWorkload(opt, &pool, objects, queries);
+  }
   if (opt.backend == "ecdfu" || opt.backend == "ecdfq") {
     const EcdfVariant variant = opt.backend == "ecdfu"
                                     ? EcdfVariant::kUpdateOptimized

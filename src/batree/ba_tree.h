@@ -65,8 +65,12 @@ class BaTree {
  public:
   using Entry = PointEntry<V>;
 
-  BaTree(BufferPool* pool, int dims, PageId root = kInvalidPageId)
-      : pool_(pool), dims_(dims), root_(root) {
+  /// `view` non-null binds the handle to a pinned generation snapshot (MVCC):
+  /// every node read resolves through the view's version map and the handle
+  /// rejects mutation. Null (default) reads/writes the live tree.
+  BaTree(BufferPool* pool, int dims, PageId root = kInvalidPageId,
+         const PageVersionView* view = nullptr)
+      : pool_(pool), dims_(dims), root_(root), view_(view) {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
@@ -87,11 +91,12 @@ class BaTree {
 
   /// Adds `v` at point `p`.
   Status Insert(const Point& p, const V& v) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (!PageSizeViable()) {
       return Status::InvalidArgument("page size too small for value type");
     }
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       BOXAGG_RETURN_NOT_OK(base.Insert(p[0], v));
       root_ = base.root();
       return Status::OK();
@@ -142,13 +147,13 @@ class BaTree {
       q[d] = std::min(q[d], std::numeric_limits<double>::max());
     }
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.DominanceSum(q[0], out, obs_level);
     }
     PageId pid = root_;
     for (unsigned level = obs_level;; ++level) {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(level);
       const Page* p = g.page();
       uint32_t n = Count(p);
@@ -173,7 +178,8 @@ class BaTree {
             if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
             obs::NoteBorderProbes(1);
             V part;
-            BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
+            BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)],
+                       view_);
             BOXAGG_RETURN_NOT_OK(
                 sub.DominanceSum(q.DropDim(b, dims_), &part, level + 1));
             *out += part;
@@ -212,7 +218,7 @@ class BaTree {
     if (dims_ == 1) {
       core::ArenaVector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
     core::ArenaVector<uint32_t> order(count);
@@ -234,7 +240,7 @@ class BaTree {
   Status ScanAll(std::vector<Entry>* out) const {
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       std::vector<typename AggBTree<V>::Entry> flat;
       BOXAGG_RETURN_NOT_OK(base.ScanAll(&flat));
       for (const auto& e : flat) out->push_back(Entry{Point(e.key), e.value});
@@ -253,7 +259,7 @@ class BaTree {
     *out = 0;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.PageCount(out);
     }
     return PageCountRec(root_, out);
@@ -273,6 +279,7 @@ class BaTree {
   /// inputs with distinct points; with duplicate points only the coalesced
   /// value's summation order may differ (a floating-point rounding detail).
   Status BulkLoadParallel(std::vector<Entry> entries, exec::ThreadPool* pool) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ != kInvalidPageId) {
       return Status::InvalidArgument("BulkLoad into non-empty tree");
     }
@@ -332,7 +339,7 @@ class BaTree {
     if (ctx == nullptr) ctx = &local;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.CheckConsistency(ctx);
     }
     std::vector<Entry> pts;
@@ -343,9 +350,10 @@ class BaTree {
 
   /// Frees every page (main branch and all borders recursively).
   Status Destroy() {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       BOXAGG_RETURN_NOT_OK(base.Destroy());
     } else {
       BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
@@ -380,6 +388,30 @@ class BaTree {
   uint32_t RecordSize() const {
     return sizeof(Box) + 8 + sizeof(V) +
            8 * static_cast<uint32_t>(dims_);
+  }
+
+  // ---- MVCC plumbing ------------------------------------------------------
+
+  /// Mutations are only legal on a live (view-less) handle; a snapshot-bound
+  /// tree is immutable by construction.
+  Status RequireWritable() const {
+    if (view_ != nullptr) {
+      return Status::InvalidArgument(
+          "mutation through a snapshot-bound tree handle");
+    }
+    return Status::OK();
+  }
+  /// Routes a node read through the pinned snapshot when bound to one.
+  Status FetchNode(PageId pid, PageGuard* g) const {
+    return view_ != nullptr ? pool_->FetchSnapshot(*view_, pid, g)
+                            : pool_->Fetch(pid, g);
+  }
+  void PrefetchNode(PageId pid) const {
+    if (view_ != nullptr) {
+      pool_->PrefetchSnapshotHint(*view_, pid);
+    } else {
+      pool_->PrefetchHint(pid);
+    }
   }
 
   // ---- page accessors -----------------------------------------------------
@@ -567,7 +599,7 @@ class BaTree {
     uint32_t n;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       type = Type(g.page());
       n = Count(g.page());
     }
@@ -576,7 +608,7 @@ class BaTree {
       std::vector<Entry> low, high;
       {
         PageGuard g;
-        BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+        BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
         for (uint32_t i = 0; i < n; ++i) {
           Entry e;
           e.pt = LeafPoint(g.page(), i);
@@ -604,14 +636,14 @@ class BaTree {
     std::vector<Record> recs(n);
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       for (uint32_t i = 0; i < n; ++i) recs[i] = ReadRecord(g.page(), i);
     }
     std::vector<Record> low, high;
     BOXAGG_RETURN_NOT_OK(PartitionRecords(&recs, m, x, &low, &high));
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       SetHeader(g.page(), kInternal, static_cast<uint32_t>(low.size()));
       for (uint32_t i = 0; i < low.size(); ++i) {
         WriteRecord(g.page(), i, low[i]);
@@ -730,7 +762,7 @@ class BaTree {
                    SplitResult* split) {
     split->happened = false;
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     Page* page = g.page();
     uint32_t n = Count(page);
 
@@ -1038,7 +1070,7 @@ class BaTree {
     core::ArenaVector<Group> groups;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
@@ -1084,7 +1116,8 @@ class BaTree {
             pts[t] = qs[members[t]].DropDim(b, dims_);
           }
           obs::NoteBorderProbes(gs);
-          BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
+          BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)],
+                     view_);
           BOXAGG_RETURN_NOT_OK(
               sub.DominanceSumBatch(pts.data(), gs, parts.data(),
                                     obs_level + 1));
@@ -1098,7 +1131,7 @@ class BaTree {
     }
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       // Warm the next group's child while the current one is processed.
-      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      if (gi + 1 < groups.size()) PrefetchNode(groups[gi + 1].child);
       const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, gr.members.data(),
                                              gr.members.size(), qs, outs,
@@ -1110,7 +1143,7 @@ class BaTree {
   // LINT:hot-path-end
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     uint32_t n = Count(p);
     if (Type(p) == kLeaf) {
@@ -1135,7 +1168,7 @@ class BaTree {
 
   Status PageCountRec(PageId pid, uint64_t* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     *out += 1;
     if (Type(p) != kInternal) return Status::OK();
@@ -1147,7 +1180,7 @@ class BaTree {
       BOXAGG_RETURN_NOT_OK(PageCountRec(r.child, out));
       for (int b = 0; b < dims_; ++b) {
         if (r.border[static_cast<size_t>(b)] == kInvalidPageId) continue;
-        BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)]);
+        BaTree sub(pool_, dims_ - 1, r.border[static_cast<size_t>(b)], view_);
         uint64_t cnt = 0;
         BOXAGG_RETURN_NOT_OK(sub.PageCount(&cnt));
         *out += cnt;
@@ -1160,7 +1193,7 @@ class BaTree {
     std::vector<Record> recs;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       if (Type(p) == kLeaf) {
         uint32_t n = Count(p);
@@ -1210,7 +1243,7 @@ class BaTree {
     std::vector<Record> recs;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       const uint16_t type = Type(p);
       if (type != kLeaf && type != kInternal) {
@@ -1273,10 +1306,10 @@ class BaTree {
   Status CheckBorderTree(PageId broot, CheckContext* ctx) const {
     if (broot == kInvalidPageId) return Status::OK();
     if (dims_ - 1 == 1) {
-      AggBTree<V> base(pool_, broot);
+      AggBTree<V> base(pool_, broot, view_);
       return base.CheckConsistency(ctx);
     }
-    BaTree sub(pool_, dims_ - 1, broot);
+    BaTree sub(pool_, dims_ - 1, broot, view_);
     std::vector<Entry> scratch;
     return sub.CheckRec(broot, ctx, &scratch);
   }
@@ -1314,7 +1347,7 @@ class BaTree {
     std::vector<Record> recs;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       if (Type(p) == kInternal) {
         uint32_t n = Count(p);
@@ -1334,6 +1367,7 @@ class BaTree {
   BufferPool* pool_;
   int dims_;
   PageId root_;
+  const PageVersionView* view_ = nullptr;  // non-null: snapshot-bound reads
   /// Worker pool for the CPU-bound stages of an in-flight BulkLoadParallel;
   /// nullptr at all other times (inserts, queries).
   exec::ThreadPool* bulk_pool_ = nullptr;

@@ -57,8 +57,12 @@ class PackedBaTree {
  public:
   using Entry = PointEntry<V>;
 
-  PackedBaTree(BufferPool* pool, int dims, PageId root = kInvalidPageId)
-      : pool_(pool), dims_(dims), root_(root) {
+  /// `view` non-null binds the handle to a pinned generation snapshot (MVCC):
+  /// every node read resolves through the view's version map and the handle
+  /// rejects mutation. Null (default) reads/writes the live tree.
+  PackedBaTree(BufferPool* pool, int dims, PageId root = kInvalidPageId,
+               const PageVersionView* view = nullptr)
+      : pool_(pool), dims_(dims), root_(root), view_(view) {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
@@ -86,11 +90,12 @@ class PackedBaTree {
 
   /// Adds `v` at point `p`.
   Status Insert(const Point& p, const V& v) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (!PageSizeViable()) {
       return Status::InvalidArgument("page size too small for value type");
     }
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       BOXAGG_RETURN_NOT_OK(base.Insert(p[0], v));
       root_ = base.root();
       return Status::OK();
@@ -139,7 +144,7 @@ class PackedBaTree {
       q[d] = std::min(q[d], std::numeric_limits<double>::max());
     }
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.DominanceSum(q[0], out, obs_level);
     }
     PageId pid = root_;
@@ -151,7 +156,7 @@ class PackedBaTree {
       PageId next = kInvalidPageId;
       {
         PageGuard g;
-        BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+        BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
         obs::NoteNodeVisit(level);
         const Page* page = g.page();
         if (PageType(page) == kLeaf) {
@@ -236,7 +241,7 @@ class PackedBaTree {
     if (dims_ == 1) {
       core::ArenaVector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
     core::ArenaVector<uint32_t> order(count);
@@ -257,7 +262,7 @@ class PackedBaTree {
   Status ScanAll(std::vector<Entry>* out) const {
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       std::vector<typename AggBTree<V>::Entry> flat;
       BOXAGG_RETURN_NOT_OK(base.ScanAll(&flat));
       for (const auto& e : flat) out->push_back(Entry{Point(e.key), e.value});
@@ -276,7 +281,7 @@ class PackedBaTree {
     *out = 0;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.PageCount(out);
     }
     return PageCountRec(root_, out);
@@ -284,6 +289,7 @@ class PackedBaTree {
 
   /// Bulk-loads an empty tree (same partitioning as BaTree).
   Status BulkLoad(std::vector<Entry> entries) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ != kInvalidPageId) {
       return Status::InvalidArgument("BulkLoad into non-empty tree");
     }
@@ -327,7 +333,7 @@ class PackedBaTree {
     if (ctx == nullptr) ctx = &local;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.CheckConsistency(ctx);
     }
     std::vector<Entry> pts;
@@ -338,9 +344,10 @@ class PackedBaTree {
 
   /// Frees every page.
   Status Destroy() {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       BOXAGG_RETURN_NOT_OK(base.Destroy());
     } else {
       BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
@@ -397,6 +404,30 @@ class PackedBaTree {
   }
   uint32_t BorderEntrySize() const {
     return 8 * static_cast<uint32_t>(dims_ - 1) + sizeof(V);
+  }
+
+  // ---- MVCC plumbing ------------------------------------------------------
+
+  /// Mutations are only legal on a live (view-less) handle; a snapshot-bound
+  /// tree is immutable by construction.
+  Status RequireWritable() const {
+    if (view_ != nullptr) {
+      return Status::InvalidArgument(
+          "mutation through a snapshot-bound tree handle");
+    }
+    return Status::OK();
+  }
+  /// Routes a node read through the pinned snapshot when bound to one.
+  Status FetchNode(PageId pid, PageGuard* g) const {
+    return view_ != nullptr ? pool_->FetchSnapshot(*view_, pid, g)
+                            : pool_->Fetch(pid, g);
+  }
+  void PrefetchNode(PageId pid) const {
+    if (view_ != nullptr) {
+      pool_->PrefetchSnapshotHint(*view_, pid);
+    } else {
+      pool_->PrefetchHint(pid);
+    }
   }
 
   // ---- raw page accessors -------------------------------------------------
@@ -465,7 +496,7 @@ class PackedBaTree {
 
   Status LoadNode(PageId pid, std::vector<RecImage>* recs) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     if (PageType(p) != kInternal) {
       return Status::Corruption("expected packed internal node");
@@ -542,7 +573,7 @@ class PackedBaTree {
     }
 
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     Page* p = g.page();
     p->Zero();
     p->WriteAt<uint16_t>(0, kInternal);
@@ -623,7 +654,7 @@ class PackedBaTree {
     core::ArenaVector<Group> groups;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* page = g.page();
@@ -702,7 +733,7 @@ class PackedBaTree {
           pts[t] = qs[gr.members[t]].DropDim(sp.b, dims_);
         }
         obs::NoteBorderProbes(gs);
-        PackedBaTree sub(pool_, dims_ - 1, sp.tree_root);
+        PackedBaTree sub(pool_, dims_ - 1, sp.tree_root, view_);
         BOXAGG_RETURN_NOT_OK(sub.DominanceSumBatch(pts.data(), gs,
                                                    parts.data(),
                                                    obs_level + 1));
@@ -710,7 +741,7 @@ class PackedBaTree {
       }
     }
     for (size_t gi = 0; gi < groups.size(); ++gi) {
-      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      if (gi + 1 < groups.size()) PrefetchNode(groups[gi + 1].child);
       const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, gr.members.data(),
                                              gr.members.size(), qs, outs,
@@ -724,7 +755,7 @@ class PackedBaTree {
 
   Status BorderTreeQuery(PageId tree_root, const Point& q, V* out,
                          unsigned obs_level = 0) const {
-    PackedBaTree sub(pool_, dims_ - 1, tree_root);
+    PackedBaTree sub(pool_, dims_ - 1, tree_root, view_);
     return sub.DominanceSum(q, out, obs_level);
   }
 
@@ -852,7 +883,7 @@ class PackedBaTree {
     uint16_t type;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       type = PageType(g.page());
     }
     if (type == kLeaf) {
@@ -860,7 +891,7 @@ class PackedBaTree {
       std::vector<Entry> low, high;
       {
         PageGuard g;
-        BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+        BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
         uint32_t n = LeafCount(g.page());
         for (uint32_t i = 0; i < n; ++i) {
           Entry e;
@@ -994,7 +1025,7 @@ class PackedBaTree {
     uint16_t type;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       type = PageType(g.page());
     }
     if (type == kLeaf) {
@@ -1060,7 +1091,7 @@ class PackedBaTree {
   Status InsertLeaf(PageId pid, const Point& p, const V& v,
                     SplitResult* split) {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     Page* page = g.page();
     uint32_t n = LeafCount(page);
     for (uint32_t i = 0; i < n; ++i) {
@@ -1247,7 +1278,7 @@ class PackedBaTree {
     std::vector<PageId> children;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       type = PageType(p);
       if (type == kLeaf) {
@@ -1274,7 +1305,7 @@ class PackedBaTree {
     std::vector<std::pair<PageId, bool>> kids;  // (pid-or-border, is_border)
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       *out += 1;
       if (PageType(p) == kLeaf) return Status::OK();
@@ -1291,7 +1322,7 @@ class PackedBaTree {
     }
     for (auto [kid, is_border] : kids) {
       if (is_border) {
-        PackedBaTree sub(pool_, dims_ - 1, kid);
+        PackedBaTree sub(pool_, dims_ - 1, kid, view_);
         uint64_t cnt = 0;
         BOXAGG_RETURN_NOT_OK(sub.PageCount(&cnt));
         *out += cnt;
@@ -1305,7 +1336,7 @@ class PackedBaTree {
   Status ValidateRec(PageId pid, std::vector<Entry>* out) const {
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       if (PageType(g.page()) == kLeaf) {
         uint32_t n = LeafCount(g.page());
         for (uint32_t i = 0; i < n; ++i) {
@@ -1350,7 +1381,7 @@ class PackedBaTree {
     BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "packed-ba-tree"));
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       const uint16_t type = PageType(p);
       if (type == kLeaf) {
@@ -1475,10 +1506,10 @@ class PackedBaTree {
   Status CheckBorderTree(PageId broot, CheckContext* ctx) const {
     if (broot == kInvalidPageId) return Status::OK();
     if (dims_ - 1 == 1) {
-      AggBTree<V> base(pool_, broot);
+      AggBTree<V> base(pool_, broot, view_);
       return base.CheckConsistency(ctx);
     }
-    PackedBaTree sub(pool_, dims_ - 1, broot);
+    PackedBaTree sub(pool_, dims_ - 1, broot, view_);
     std::vector<Entry> scratch;
     return sub.CheckRec(broot, ctx, &scratch);
   }
@@ -1514,7 +1545,7 @@ class PackedBaTree {
     std::vector<std::pair<PageId, bool>> kids;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       if (PageType(p) == kInternal) {
         uint32_t n = IntCount(p);
@@ -1543,6 +1574,7 @@ class PackedBaTree {
   BufferPool* pool_;
   int dims_;
   PageId root_;
+  const PageVersionView* view_ = nullptr;  // non-null: snapshot-bound reads
 };
 
 }  // namespace boxagg

@@ -49,6 +49,13 @@ namespace boxagg {
 /// The handle owns no pages itself; it records the root PageId, which changes
 /// on root splits. Callers embedding a tree inside another page (borders)
 /// must persist root() after mutating operations.
+///
+/// MVCC reads: constructed with a non-null `view` (a pinned generation —
+/// core/bag_file.h GenerationPin), every node fetch resolves through
+/// BufferPool::FetchSnapshot against that version instead of the live
+/// translation map, so queries answer as of the pinned generation while a
+/// writer commits newer ones. A view-bound handle is read-only: mutating
+/// entry points refuse with InvalidArgument.
 template <class V>
 class AggBTree {
  public:
@@ -60,8 +67,9 @@ class AggBTree {
     V value;
   };
 
-  AggBTree(BufferPool* pool, PageId root = kInvalidPageId)
-      : pool_(pool), root_(root) {}
+  AggBTree(BufferPool* pool, PageId root = kInvalidPageId,
+           const PageVersionView* view = nullptr)
+      : pool_(pool), root_(root), view_(view) {}
 
   [[nodiscard]] PageId root() const { return root_; }
   [[nodiscard]] bool empty() const { return root_ == kInvalidPageId; }
@@ -101,6 +109,7 @@ class AggBTree {
 
   /// Adds `v` to the aggregate at `key` (coalescing equal keys).
   Status Insert(double key, const V& v) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (!PageSizeViable(pool_->file()->page_size())) {
       return Status::InvalidArgument("page size too small for value type");
     }
@@ -143,7 +152,7 @@ class AggBTree {
     PageId pid = root_;
     for (unsigned level = obs_level;; ++level) {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(level);
       const Page* p = g.page();
       const uint8_t* base = p->data();
@@ -198,7 +207,7 @@ class AggBTree {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(root_, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(root_, &g));
     const Page* p = g.page();
     uint32_t n = Count(p);
     if (Type(p) == kLeaf) {
@@ -252,6 +261,7 @@ class AggBTree {
   /// IS the serial build.
   Status BulkLoadParallel(const std::vector<Entry>& sorted,
                           exec::ThreadPool* tpool, double fill = 1.0) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ != kInvalidPageId) {
       return Status::InvalidArgument("BulkLoad into non-empty tree");
     }
@@ -342,6 +352,7 @@ class AggBTree {
 
   /// Frees every page of the tree; the handle becomes empty.
   Status Destroy() {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ == kInvalidPageId) return Status::OK();
     BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
     root_ = kInvalidPageId;
@@ -386,6 +397,28 @@ class AggBTree {
     V left_sum{};
     V right_sum{};
   };
+
+  /// A handle bound to a pinned generation serves reads only.
+  Status RequireWritable() const {
+    return view_ == nullptr
+               ? Status::OK()
+               : Status::InvalidArgument(
+                     "mutation through a snapshot-bound tree handle");
+  }
+
+  /// Node fetch: live page table, or the pinned generation when this
+  /// handle carries a view.
+  Status FetchNode(PageId pid, PageGuard* g) const {
+    return view_ != nullptr ? pool_->FetchSnapshot(*view_, pid, g)
+                            : pool_->Fetch(pid, g);
+  }
+  void PrefetchNode(PageId pid) const {
+    if (view_ != nullptr) {
+      pool_->PrefetchSnapshotHint(*view_, pid);
+    } else {
+      pool_->PrefetchHint(pid);
+    }
+  }
 
   // ---- page accessors -----------------------------------------------------
   // The key strips are page-size independent (they start right after the
@@ -448,7 +481,7 @@ class AggBTree {
   Status InsertRec(PageId pid, double key, const V& v, SplitResult* split) {
     split->happened = false;
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     Page* p = g.page();
     uint32_t n = Count(p);
     const uint32_t page_size = pool_->file()->page_size();
@@ -613,7 +646,7 @@ class AggBTree {
     core::ArenaVector<Group> groups;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
@@ -660,7 +693,7 @@ class AggBTree {
       }
     }
     for (size_t gi = 0; gi < groups.size(); ++gi) {
-      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      if (gi + 1 < groups.size()) PrefetchNode(groups[gi + 1].child);
       const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
                                              gr.end - gr.begin, qs, outs,
@@ -672,7 +705,7 @@ class AggBTree {
   // LINT:hot-path-end
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     uint32_t n = Count(p);
     if (Type(p) == kLeaf) {
@@ -693,7 +726,7 @@ class AggBTree {
 
   Status CountRec(PageId pid, uint64_t* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     uint32_t n = Count(p);
     if (Type(p) == kLeaf) {
@@ -708,7 +741,7 @@ class AggBTree {
 
   Status PageCountRec(PageId pid, uint64_t* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     *out += 1;
     if (Type(p) == kInternal) {
@@ -734,7 +767,7 @@ class AggBTree {
                   SubtreeFacts* out) const {
     BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "agg-btree"));
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     const uint16_t type = Type(p);
     if (type != kLeaf && type != kInternal) {
@@ -819,7 +852,7 @@ class AggBTree {
     std::vector<PageId> children;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       if (Type(p) == kInternal) {
         uint32_t n = Count(p);
@@ -837,6 +870,7 @@ class AggBTree {
 
   BufferPool* pool_;
   PageId root_;
+  const PageVersionView* view_ = nullptr;  // non-null: snapshot-bound reads
 };
 
 }  // namespace boxagg

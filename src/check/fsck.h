@@ -49,6 +49,15 @@ struct FsckOptions {
   /// Treat stale reachable pages (slot epoch older than the map expects —
   /// a lost write) as corruption instead of a note.
   bool strict_stale = false;
+  /// Verify this specific durable generation instead of the newest
+  /// recoverable one (-1). The store is opened read-only in that case, so
+  /// inspecting the older generation never disturbs the newer one.
+  int64_t target_generation = -1;
+  /// Additionally run the logical sweep over the other durable generation
+  /// (when its superblock slot is valid). Cross-generation aliasing — one
+  /// physical page claimed by both generations under different
+  /// (logical, epoch) identities — is always an error when detectable.
+  bool all_generations = false;
   uint32_t page_size = kDefaultPageSize;
 };
 
@@ -64,6 +73,11 @@ struct FsckReport {
   uint64_t checksum_failures_live = 0;
   uint64_t checksum_failures_free = 0;
   uint64_t stale_pages = 0;    ///< mapped pages holding an older epoch
+  /// Physical pages referenced only by the *other* durable generation
+  /// (retired by the checked one, or not yet visible to it). Distinguished
+  /// from true orphans: they are still reachable through that generation.
+  uint64_t retired_pages = 0;
+  int64_t other_generation = -1;  ///< second durable generation (-1: none)
   uint32_t dims = 0;
   std::vector<PageId> roots;
   /// One entry per corrupt root: "root <i>: <diagnosis>". Empty when every

@@ -106,6 +106,9 @@ namespace sync {
 /// §12; keep the two in sync.
 namespace lock_rank {
 inline constexpr uint32_t kBufferPoolShard = 100;  ///< BufferPool Shard::mu
+inline constexpr uint32_t kGenerationTable = 150;  ///< BagFile gen/pin table
+inline constexpr uint32_t kRetireList = 160;       ///< BagFile retire list
+inline constexpr uint32_t kPageStore = 170;        ///< Mem/Fault page slots
 inline constexpr uint32_t kThreadPoolQueue = 200;  ///< exec::ThreadPool
 inline constexpr uint32_t kExecLatch = 210;        ///< executor done-latch
 inline constexpr uint32_t kBulkLoadLatch = 220;    ///< ParallelFor latch

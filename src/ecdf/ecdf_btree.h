@@ -63,9 +63,14 @@ class EcdfBTree {
  public:
   using Entry = PointEntry<V>;
 
+  /// `view` non-null binds the handle to a pinned generation snapshot (MVCC):
+  /// every node read resolves through the view's version map and the handle
+  /// rejects mutation. Null (default) reads/writes the live tree.
   EcdfBTree(BufferPool* pool, int dims, EcdfVariant variant,
-            PageId root = kInvalidPageId)
-      : pool_(pool), dims_(dims), variant_(variant), root_(root) {
+            PageId root = kInvalidPageId,
+            const PageVersionView* view = nullptr)
+      : pool_(pool), dims_(dims), variant_(variant), root_(root),
+        view_(view) {
     assert(dims_ >= 1 && dims_ <= kMaxDims);
   }
 
@@ -102,11 +107,12 @@ class EcdfBTree {
 
   /// Adds `v` at point `p` (coalescing identical points in the main branch).
   Status Insert(const Point& p, const V& v) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (!PageSizeViable(pool_->file()->page_size())) {
       return Status::InvalidArgument("page size too small for value type");
     }
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       BOXAGG_RETURN_NOT_OK(base.Insert(p[0], v));
       root_ = base.root();
       return Status::OK();
@@ -160,14 +166,14 @@ class EcdfBTree {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.DominanceSum(q[0], out, obs_level);
     }
     PageId pid = root_;
     Point projected = q.DropDim(0, dims_);
     for (unsigned level = obs_level;; ++level) {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(level);
       const Page* p = g.page();
       uint32_t n = Count(p);
@@ -189,7 +195,7 @@ class EcdfBTree {
         if (idx > 0) obs::NoteBorderProbes(idx);
         for (uint32_t i = 0; i < idx; ++i) {
           V part;
-          EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i));
+          EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i), view_);
           BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part, level + 1));
           *out += part;
         }
@@ -197,7 +203,8 @@ class EcdfBTree {
         // One prefix border covers everything left of the path.
         obs::NoteBorderProbes(1);
         V part;
-        EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, idx - 1));
+        EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, idx - 1),
+                      view_);
         BOXAGG_RETURN_NOT_OK(sub.DominanceSum(projected, &part, level + 1));
         *out += part;
       }
@@ -221,7 +228,7 @@ class EcdfBTree {
     if (dims_ == 1) {
       core::ArenaVector<double> keys(count);
       for (size_t i = 0; i < count; ++i) keys[i] = qs[i][0];
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.DominanceSumBatch(keys.data(), count, outs, obs_level);
     }
     core::ArenaVector<Point> projected(count);
@@ -242,11 +249,11 @@ class EcdfBTree {
     *out = V{};
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.TotalSum(out);
     }
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(root_, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(root_, &g));
     const Page* p = g.page();
     uint32_t n = Count(p);
     if (Type(p) == kLeaf) {
@@ -270,7 +277,7 @@ class EcdfBTree {
   Status ScanAll(std::vector<Entry>* out) const {
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       std::vector<typename AggBTree<V>::Entry> flat;
       BOXAGG_RETURN_NOT_OK(base.ScanAll(&flat));
       for (const auto& e : flat) {
@@ -286,7 +293,7 @@ class EcdfBTree {
     *out = 0;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.CountEntries(out);
     }
     std::vector<Entry> all;
@@ -301,7 +308,7 @@ class EcdfBTree {
     *out = 0;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.PageCount(out);
     }
     return PageCountRec(root_, out);
@@ -310,6 +317,7 @@ class EcdfBTree {
   /// Bulk-loads the tree (must be empty) from `entries`; sorts and coalesces
   /// internally. Borders are bulk-loaded from contiguous sorted ranges.
   Status BulkLoad(std::vector<Entry> entries) {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ != kInvalidPageId) {
       return Status::InvalidArgument("BulkLoad into non-empty tree");
     }
@@ -402,9 +410,10 @@ class EcdfBTree {
   /// Frees every page (main branch and all borders); the handle becomes
   /// empty.
   Status Destroy() {
+    BOXAGG_RETURN_NOT_OK(RequireWritable());
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       BOXAGG_RETURN_NOT_OK(base.Destroy());
     } else {
       BOXAGG_RETURN_NOT_OK(DestroyRec(root_));
@@ -425,7 +434,7 @@ class EcdfBTree {
     if (ctx == nullptr) ctx = &local;
     if (root_ == kInvalidPageId) return Status::OK();
     if (dims_ == 1) {
-      AggBTree<V> base(pool_, root_);
+      AggBTree<V> base(pool_, root_, view_);
       return base.CheckConsistency(ctx);
     }
     SubtreeFacts facts;
@@ -450,6 +459,30 @@ class EcdfBTree {
     V left_sum{};
     V right_sum{};
   };
+
+  // ---- MVCC plumbing ------------------------------------------------------
+
+  /// Mutations are only legal on a live (view-less) handle; a snapshot-bound
+  /// tree is immutable by construction.
+  Status RequireWritable() const {
+    if (view_ != nullptr) {
+      return Status::InvalidArgument(
+          "mutation through a snapshot-bound tree handle");
+    }
+    return Status::OK();
+  }
+  /// Routes a node read through the pinned snapshot when bound to one.
+  Status FetchNode(PageId pid, PageGuard* g) const {
+    return view_ != nullptr ? pool_->FetchSnapshot(*view_, pid, g)
+                            : pool_->Fetch(pid, g);
+  }
+  void PrefetchNode(PageId pid) const {
+    if (view_ != nullptr) {
+      pool_->PrefetchSnapshotHint(*view_, pid);
+    } else {
+      pool_->PrefetchHint(pid);
+    }
+  }
 
   // ---- page accessors -----------------------------------------------------
 
@@ -531,7 +564,7 @@ class EcdfBTree {
                   SubtreeFacts* out) const {
     BOXAGG_RETURN_NOT_OK(ctx->Visit(pid, "ecdf-btree"));
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     const uint16_t type = Type(p);
     if (type != kLeaf && type != kInternal) {
@@ -613,7 +646,8 @@ class EcdfBTree {
       prefix += child.sum;
 
       // Border: audit its own structure, then the variant identity.
-      EcdfBTree border(pool_, dims_ - 1, variant_, InternalBorder(p, i));
+      EcdfBTree border(pool_, dims_ - 1, variant_, InternalBorder(p, i),
+                       view_);
       BOXAGG_RETURN_NOT_OK(border.CheckConsistency(ctx));
       V border_total;
       BOXAGG_RETURN_NOT_OK(border.TotalSum(&border_total));
@@ -689,7 +723,7 @@ class EcdfBTree {
   /// Clone of a base AggBTree page graph (type 1/2 pages).
   Status CloneAgg(PageId pid, PageId* out) {
     PageGuard src, dst;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &src));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &src));
     BOXAGG_RETURN_NOT_OK(pool_->New(&dst));
     std::memcpy(dst.page()->data(), src.page()->data(),
                 pool_->file()->page_size());
@@ -702,13 +736,13 @@ class EcdfBTree {
       for (uint32_t i = 0; i < n; ++i) {
         // Re-fetch per child to bound pin counts.
         PageGuard d2;
-        BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d2));
+        BOXAGG_RETURN_NOT_OK(FetchNode(*out, &d2));
         const uint32_t child_off = AggBTree<V>::InternalChildOffset(ps, i);
         PageId child = d2.page()->ReadAt<uint64_t>(child_off);
         d2.Release();
         PageId cloned;
         BOXAGG_RETURN_NOT_OK(CloneAgg(child, &cloned));
-        BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d2));
+        BOXAGG_RETURN_NOT_OK(FetchNode(*out, &d2));
         d2.page()->WriteAt<uint64_t>(child_off, cloned);
         d2.MarkDirty();
       }
@@ -719,7 +753,7 @@ class EcdfBTree {
   Status CloneRec(PageId pid, PageId* out) {
     {
       PageGuard src, dst;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &src));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &src));
       BOXAGG_RETURN_NOT_OK(pool_->New(&dst));
       std::memcpy(dst.page()->data(), src.page()->data(),
                   pool_->file()->page_size());
@@ -728,19 +762,19 @@ class EcdfBTree {
       if (Type(src.page()) == kLeaf) return Status::OK();
     }
     PageGuard d;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &d));
+    BOXAGG_RETURN_NOT_OK(FetchNode(*out, &d));
     uint32_t n = Count(d.page());
     d.Release();
     for (uint32_t i = 0; i < n; ++i) {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(*out, &g));
       PageId child = InternalChild(g.page(), i);
       PageId border = InternalBorder(g.page(), i);
       g.Release();
       PageId child_copy, border_copy;
       BOXAGG_RETURN_NOT_OK(CloneRec(child, &child_copy));
       BOXAGG_RETURN_NOT_OK(CloneBorder(border, &border_copy));
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(*out, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(*out, &g));
       SetInternalChild(g.page(), i, child_copy);
       SetInternalBorder(g.page(), i, border_copy);
       g.MarkDirty();
@@ -754,7 +788,7 @@ class EcdfBTree {
                    SplitResult* split) {
     split->happened = false;
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     Page* page = g.page();
     uint32_t n = Count(page);
     const uint32_t page_size = pool_->file()->page_size();
@@ -973,7 +1007,7 @@ class EcdfBTree {
     core::ArenaVector<Group> groups;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       obs::NoteNodeVisit(obs_level);
       if (m > 1) pool_->NoteProbeFetchesSaved(m - 1);
       const Page* p = g.page();
@@ -1020,7 +1054,7 @@ class EcdfBTree {
           parts.resize(gs);
           for (size_t t = 0; t < gs; ++t) pts[t] = projected[idx[s + t]];
           obs::NoteBorderProbes(gs);
-          EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i));
+          EcdfBTree sub(pool_, dims_ - 1, variant_, InternalBorder(p, i), view_);
           BOXAGG_RETURN_NOT_OK(
               sub.DominanceSumBatch(pts.data(), gs, parts.data(),
                                     obs_level + 1));
@@ -1040,7 +1074,7 @@ class EcdfBTree {
           }
           obs::NoteBorderProbes(gs);
           EcdfBTree sub(pool_, dims_ - 1, variant_,
-                        InternalBorder(p, gr.route - 1));
+                        InternalBorder(p, gr.route - 1), view_);
           BOXAGG_RETURN_NOT_OK(
               sub.DominanceSumBatch(pts.data(), gs, parts.data(),
                                     obs_level + 1));
@@ -1052,7 +1086,7 @@ class EcdfBTree {
     }
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       // Warm the next group's child while the current one is processed.
-      if (gi + 1 < groups.size()) pool_->PrefetchHint(groups[gi + 1].child);
+      if (gi + 1 < groups.size()) PrefetchNode(groups[gi + 1].child);
       const Group& gr = groups[gi];
       BOXAGG_RETURN_NOT_OK(DominanceBatchRec(gr.child, idx + gr.begin,
                                              gr.end - gr.begin, qs, projected,
@@ -1064,7 +1098,7 @@ class EcdfBTree {
   // LINT:hot-path-end
   Status ScanRec(PageId pid, std::vector<Entry>* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     uint32_t n = Count(p);
     if (Type(p) == kLeaf) {
@@ -1087,7 +1121,7 @@ class EcdfBTree {
 
   Status PageCountRec(PageId pid, uint64_t* out) const {
     PageGuard g;
-    BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+    BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
     const Page* p = g.page();
     *out += 1;
     if (Type(p) != kInternal) return Status::OK();
@@ -1100,7 +1134,7 @@ class EcdfBTree {
     for (auto [child, border] : kids) {
       BOXAGG_RETURN_NOT_OK(PageCountRec(child, out));
       if (border != kInvalidPageId) {
-        EcdfBTree sub(pool_, dims_ - 1, variant_, border);
+        EcdfBTree sub(pool_, dims_ - 1, variant_, border, view_);
         uint64_t b = 0;
         BOXAGG_RETURN_NOT_OK(sub.PageCount(&b));
         *out += b;
@@ -1113,7 +1147,7 @@ class EcdfBTree {
     std::vector<std::pair<PageId, PageId>> kids;
     {
       PageGuard g;
-      BOXAGG_RETURN_NOT_OK(pool_->Fetch(pid, &g));
+      BOXAGG_RETURN_NOT_OK(FetchNode(pid, &g));
       const Page* p = g.page();
       if (Type(p) == kInternal) {
         uint32_t n = Count(p);
@@ -1136,6 +1170,7 @@ class EcdfBTree {
   int dims_;
   EcdfVariant variant_;
   PageId root_;
+  const PageVersionView* view_ = nullptr;  // non-null: snapshot-bound reads
 };
 
 }  // namespace boxagg

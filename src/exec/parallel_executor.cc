@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "core/bag_file.h"
 #include "core/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -193,6 +194,35 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
               "executor.morsel_latency_us");
   }
   return first_error;
+}
+
+Status ParallelQueryExecutor::RunBatchPinned(BagFile* bag,
+                                             const PinnedQueryFn& fn,
+                                             const std::vector<Box>& queries,
+                                             std::vector<double>* results,
+                                             BatchExecStats* stats,
+                                             BufferPool* pool) {
+  GenerationPin pin;
+  BOXAGG_RETURN_NOT_OK(bag->PinCurrent(&pin));
+  // The pin outlives RunBatch's completion latch, so every worker reads the
+  // same immutable generation; it drops (and may trigger reclamation) only
+  // after the last query has finished.
+  return RunBatch(
+      [&pin, &fn](const Box& box, double* out) { return fn(pin, box, out); },
+      queries, results, stats, pool);
+}
+
+Status ParallelQueryExecutor::RunBatchGroupedPinned(
+    BagFile* bag, const PinnedBatchQueryFn& fn,
+    const std::vector<Box>& queries, size_t morsel,
+    std::vector<double>* results, BatchExecStats* stats, BufferPool* pool) {
+  GenerationPin pin;
+  BOXAGG_RETURN_NOT_OK(bag->PinCurrent(&pin));
+  return RunBatchGrouped(
+      [&pin, &fn](const Box* qs, size_t count, double* outs) {
+        return fn(pin, qs, count, outs);
+      },
+      queries, morsel, results, stats, pool);
 }
 
 }  // namespace exec

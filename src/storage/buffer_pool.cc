@@ -150,9 +150,55 @@ Status BufferPool::Fetch(PageId id, PageGuard* out) {
   return Status::OK();
 }
 
+Status BufferPool::FetchSnapshot(const PageVersionView& view, PageId logical,
+                                 PageGuard* out) {
+  stats_.AddLogicalRead();
+  const uint64_t key = view.VersionKey(logical);
+  assert((key & kSnapshotKeyBit) != 0 && "snapshot key missing tag bit");
+  Shard& s = *shards_[ShardOf(key)];
+  LockShardTimed(s);
+  sync::MutexLock lock(&s.mu, sync::kAdoptLock);
+  auto it = s.frames.find(key);
+  if (it != s.frames.end()) {
+    stats_.AddBufferHit();
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    Frame* f = it->second;
+    ParkLru(s, f);
+    f->pin_count.fetch_add(1, std::memory_order_relaxed);
+    *out = PageGuard(this, f);
+    return Status::OK();
+  }
+  Frame* f = nullptr;
+  BOXAGG_RETURN_NOT_OK(GetFreeFrame(s, &f));
+  if (Status st = view.ReadVersioned(logical, &f->page); !st.ok()) {
+    s.free_frames.push_back(f);  // don't leak the frame on a failed read
+    if (st.code() == Status::Code::kCorruption) stats_.AddChecksumFailure();
+    return st;
+  }
+  stats_.AddPhysicalRead();
+  s.misses.fetch_add(1, std::memory_order_relaxed);
+  f->id = key;
+  f->pin_count.store(1, std::memory_order_relaxed);
+  f->dirty.store(false, std::memory_order_relaxed);
+  f->in_lru = false;
+  s.frames[key] = f;
+  *out = PageGuard(this, f);
+  return Status::OK();
+}
+
 void BufferPool::PrefetchHint(PageId id) const {
-#if defined(__GNUC__) || defined(__clang__)
   if (id == kInvalidPageId) return;
+  PrefetchKey(id);
+}
+
+void BufferPool::PrefetchSnapshotHint(const PageVersionView& view,
+                                      PageId logical) const {
+  if (logical == kInvalidPageId) return;
+  PrefetchKey(view.VersionKey(logical));
+}
+
+void BufferPool::PrefetchKey(uint64_t id) const {
+#if defined(__GNUC__) || defined(__clang__)
   const Shard& s = *shards_[ShardOf(id)];
   // try_lock only: a prefetch hint must never serialize against real pool
   // traffic. Missing the hint costs nothing but the prefetch.
@@ -261,6 +307,9 @@ Status BufferPool::FlushAll() {
     sync::MutexLock lock(&s.mu);
     for (auto& [id, f] : s.frames) {
       if (f->dirty.load(std::memory_order_relaxed)) {
+        // A snapshot frame's id is a version key, not a writable page id;
+        // such frames are read-only and must never be dirty.
+        assert((id & kSnapshotKeyBit) == 0 && "dirty snapshot frame");
         BOXAGG_RETURN_NOT_OK(file_->WritePage(id, f->page));
         stats_.AddPhysicalWrite();
         f->dirty.store(false, std::memory_order_relaxed);
@@ -345,6 +394,9 @@ Status BufferPool::EvictOne(Shard& s) {
   Frame* f = s.lru.front();
   ParkLru(s, f);
   if (f->dirty.load(std::memory_order_relaxed)) {
+    // Snapshot frames (tagged keys) are read-only: a dirty one here would
+    // write page content to a key that is not a real page id.
+    assert((f->id & kSnapshotKeyBit) == 0 && "dirty snapshot frame");
     if (Status st = file_->WritePage(f->id, f->page); !st.ok()) {
       // Keep the frame resident and evictable so a transient I/O failure
       // does not permanently shrink the pool.

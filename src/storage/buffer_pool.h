@@ -30,6 +30,7 @@
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
+#include "storage/page_version.h"
 #include "storage/status.h"
 
 namespace boxagg {
@@ -78,6 +79,24 @@ class BufferPool {
 
   /// Pins page `id`, reading it from the file on a miss. Thread-safe.
   Status Fetch(PageId id, PageGuard* out);
+
+  /// Pins logical page `logical` as of the pinned version `view`, reading
+  /// through view.ReadVersioned on a miss. Snapshot frames share the pool
+  /// with live frames but live under view.VersionKey(logical) — a key that
+  /// identifies immutable page *content* (see storage/page_version.h), so
+  /// a hit can never be stale and no invalidation exists. Counting matches
+  /// Fetch (logical read; buffer hit or physical read). Snapshot frames
+  /// are read-only: callers must not MarkDirty them. Thread-safe, and —
+  /// unlike Fetch — safe concurrently with the single writer's New/Delete,
+  /// because it never touches the live page-id namespace or the PageFile
+  /// allocation state. Eviction under pressure works normally (unpinned
+  /// snapshot frames are clean, so evicting one is free).
+  Status FetchSnapshot(const PageVersionView& view, PageId logical,
+                       PageGuard* out);
+
+  /// PrefetchHint for a snapshot-resident page (same no-side-effect
+  /// contract). Thread-safe.
+  void PrefetchSnapshotHint(const PageVersionView& view, PageId logical) const;
 
   /// Pins every page in `ids[0..count)` in order, exactly as `count`
   /// consecutive Fetch calls would (same counting, same LRU touches), and
@@ -213,6 +232,7 @@ class BufferPool {
   }
 
   void Unpin(Frame* f, bool dirty);
+  void PrefetchKey(uint64_t key) const;
   Status GetFreeFrame(Shard& s, Frame** out) REQUIRES(s.mu);
   Status EvictOne(Shard& s) REQUIRES(s.mu);
   void Touch(Shard& s, Frame* f) REQUIRES(s.mu);

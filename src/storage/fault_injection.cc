@@ -20,7 +20,7 @@ uint64_t FaultInjectingPageFile::NextRandom() {
 Status FaultInjectingPageFile::EnterIo() {
   ++io_count_;
   if (crash_at_io_ != 0 && io_count_ >= crash_at_io_ && !crashed_) {
-    Crash();
+    CrashLocked();
   }
   if (crashed_) {
     return Status::IoError("simulated crash: store offline until Reopen()");
@@ -29,6 +29,7 @@ Status FaultInjectingPageFile::EnterIo() {
 }
 
 Status FaultInjectingPageFile::Extend(uint64_t new_count) {
+  sync::MutexLock lock(&mu_);
   if (crashed_) {
     return Status::IoError("simulated crash: store offline until Reopen()");
   }
@@ -40,6 +41,7 @@ Status FaultInjectingPageFile::Extend(uint64_t new_count) {
 
 Status FaultInjectingPageFile::ReadPageEx(PageId id, Page* page,
                                           uint64_t* epoch_out) {
+  sync::MutexLock lock(&mu_);
   BOXAGG_RETURN_NOT_OK(EnterIo());
   ++read_count_;
   if (read_error_at_ != 0 && read_count_ >= read_error_at_ &&
@@ -47,7 +49,7 @@ Status FaultInjectingPageFile::ReadPageEx(PageId id, Page* page,
     --read_error_left_;
     return Status::IoError("injected transient read error");
   }
-  if (id >= page_count_) return Status::NotFound("page id out of range");
+  if (id >= durable_.size()) return Status::NotFound("page id out of range");
   const auto pending = pending_.find(id);
   const std::vector<uint8_t>& slot =
       pending != pending_.end() ? pending->second.slot : durable_[id];
@@ -60,12 +62,18 @@ Status FaultInjectingPageFile::ReadPageEx(PageId id, Page* page,
 }
 
 Status FaultInjectingPageFile::WritePage(PageId id, const Page& page) {
+  sync::MutexLock lock(&mu_);
   BOXAGG_RETURN_NOT_OK(EnterIo());
   ++write_count_;
   if (write_error_at_ != 0 && write_count_ == write_error_at_) {
     return Status::IoError("injected write error");
   }
-  if (id >= page_count_) return Status::NotFound("page id out of range");
+  if (id >= durable_.size()) return Status::NotFound("page id out of range");
+  if (guards_.count(id) != 0) {
+    ++guard_violations_;
+    assert(false && "WritePage to a pinned (guarded) physical page");
+    return Status::IoError("guard violation: write to pinned page");
+  }
   Pending& p = pending_[id];
   p.slot.resize(slot_size());
   EncodePageSlot(p.slot.data(), page_size_, id, write_epoch_, page.data());
@@ -76,7 +84,20 @@ Status FaultInjectingPageFile::WritePage(PageId id, const Page& page) {
   return Status::OK();
 }
 
+Status FaultInjectingPageFile::Free(PageId id) {
+  {
+    sync::MutexLock lock(&mu_);
+    if (guards_.count(id) != 0) {
+      ++guard_violations_;
+      assert(false && "Free of a pinned (guarded) physical page");
+      return Status::IoError("guard violation: free of pinned page");
+    }
+  }
+  return PageFile::Free(id);
+}
+
 Status FaultInjectingPageFile::Sync() {
+  sync::MutexLock lock(&mu_);
   BOXAGG_RETURN_NOT_OK(EnterIo());
   for (auto& [id, p] : pending_) {
     durable_[id] = std::move(p.slot);
@@ -86,6 +107,11 @@ Status FaultInjectingPageFile::Sync() {
 }
 
 void FaultInjectingPageFile::Crash() {
+  sync::MutexLock lock(&mu_);
+  CrashLocked();
+}
+
+void FaultInjectingPageFile::CrashLocked() {
   // Each unsynced write independently vanishes, lands whole, or lands
   // torn — exactly the set of outcomes a real kernel page cache admits.
   // Shadow-paged commits must tolerate any combination, because every
@@ -113,6 +139,7 @@ void FaultInjectingPageFile::Crash() {
 }
 
 void FaultInjectingPageFile::Reopen() {
+  sync::MutexLock lock(&mu_);
   assert(pending_.empty() && "Reopen with pending writes; call Crash first");
   crashed_ = false;
   free_list_.clear();
@@ -121,28 +148,34 @@ void FaultInjectingPageFile::Reopen() {
   torn_write_at_ = 0;
   torn_prefix_ = 0;
   crash_at_io_ = 0;
+  // guards_ intentionally survives: pins are reader state, not store state.
 }
 
 void FaultInjectingPageFile::ScheduleReadError(uint64_t nth, uint64_t times) {
+  sync::MutexLock lock(&mu_);
   read_error_at_ = read_count_ + nth;
   read_error_left_ = times;
 }
 
 void FaultInjectingPageFile::ScheduleWriteError(uint64_t nth) {
+  sync::MutexLock lock(&mu_);
   write_error_at_ = write_count_ + nth;
 }
 
 void FaultInjectingPageFile::ScheduleTornWrite(uint64_t nth,
                                                uint32_t prefix_bytes) {
+  sync::MutexLock lock(&mu_);
   torn_write_at_ = write_count_ + nth;
   torn_prefix_ = prefix_bytes;
 }
 
 void FaultInjectingPageFile::ScheduleCrashAtIo(uint64_t nth) {
+  sync::MutexLock lock(&mu_);
   crash_at_io_ = io_count_ + nth;
 }
 
 void FaultInjectingPageFile::FlipBit(PageId id, uint64_t bit_index) {
+  sync::MutexLock lock(&mu_);
   assert(id < durable_.size() && !durable_[id].empty() &&
          "FlipBit targets a written durable page");
   std::vector<uint8_t>& slot = durable_[id];
@@ -151,8 +184,57 @@ void FaultInjectingPageFile::FlipBit(PageId id, uint64_t bit_index) {
 }
 
 void FaultInjectingPageFile::ZeroDurablePage(PageId id) {
+  sync::MutexLock lock(&mu_);
   assert(id < durable_.size());
   durable_[id].clear();  // reverts to never-written
+}
+
+void FaultInjectingPageFile::GuardPage(PageId id) {
+  sync::MutexLock lock(&mu_);
+  ++guards_[id];
+}
+
+void FaultInjectingPageFile::UnguardPage(PageId id) {
+  sync::MutexLock lock(&mu_);
+  auto it = guards_.find(id);
+  assert(it != guards_.end() && "UnguardPage without matching GuardPage");
+  if (it == guards_.end()) return;
+  if (--it->second == 0) guards_.erase(it);
+}
+
+uint64_t FaultInjectingPageFile::guard_violations() const {
+  sync::MutexLock lock(&mu_);
+  return guard_violations_;
+}
+
+size_t FaultInjectingPageFile::guarded_pages() const {
+  sync::MutexLock lock(&mu_);
+  return guards_.size();
+}
+
+bool FaultInjectingPageFile::crashed() const {
+  sync::MutexLock lock(&mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingPageFile::io_count() const {
+  sync::MutexLock lock(&mu_);
+  return io_count_;
+}
+
+uint64_t FaultInjectingPageFile::read_count() const {
+  sync::MutexLock lock(&mu_);
+  return read_count_;
+}
+
+uint64_t FaultInjectingPageFile::write_count() const {
+  sync::MutexLock lock(&mu_);
+  return write_count_;
+}
+
+size_t FaultInjectingPageFile::pending_writes() const {
+  sync::MutexLock lock(&mu_);
+  return pending_.size();
 }
 
 }  // namespace boxagg

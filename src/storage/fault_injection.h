@@ -30,6 +30,19 @@
 //   FlipBit(id, bit)             - flips one bit in the durable slot.
 //   ZeroDurablePage(id)          - simulates a lost write: the slot reverts
 //                                  to never-written zeros.
+//
+// Page guards (MVCC reclamation-ordering oracle): a snapshot reader that
+// pins a generation calls GuardPage on every physical page its pinned root
+// set can reach. A WritePage or Free against a guarded page means the
+// writer reused or retired a page before every pin on it dropped — the
+// exact bug epoch-based reclamation must make impossible. Guard hits bump
+// guard_violations(), abort in debug builds, and fail the I/O, so both
+// crash_torture (release) and unit tests (debug) catch ordering bugs.
+// Guards are refcounted (overlapping readers) and are metadata, not I/O:
+// guarding never counts against scheduled faults and survives Crash/Reopen.
+//
+// All methods are thread-safe behind one internal mutex: torture readers
+// run concurrently with the writer thread against this store.
 
 #ifndef BOXAGG_STORAGE_FAULT_INJECTION_H_
 #define BOXAGG_STORAGE_FAULT_INJECTION_H_
@@ -49,6 +62,7 @@ class FaultInjectingPageFile : public PageFile {
   // -- PageFile interface ---------------------------------------------------
   Status ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) override;
   Status WritePage(PageId id, const Page& page) override;
+  Status Free(PageId id) override;
   Status Sync() override;
 
   // -- fault scheduling -----------------------------------------------------
@@ -71,13 +85,22 @@ class FaultInjectingPageFile : public PageFile {
   void FlipBit(PageId id, uint64_t bit_index);
   void ZeroDurablePage(PageId id);
 
+  // -- reclamation-ordering guards ------------------------------------------
+  /// Marks `id` as pinned by a snapshot reader: any WritePage or Free
+  /// against it is a reclamation-ordering violation. Refcounted.
+  void GuardPage(PageId id);
+  void UnguardPage(PageId id);
+  /// WritePage/Free attempts against guarded pages (should stay 0).
+  [[nodiscard]] uint64_t guard_violations() const;
+  [[nodiscard]] size_t guarded_pages() const;
+
   // -- introspection --------------------------------------------------------
-  [[nodiscard]] bool crashed() const { return crashed_; }
-  [[nodiscard]] uint64_t io_count() const { return io_count_; }
-  [[nodiscard]] uint64_t read_count() const { return read_count_; }
-  [[nodiscard]] uint64_t write_count() const { return write_count_; }
+  [[nodiscard]] bool crashed() const;
+  [[nodiscard]] uint64_t io_count() const;
+  [[nodiscard]] uint64_t read_count() const;
+  [[nodiscard]] uint64_t write_count() const;
   /// Pages with pending (unsynced) writes.
-  [[nodiscard]] size_t pending_writes() const { return pending_.size(); }
+  [[nodiscard]] size_t pending_writes() const;
 
  protected:
   Status Extend(uint64_t new_count) override;
@@ -90,24 +113,33 @@ class FaultInjectingPageFile : public PageFile {
   };
 
   /// Counts the I/O, fires a scheduled crash, and reports offline state.
-  Status EnterIo();
-  uint64_t NextRandom();
+  Status EnterIo() REQUIRES(mu_);
+  void CrashLocked() REQUIRES(mu_);
+  uint64_t NextRandom() REQUIRES(mu_);
 
-  std::vector<std::vector<uint8_t>> durable_;  // empty slot = never written
-  std::map<PageId, Pending> pending_;          // ordered for determinism
+  mutable sync::Mutex mu_{"faultfile.slots", sync::lock_rank::kPageStore};
 
-  uint64_t rng_state_;
-  bool crashed_ = false;
-  uint64_t io_count_ = 0;
-  uint64_t read_count_ = 0;
-  uint64_t write_count_ = 0;
+  // empty slot = never written
+  std::vector<std::vector<uint8_t>> durable_ GUARDED_BY(mu_);
+  // ordered for determinism
+  std::map<PageId, Pending> pending_ GUARDED_BY(mu_);
+  // physical id -> pin refcount
+  std::map<PageId, uint32_t> guards_ GUARDED_BY(mu_);
+  uint64_t guard_violations_ GUARDED_BY(mu_) = 0;
 
-  uint64_t read_error_at_ = 0;   // absolute read_count_ value; 0 = none
-  uint64_t read_error_left_ = 0;
-  uint64_t write_error_at_ = 0;
-  uint64_t torn_write_at_ = 0;
-  uint32_t torn_prefix_ = 0;
-  uint64_t crash_at_io_ = 0;
+  uint64_t rng_state_ GUARDED_BY(mu_);
+  bool crashed_ GUARDED_BY(mu_) = false;
+  uint64_t io_count_ GUARDED_BY(mu_) = 0;
+  uint64_t read_count_ GUARDED_BY(mu_) = 0;
+  uint64_t write_count_ GUARDED_BY(mu_) = 0;
+
+  // absolute read_count_ value; 0 = none
+  uint64_t read_error_at_ GUARDED_BY(mu_) = 0;
+  uint64_t read_error_left_ GUARDED_BY(mu_) = 0;
+  uint64_t write_error_at_ GUARDED_BY(mu_) = 0;
+  uint64_t torn_write_at_ GUARDED_BY(mu_) = 0;
+  uint32_t torn_prefix_ GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_io_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace boxagg

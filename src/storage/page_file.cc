@@ -97,6 +97,7 @@ void PageFile::SetFreeList(std::vector<PageId> free_ids) {
 // MemPageFile
 
 Status MemPageFile::Extend(uint64_t new_count) {
+  sync::MutexLock lock(&mu_);
   slots_.resize(new_count);
   return Status::OK();
 }
@@ -108,15 +109,19 @@ Status MemPageFile::Free(PageId id) {
   // now fails the header check instead of returning stale-but-plausible
   // bytes. (Release builds skip the fill; freed contents are undefined
   // either way.)
-  if (id < slots_.size() && !slots_[id].empty()) {
-    std::fill(slots_[id].begin(), slots_[id].end(), uint8_t{0xDB});
+  {
+    sync::MutexLock lock(&mu_);
+    if (id < slots_.size() && !slots_[id].empty()) {
+      std::fill(slots_[id].begin(), slots_[id].end(), uint8_t{0xDB});
+    }
   }
 #endif
   return Status::OK();
 }
 
 Status MemPageFile::ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) {
-  if (id >= page_count_) return Status::NotFound("page id out of range");
+  sync::MutexLock lock(&mu_);
+  if (id >= slots_.size()) return Status::NotFound("page id out of range");
   auto& src = slots_[id];
   if (src.empty()) {
     page->Zero();  // never-written page reads as zeros
@@ -127,7 +132,8 @@ Status MemPageFile::ReadPageEx(PageId id, Page* page, uint64_t* epoch_out) {
 }
 
 Status MemPageFile::WritePage(PageId id, const Page& page) {
-  if (id >= page_count_) return Status::NotFound("page id out of range");
+  sync::MutexLock lock(&mu_);
+  if (id >= slots_.size()) return Status::NotFound("page id out of range");
   auto& dst = slots_[id];
   dst.resize(slot_size());
   EncodePageSlot(dst.data(), page_size_, id, write_epoch_, page.data());

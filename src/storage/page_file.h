@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
 #include "storage/page.h"
 #include "storage/page_header.h"
 #include "storage/status.h"
@@ -39,7 +40,11 @@ struct CheckContext;
 /// long as no Allocate/Free/Extend runs at the same time and no two threads
 /// write the same page (the sharded BufferPool guarantees both on its read
 /// path — each page belongs to exactly one shard). Allocation and freeing
-/// remain single-threaded, like all index mutation.
+/// remain single-threaded, like all index mutation. The in-memory backends
+/// (MemPageFile, FaultInjectingPageFile) strengthen this: their reads are
+/// additionally safe against a concurrent Allocate/Free/Extend, which MVCC
+/// snapshot readers rely on; FilePageFile keeps the weaker base contract
+/// (pread is position-independent, but the size check races Extend).
 class PageFile {
  public:
   explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
@@ -124,6 +129,13 @@ class PageFile {
 };
 
 /// \brief In-memory PageFile; page slots live in heap vectors.
+///
+/// Unlike the base contract, MemPageFile serializes ReadPageEx/WritePage/
+/// Extend/Free on an internal mutex: MVCC snapshot readers
+/// (core/bag_file.h GenerationPin) read retained-generation pages from
+/// arbitrary threads while the single writer allocates and CoWs, so
+/// slot-vector growth must not race in-flight reads. The lock is
+/// uncontended in single-threaded benches and does not change I/O counts.
 class MemPageFile : public PageFile {
  public:
   explicit MemPageFile(uint32_t page_size = kDefaultPageSize)
@@ -142,7 +154,8 @@ class MemPageFile : public PageFile {
   Status Extend(uint64_t new_count) override;
 
  private:
-  std::vector<std::vector<uint8_t>> slots_;
+  mutable sync::Mutex mu_{"mempagefile.slots", sync::lock_rank::kPageStore};
+  std::vector<std::vector<uint8_t>> slots_ GUARDED_BY(mu_);
 };
 
 /// \brief POSIX-file-backed PageFile.

@@ -1,0 +1,57 @@
+// PageVersionView: the storage-layer face of a pinned snapshot.
+//
+// MVCC readers (core/bag_file.h GenerationPin) resolve logical pages
+// against an immutable generation snapshot instead of the live translation
+// map. The buffer pool cannot depend on the commit layer, so it sees the
+// pin only through this interface: a stable cache key per (version,
+// logical page) pair plus a read that bypasses the live map entirely.
+//
+// Cache-key scheme (BufferPool::FetchSnapshot): snapshot frames share the
+// pool with live frames, so their keys must never collide with logical
+// page ids or with each other across generations. Bit 63 tags a snapshot
+// key; a mapped page keys on (epoch << 32) | physical — a physical page's
+// payload is immutable from the write that stamped its epoch until the
+// page is freed, and any reuse re-stamps a strictly newer epoch, so the
+// pair identifies page *content* forever and stale frames are impossible
+// by construction (no invalidation protocol needed). A logical page that
+// is unmapped in the snapshot (all-zero by contract) keys on the logical
+// id itself; epochs start at 1, so the epoch-0 key space is free for it.
+
+#ifndef BOXAGG_STORAGE_PAGE_VERSION_H_
+#define BOXAGG_STORAGE_PAGE_VERSION_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+#include "storage/status.h"
+
+namespace boxagg {
+
+/// Tag bit of snapshot cache keys. Live logical ids stay below it: the
+/// address space would have to exceed 2^63 pages first.
+inline constexpr uint64_t kSnapshotKeyBit = uint64_t{1} << 63;
+
+/// \brief Read-only view of one storage version (a pinned generation).
+///
+/// Implementations must be safe to call from any number of threads
+/// concurrently with a single writer mutating the live state: a view
+/// resolves reads against immutable snapshot data only.
+class PageVersionView {
+ public:
+  virtual ~PageVersionView() = default;
+
+  /// Stable, globally unique cache key for `logical` in this version (see
+  /// the file comment for the scheme).
+  [[nodiscard]] virtual uint64_t VersionKey(PageId logical) const = 0;
+
+  /// Reads `logical` as of this version. Unmapped pages read as zeros,
+  /// like the live path; a stale or torn physical page is Corruption.
+  virtual Status ReadVersioned(PageId logical, Page* page) const = 0;
+
+  /// The generation (or other version counter) this view pins.
+  [[nodiscard]] virtual uint64_t version_id() const = 0;
+};
+
+}  // namespace boxagg
+
+#endif  // BOXAGG_STORAGE_PAGE_VERSION_H_

@@ -38,43 +38,6 @@ double MillisSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// Collects the JSON lines destined for BENCH_replica.json.
-class JsonSink {
- public:
-  explicit JsonSink(const char* filename) {
-    const char* dir = std::getenv("BOXAGG_BENCH_DIR");
-    path_ = std::string(dir != nullptr ? dir : ".") + "/" + filename;
-  }
-
-  void Emit(const std::string& line) {
-    std::printf("JSON %s\n", line.c_str());
-    lines_.push_back(line);
-  }
-
-  ~JsonSink() {
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
-      return;
-    }
-    for (const std::string& l : lines_) std::fprintf(f, "%s\n", l.c_str());
-    std::fclose(f);
-  }
-
- private:
-  std::string path_;
-  std::vector<std::string> lines_;
-};
-
-std::string Fmt(const char* fmt, ...) {
-  char buf[512];
-  va_list ap;
-  va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, ap);
-  va_end(ap);
-  return std::string(buf);
-}
-
 struct IoRun {
   IoStats d;
   double wall_ms = 0;

@@ -24,6 +24,7 @@
 
 #include <time.h>
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -33,6 +34,7 @@
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/query_obs.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -54,6 +56,25 @@ inline void MaybeEnableObsFromEnv() {
   obs::MetricsRegistry::InstallGlobal(reg);
   obs::SetTraceSink(sink);
   obs::InstallQueryObs(qobs);
+  // BOXAGG_OBS_HARVEST_MS=K additionally starts the background time-series
+  // harvester at a K-ms period (leaked like the registry: it samples until
+  // process exit and only ever touches the leaked obs objects above). CI
+  // runs the I/O-baseline benches with K=1 to prove that a harvester
+  // sampling at full tilt leaves physical/logical counts bit-identical.
+  if (const char* h = std::getenv("BOXAGG_OBS_HARVEST_MS")) {
+    if (const uint64_t ms = std::strtoull(h, nullptr, 10); ms > 0) {
+      static auto* harvester = [&] {
+        obs::HarvesterOptions o;
+        o.interval_us = ms * 1000;
+        o.ring_capacity = 4096;
+        auto* hv = new obs::Harvester(reg, o);
+        hv->WatchTraceSink(sink);
+        hv->Start();
+        return hv;
+      }();
+      (void)harvester;
+    }
+  }
 }
 
 struct Config {
@@ -115,6 +136,47 @@ inline std::string JsonRunMeta(const Config& cfg) {
                 "\"page_size\":%u,\"buffer_mb\":%zu,\"shards\":%zu}",
                 BOXAGG_GIT_SHA, BOXAGG_BUILD_TYPE, cfg.page_size,
                 cfg.buffer_mb, cfg.shards);
+  return std::string(buf);
+}
+
+/// Collects the JSON lines destined for one $BOXAGG_BENCH_DIR/BENCH_*.json
+/// file (BOXAGG_BENCH_DIR defaults to "."). Every line is also echoed to
+/// stdout with the "JSON " prefix the CI scrapers key on; the file itself is
+/// rewritten at destruction, one object per line (jq-friendly).
+class JsonSink {
+ public:
+  explicit JsonSink(const char* filename) {
+    const char* dir = std::getenv("BOXAGG_BENCH_DIR");
+    path_ = std::string(dir != nullptr ? dir : ".") + "/" + filename;
+  }
+
+  void Emit(const std::string& line) {
+    std::printf("JSON %s\n", line.c_str());
+    lines_.push_back(line);
+  }
+
+  ~JsonSink() {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    for (const std::string& l : lines_) std::fprintf(f, "%s\n", l.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;
+};
+
+/// printf into a std::string (bench JSON lines are well under the cap).
+inline std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
   return std::string(buf);
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "geom/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace boxagg {
 
@@ -13,10 +15,19 @@ namespace boxagg {
 
 void GenerationPin::Release() {
   if (bag_ != nullptr && snap_ != nullptr) {
+    if (acquire_us_ != 0) {
+      // Stamped at pin time only when a registry was installed; record
+      // against whatever registry is installed NOW (usually the same one).
+      if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global()) {
+        reg->GetHistogram("bagfile.pin_hold_us", obs::LatencyBucketsUs())
+            ->Record(static_cast<double>(obs::NowMicros() - acquire_us_));
+      }
+    }
     bag_->Unpin(snap_->generation);
   }
   bag_ = nullptr;
   snap_.reset();
+  acquire_us_ = 0;
 }
 
 uint64_t GenerationPin::VersionKey(PageId logical) const {
@@ -420,31 +431,49 @@ Status BagFile::Commit(const std::vector<PageId>& roots) {
   }
   const uint64_t new_gen = generation_ + 1;
 
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  const uint64_t commit_t0 = reg != nullptr ? obs::NowMicros() : 0;
+  obs::Span commit_span("bag.commit");
+  commit_span.SetGeneration(static_cast<int64_t>(new_gen));
+
   // 1. Data barrier: every CoW page image of this epoch reaches the
   //    platter before anything references it.
-  BOXAGG_RETURN_NOT_OK(physical_->Sync());
+  {
+    obs::Span span("bag.commit.cow_sync");
+    span.SetGeneration(static_cast<int64_t>(new_gen));
+    BOXAGG_RETURN_NOT_OK(physical_->Sync());
+  }
 
   // 2. Write the new map chain to fresh physical pages, then barrier it.
   std::vector<PageId> new_map_ids;
-  BOXAGG_RETURN_NOT_OK(WriteMapChain(&new_map_ids));
-  BOXAGG_RETURN_NOT_OK(physical_->Sync());
+  {
+    obs::Span span("bag.commit.map_chain");
+    span.SetGeneration(static_cast<int64_t>(new_gen));
+    BOXAGG_RETURN_NOT_OK(WriteMapChain(&new_map_ids));
+    BOXAGG_RETURN_NOT_OK(physical_->Sync());
+    span.SetPagesFetched(static_cast<int64_t>(new_map_ids.size()));
+  }
 
   // 3. Publish: the new superblock goes to the slot the OLD generation is
   //    not using. Until the final sync returns, the old superblock (and
   //    every page it references) is untouched on the platter, so a crash
   //    anywhere in steps 1-3 recovers cleanly to the old generation.
-  BagSuperblock sb;
-  sb.generation = new_gen;
-  sb.dims = dims_;
-  sb.logical_pages = map_.size();
-  sb.map_head = new_map_ids.empty() ? kInvalidPageId : new_map_ids.front();
-  sb.map_pages = new_map_ids.size();
-  sb.roots = roots;
-  Page p(page_size_);
-  WriteBagSuperblock(&p, sb);
-  BOXAGG_RETURN_NOT_OK(
-      physical_->WritePage(new_gen % kBagSuperblockSlots, p));
-  BOXAGG_RETURN_NOT_OK(physical_->Sync());
+  {
+    obs::Span span("bag.commit.superblock_sync");
+    span.SetGeneration(static_cast<int64_t>(new_gen));
+    BagSuperblock sb;
+    sb.generation = new_gen;
+    sb.dims = dims_;
+    sb.logical_pages = map_.size();
+    sb.map_head = new_map_ids.empty() ? kInvalidPageId : new_map_ids.front();
+    sb.map_pages = new_map_ids.size();
+    sb.roots = roots;
+    Page p(page_size_);
+    WriteBagSuperblock(&p, sb);
+    BOXAGG_RETURN_NOT_OK(
+        physical_->WritePage(new_gen % kBagSuperblockSlots, p));
+    BOXAGG_RETURN_NOT_OK(physical_->Sync());
+  }
 
   // 4. The old generation is now unreachable *on the platter*; advance the
   //    in-memory state and publish the new generation's snapshot so new
@@ -464,29 +493,60 @@ Status BagFile::Commit(const std::vector<PageId>& roots) {
   //    >= its retired_at, so eligibility (min pinned >= retired_at) can
   //    only grow. In-memory bookkeeping only — if we crash before the
   //    pages are reused, recovery's orphan sweep reclaims them again.
+  size_t retired_now = 0;
   {
+    obs::Span span("bag.commit.retire_push");
+    span.SetGeneration(static_cast<int64_t>(new_gen));
+    const uint64_t retire_us = reg != nullptr ? obs::NowMicros() : 0;
     sync::MutexLock lock(&retire_mu_);
-    for (PageId id : old_map_pages) retired_.push_back({id, new_gen});
-    for (PageId id : deferred_frees_) retired_.push_back({id, new_gen});
+    for (PageId id : old_map_pages) {
+      retired_.push_back({id, new_gen, retire_us});
+    }
+    for (PageId id : deferred_frees_) {
+      retired_.push_back({id, new_gen, retire_us});
+    }
+    retired_now = old_map_pages.size() + deferred_frees_.size();
   }
   deferred_frees_.clear();
 
   // 6. Reclaim whatever no pin protects. With zero pins this frees the
   //    just-retired pages in exactly the order the pre-MVCC code did, so
   //    single-threaded free-list traces stay bit-identical.
-  BOXAGG_RETURN_NOT_OK(ReclaimRetired(nullptr));
+  {
+    obs::Span span("bag.commit.reclaim");
+    span.SetGeneration(static_cast<int64_t>(new_gen));
+    BOXAGG_RETURN_NOT_OK(ReclaimRetired(nullptr));
+  }
 
-  if (post_commit_hook_) post_commit_hook_(new_gen);
+  if (reg != nullptr) {
+    reg->GetCounter("bagfile.commits")->Inc();
+    reg->GetCounter("bagfile.pages_retired")->Inc(retired_now);
+    reg->GetHistogram("bagfile.commit_latency_us", obs::LatencyBucketsUs())
+        ->Record(static_cast<double>(obs::NowMicros() - commit_t0));
+  }
+
+  if (post_commit_hook_) {
+    obs::Span span("bag.commit.post_hook");
+    span.SetGeneration(static_cast<int64_t>(new_gen));
+    post_commit_hook_(new_gen);
+  }
   return Status::OK();
 }
 
 Status BagFile::PinCurrent(GenerationPin* out) {
+  // Clock read (metrics-enabled only) happens before gen_mu_ so the
+  // critical section stays as short as the uninstrumented one.
+  const uint64_t now_us =
+      obs::MetricsRegistry::Global() != nullptr ? obs::NowMicros() : 0;
   sync::MutexLock lock(&gen_mu_);
   if (current_snap_ == nullptr) {
     return Status::InvalidArgument("PinCurrent before Create/Open");
   }
-  ++pin_counts_[current_snap_->generation];
+  PinnedGen& pg = pin_counts_[current_snap_->generation];
+  ++pg.count;
+  if (pg.first_pin_us == 0) pg.first_pin_us = now_us;
   *out = GenerationPin(this, current_snap_);
+  out->acquire_us_ = now_us;
   return Status::OK();
 }
 
@@ -497,7 +557,7 @@ void BagFile::Unpin(uint64_t gen) {
     auto it = pin_counts_.find(gen);
     assert(it != pin_counts_.end() && "Unpin of an unpinned generation");
     if (it == pin_counts_.end()) return;
-    if (--it->second == 0) {
+    if (--it->second.count == 0) {
       pin_counts_.erase(it);
       last_of_gen = true;
     }
@@ -513,7 +573,7 @@ void BagFile::Unpin(uint64_t gen) {
 size_t BagFile::live_pins() const {
   sync::MutexLock lock(&gen_mu_);
   size_t n = 0;
-  for (const auto& [gen, count] : pin_counts_) n += count;
+  for (const auto& [gen, pg] : pin_counts_) n += pg.count;
   return n;
 }
 
@@ -525,6 +585,36 @@ uint64_t BagFile::min_pinned_generation() const {
 size_t BagFile::retired_pages() const {
   sync::MutexLock lock(&retire_mu_);
   return retired_.size();
+}
+
+void BagFile::ExportLifecycleGauges(obs::MetricsRegistry* reg) const {
+  if (reg == nullptr) return;
+  const uint64_t now_us = obs::NowMicros();
+  // Read each subsystem lock separately, publish with none held: gauges
+  // are levels, so a snapshot torn across the two locks is still honest.
+  size_t pinned_gens = 0;
+  size_t pins = 0;
+  uint64_t oldest_pin_age_us = 0;
+  {
+    sync::MutexLock lock(&gen_mu_);
+    pinned_gens = pin_counts_.size();
+    for (const auto& [gen, pg] : pin_counts_) pins += pg.count;
+    if (!pin_counts_.empty()) {
+      const uint64_t first = pin_counts_.begin()->second.first_pin_us;
+      if (first != 0 && now_us > first) oldest_pin_age_us = now_us - first;
+    }
+  }
+  size_t retired = 0;
+  {
+    sync::MutexLock lock(&retire_mu_);
+    retired = retired_.size();
+  }
+  reg->GetGauge("bagfile.pinned_generations")
+      ->Set(static_cast<int64_t>(pinned_gens));
+  reg->GetGauge("bagfile.live_pins")->Set(static_cast<int64_t>(pins));
+  reg->GetGauge("bagfile.retired_pages")->Set(static_cast<int64_t>(retired));
+  reg->GetGauge("bagfile.oldest_pin_age_us")
+      ->Set(static_cast<int64_t>(oldest_pin_age_us));
 }
 
 Status BagFile::ReclaimRetired(size_t* reclaimed) {
@@ -539,6 +629,13 @@ Status BagFile::ReclaimRetired(size_t* reclaimed) {
     has_pins = !pin_counts_.empty();
     if (has_pins) min_pinned = pin_counts_.begin()->first;
   }
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  const uint64_t now_us = reg != nullptr ? obs::NowMicros() : 0;
+  obs::Histogram* lag_hist = nullptr;  // fetched lazily, outside retire_mu_
+  if (reg != nullptr) {
+    lag_hist = reg->GetHistogram("bagfile.retire_reclaim_lag_us",
+                                 obs::LatencyBucketsUs());
+  }
   sync::MutexLock lock(&retire_mu_);
   // retired_ is append-ordered by retired_at, so the reclaimable entries
   // form a prefix.
@@ -549,11 +646,17 @@ Status BagFile::ReclaimRetired(size_t* reclaimed) {
     if (has_pins && r.retired_at > min_pinned) break;
     st = physical_->Free(r.physical);
     if (!st.ok()) break;
+    if (lag_hist != nullptr && r.retired_us != 0 && now_us > r.retired_us) {
+      lag_hist->Record(static_cast<double>(now_us - r.retired_us));
+    }
     ++n;
   }
   retired_.erase(retired_.begin(),
                  retired_.begin() + static_cast<ptrdiff_t>(n));
   if (reclaimed != nullptr) *reclaimed = n;
+  if (reg != nullptr && n > 0) {
+    reg->GetCounter("bagfile.pages_reclaimed")->Inc(n);
+  }
   return st;
 }
 

@@ -39,6 +39,7 @@
 #ifndef BOXAGG_CORE_SYNC_H_
 #define BOXAGG_CORE_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -114,6 +115,8 @@ inline constexpr uint32_t kExecLatch = 210;        ///< executor done-latch
 inline constexpr uint32_t kBulkLoadLatch = 220;    ///< ParallelFor latch
 inline constexpr uint32_t kMetricsRegistry = 300;  ///< obs::MetricsRegistry
 inline constexpr uint32_t kTraceSink = 310;        ///< obs::RingBufferSink
+inline constexpr uint32_t kTimeSeries = 320;       ///< obs::TimeSeriesRing
+inline constexpr uint32_t kHarvester = 330;        ///< obs::Harvester wakeup
 inline constexpr uint32_t kLeaf = 1000;  ///< never hold anything beyond this
 }  // namespace lock_rank
 
@@ -464,6 +467,18 @@ class CondVar {
     BOXAGG_LOCK_ORDER_ON_RELEASE(mu);
     std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
     cv_.wait(lk);
+    lk.release();  // ownership returns to *mu's scope holder
+    BOXAGG_LOCK_ORDER_ON_ACQUIRE(mu, mu->DebugName(), mu->DebugRank());
+  }
+
+  /// Timed Wait: returns when notified, after `timeout_us`, or spuriously
+  /// (callers re-check their predicate either way, so the three are
+  /// indistinguishable on purpose — no cv_status is surfaced). Same
+  /// release/re-acquire mirroring as Wait.
+  void WaitFor(Mutex* mu, uint64_t timeout_us) REQUIRES(mu) {
+    BOXAGG_LOCK_ORDER_ON_RELEASE(mu);
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    cv_.wait_for(lk, std::chrono::microseconds(timeout_us));
     lk.release();  // ownership returns to *mu's scope holder
     BOXAGG_LOCK_ORDER_ON_ACQUIRE(mu, mu->DebugName(), mu->DebugRank());
   }

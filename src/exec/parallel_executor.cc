@@ -67,6 +67,9 @@ Status ParallelQueryExecutor::RunBatch(const QueryFn& fn,
   if (n == 0) return Status::OK();
   const IoStats io_before = pool ? pool->stats() : IoStats{};
 
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global()) {
+    reg->GetCounter("executor.queries")->Inc(n);
+  }
   const size_t workers = pool_->size();
   // Dynamic chunking: small enough to balance skewed queries, large enough
   // to amortize the claim.
@@ -145,6 +148,7 @@ Status ParallelQueryExecutor::RunBatchGrouped(const BatchQueryFn& fn,
   if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global()) {
     depth_gauge = reg->GetGauge("executor.queue_depth");
     depth_gauge->Set(static_cast<int64_t>(num_morsels));
+    reg->GetCounter("executor.queries")->Inc(n);
   }
 
   sync::Mutex mu("exec.latch", sync::lock_rank::kExecLatch);
@@ -204,6 +208,12 @@ Status ParallelQueryExecutor::RunBatchPinned(BagFile* bag,
                                              BufferPool* pool) {
   GenerationPin pin;
   BOXAGG_RETURN_NOT_OK(bag->PinCurrent(&pin));
+  obs::Span span("exec.pinned_batch", "executor");
+  span.SetGeneration(static_cast<int64_t>(pin.generation()));
+  span.SetProbes(static_cast<int64_t>(queries.size()));
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global()) {
+    reg->GetCounter("executor.pinned_batches")->Inc();
+  }
   // The pin outlives RunBatch's completion latch, so every worker reads the
   // same immutable generation; it drops (and may trigger reclamation) only
   // after the last query has finished.
@@ -218,6 +228,12 @@ Status ParallelQueryExecutor::RunBatchGroupedPinned(
     std::vector<double>* results, BatchExecStats* stats, BufferPool* pool) {
   GenerationPin pin;
   BOXAGG_RETURN_NOT_OK(bag->PinCurrent(&pin));
+  obs::Span span("exec.pinned_batch", "executor");
+  span.SetGeneration(static_cast<int64_t>(pin.generation()));
+  span.SetProbes(static_cast<int64_t>(queries.size()));
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::Global()) {
+    reg->GetCounter("executor.pinned_batches")->Inc();
+  }
   return RunBatchGrouped(
       [&pin, &fn](const Box* qs, size_t count, double* outs) {
         return fn(pin, qs, count, outs);

@@ -142,6 +142,26 @@ const std::vector<double>& IoCountBuckets() {
   return kBounds;
 }
 
+namespace {
+
+// A histogram delta is only meaningful against an earlier snapshot of the
+// SAME histogram: identical bounds, identical bucket count, and no bucket
+// (or total) that went backwards. A mismatch means the metric was reset or
+// re-registered with a different shape between the two snapshots — the
+// honest answer is the current distribution, not a garbage subtraction.
+bool HistDeltaWellFormed(const HistogramSnapshot& now,
+                         const HistogramSnapshot& earlier) {
+  if (now.bounds != earlier.bounds) return false;
+  if (now.counts.size() != earlier.counts.size()) return false;
+  if (now.count < earlier.count) return false;
+  for (size_t i = 0; i < now.counts.size(); ++i) {
+    if (now.counts[i] < earlier.counts[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& earlier) const {
   MetricsSnapshot d;
   d.samples.reserve(samples.size());
@@ -151,12 +171,19 @@ MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& earlier) const {
     if (e != nullptr && e->kind == s.kind) {
       switch (s.kind) {
         case MetricSample::Kind::kCounter:
-          out.counter = s.counter - e->counter;
+          // A counter that went backwards was Reset() between snapshots;
+          // everything it now holds accrued after the reset, so the delta
+          // is the current value — never the wrapped difference.
+          out.counter =
+              s.counter >= e->counter ? s.counter - e->counter : s.counter;
           break;
         case MetricSample::Kind::kGauge:
           break;  // levels carry no delta
         case MetricSample::Kind::kHistogram:
-          out.hist = s.hist.Since(e->hist);
+          if (HistDeltaWellFormed(s.hist, e->hist)) {
+            out.hist = s.hist.Since(e->hist);
+          }
+          // else: shape mismatch or reset — current snapshot passes through.
           break;
       }
     }
@@ -218,6 +245,63 @@ void MetricsSnapshot::WriteTable(FILE* out) const {
                      s.hist.Mean(), s.hist.Percentile(50),
                      s.hist.Percentile(95), s.hist.Percentile(99));
         break;
+    }
+  }
+}
+
+namespace {
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the
+// registry's dotted names map onto that by replacing every other byte
+// with '_' (dots become underscores, which is the conventional mapping).
+std::string PromName(const std::string& name) {
+  std::string out = "boxagg_";
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsSnapshot::WritePrometheus(FILE* out) const {
+  for (const MetricSample& s : samples) {
+    const std::string base = PromName(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        std::fprintf(out, "# HELP %s_total boxagg counter %s\n", base.c_str(),
+                     s.name.c_str());
+        std::fprintf(out, "# TYPE %s_total counter\n", base.c_str());
+        std::fprintf(out, "%s_total %llu\n", base.c_str(),
+                     static_cast<unsigned long long>(s.counter));
+        break;
+      case MetricSample::Kind::kGauge:
+        std::fprintf(out, "# HELP %s boxagg gauge %s\n", base.c_str(),
+                     s.name.c_str());
+        std::fprintf(out, "# TYPE %s gauge\n", base.c_str());
+        std::fprintf(out, "%s %lld\n", base.c_str(),
+                     static_cast<long long>(s.gauge));
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::fprintf(out, "# HELP %s boxagg histogram %s\n", base.c_str(),
+                     s.name.c_str());
+        std::fprintf(out, "# TYPE %s histogram\n", base.c_str());
+        uint64_t cum = 0;
+        for (size_t i = 0; i < s.hist.bounds.size(); ++i) {
+          if (i < s.hist.counts.size()) cum += s.hist.counts[i];
+          std::fprintf(out, "%s_bucket{le=\"%.17g\"} %llu\n", base.c_str(),
+                       s.hist.bounds[i], static_cast<unsigned long long>(cum));
+        }
+        std::fprintf(out, "%s_bucket{le=\"+Inf\"} %llu\n", base.c_str(),
+                     static_cast<unsigned long long>(s.hist.count));
+        std::fprintf(out, "%s_sum %.17g\n", base.c_str(), s.hist.sum);
+        std::fprintf(out, "%s_count %llu\n", base.c_str(),
+                     static_cast<unsigned long long>(s.hist.count));
+        break;
+      }
     }
   }
 }

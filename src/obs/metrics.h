@@ -143,6 +143,13 @@ struct MetricsSnapshot {
 
   /// Human-readable aligned table (one metric per line).
   void WriteTable(FILE* out) const;
+
+  /// Prometheus text exposition format (text/plain; version 0.0.4).
+  /// Metric names are sanitized (`.` -> `_`) and prefixed `boxagg_`;
+  /// counters gain the conventional `_total` suffix; histograms emit
+  /// cumulative `_bucket{le="..."}` series ending in `le="+Inf"` plus
+  /// `_sum` and `_count`. Each family carries `# HELP` / `# TYPE` lines.
+  void WritePrometheus(FILE* out) const;
 };
 
 /// \brief Named-metric owner. Lookup is mutex-guarded (cold); handed-out

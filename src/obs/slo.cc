@@ -1,0 +1,137 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace boxagg {
+namespace obs {
+
+const char* SloStateName(SloState s) {
+  switch (s) {
+    case SloState::kNoData: return "no_data";
+    case SloState::kOk: return "ok";
+    case SloState::kAtRisk: return "at_risk";
+    case SloState::kBreach: return "breach";
+  }
+  return "unknown";
+}
+
+double FractionAbove(const HistogramSnapshot& h, double threshold) {
+  if (h.count == 0) return 0.0;
+  // Cumulative count of values <= threshold, interpolating inside the
+  // bucket that straddles it (values are assumed uniform within a bucket,
+  // matching Percentile's convention).
+  double leq = 0;
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    const uint64_t c = h.counts[i];
+    if (c == 0) continue;
+    if (i >= h.bounds.size()) {
+      // Overflow bucket: everything here exceeds every finite threshold.
+      break;
+    }
+    const double hi = h.bounds[i];
+    if (hi <= threshold) {
+      leq += static_cast<double>(c);
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+    if (threshold > lo) {
+      leq += static_cast<double>(c) * (threshold - lo) / (hi - lo);
+    }
+    break;  // later buckets are entirely above the threshold
+  }
+  const double frac_leq = leq / static_cast<double>(h.count);
+  return std::min(1.0, std::max(0.0, 1.0 - frac_leq));
+}
+
+namespace {
+
+// Bad-fraction / burn / pXX for one spec over one window. Returns false
+// when the window carries no requests for the metric.
+bool WindowBurn(const SloSpec& spec, const WindowStats& w, double* burn,
+                double* bad_fraction, double* pxx, uint64_t* requests) {
+  *burn = 0;
+  *bad_fraction = 0;
+  *pxx = 0;
+  *requests = 0;
+  if (!w.valid) return false;
+  const WindowStats::HistogramWindow* h = w.FindHistogram(spec.latency_metric);
+  if (h == nullptr || h->delta.count == 0) return false;
+  *requests = h->delta.count;
+  *bad_fraction = FractionAbove(h->delta, spec.objective_us);
+  *pxx = h->delta.Percentile(spec.target_percentile);
+  *burn = spec.error_budget > 0 ? *bad_fraction / spec.error_budget
+                                : (*bad_fraction > 0 ? 1e9 : 0.0);
+  return true;
+}
+
+}  // namespace
+
+SloVerdict SloEngine::Evaluate(const SloSpec& spec, const TimeSeriesRing& ring,
+                               uint64_t as_of_us) {
+  SloVerdict v;
+  v.name = spec.name;
+
+  const WindowStats fast = ring.Window(spec.fast_window_us, as_of_us);
+  const WindowStats slow = ring.Window(spec.slow_window_us, as_of_us);
+
+  const bool fast_ok = WindowBurn(spec, fast, &v.fast_burn,
+                                  &v.fast_bad_fraction, &v.fast_latency_pxx,
+                                  &v.fast_requests);
+  const bool slow_ok = WindowBurn(spec, slow, &v.slow_burn,
+                                  &v.slow_bad_fraction, &v.slow_latency_pxx,
+                                  &v.slow_requests);
+  if (!slow_ok && !fast_ok) {
+    v.state = SloState::kNoData;
+    return v;
+  }
+
+  // Multi-window rule: breach only when the sustained (slow) burn AND the
+  // still-happening-now (fast) burn both exceed their thresholds; at-risk
+  // on any sustained burn above 1x budget rate.
+  if (fast_ok && slow_ok && v.fast_burn >= spec.fast_burn_threshold &&
+      v.slow_burn >= spec.slow_burn_threshold) {
+    v.state = SloState::kBreach;
+  } else if (v.slow_burn >= 1.0 || v.fast_burn >= spec.fast_burn_threshold) {
+    v.state = SloState::kAtRisk;
+  } else {
+    v.state = SloState::kOk;
+  }
+  return v;
+}
+
+std::vector<SloVerdict> SloEngine::EvaluateAll(const TimeSeriesRing& ring,
+                                               uint64_t as_of_us) const {
+  std::vector<SloVerdict> out;
+  out.reserve(specs_.size());
+  for (const SloSpec& spec : specs_) {
+    out.push_back(Evaluate(spec, ring, as_of_us));
+  }
+  return out;
+}
+
+void SloVerdict::WriteJson(FILE* out) const {
+  std::fprintf(out,
+               "{\"slo\":\"%s\",\"state\":\"%s\","
+               "\"fast_burn\":%.6g,\"slow_burn\":%.6g,"
+               "\"fast_bad_fraction\":%.6g,\"slow_bad_fraction\":%.6g,"
+               "\"fast_latency_pxx\":%.6g,\"slow_latency_pxx\":%.6g,"
+               "\"fast_requests\":%llu,\"slow_requests\":%llu}",
+               name.c_str(), SloStateName(state), fast_burn, slow_burn,
+               fast_bad_fraction, slow_bad_fraction, fast_latency_pxx,
+               slow_latency_pxx,
+               static_cast<unsigned long long>(fast_requests),
+               static_cast<unsigned long long>(slow_requests));
+}
+
+void SloEngine::WriteJson(FILE* out,
+                          const std::vector<SloVerdict>& verdicts) {
+  std::fputc('[', out);
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (i != 0) std::fputc(',', out);
+    verdicts[i].WriteJson(out);
+  }
+  std::fputc(']', out);
+}
+
+}  // namespace obs
+}  // namespace boxagg

@@ -1,0 +1,115 @@
+// Declarative SLOs evaluated against time-series windows.
+//
+// An SloSpec states the service-level objective in the operator's terms —
+// "p99 descent latency stays under 2 ms, with a 0.1% error budget" — and
+// the engine turns a TimeSeriesRing into machine-readable verdicts using
+// the multi-window burn-rate method (the SRE-workbook alerting shape):
+//
+//   bad_fraction(window) = fraction of requests in the window that missed
+//                          the objective (derived from the latency
+//                          histogram's window delta, interpolated inside
+//                          the covering bucket);
+//   burn(window)         = bad_fraction / error_budget
+//                          (1.0 = consuming budget exactly at the rate
+//                          that exhausts it over the budget period).
+//
+// Two windows decide the state: a SLOW window for sustained burn and a
+// FAST window for "is it still happening right now". kBreach requires
+// BOTH to exceed their thresholds — the fast window alone would page on
+// blips, the slow window alone would keep paging long after recovery.
+// kAtRisk fires on sustained burn above 1x (budget being consumed faster
+// than sustainable) before the breach thresholds trip.
+//
+// Evaluation is pure: it reads ring windows, touches no registry, takes no
+// lock beyond the ring's copy-out, and is safe to run from any thread.
+
+#ifndef BOXAGG_OBS_SLO_H_
+#define BOXAGG_OBS_SLO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace boxagg {
+namespace obs {
+
+/// \brief One latency SLO: objective + budget + burn-rate windows.
+struct SloSpec {
+  std::string name;            ///< verdict key, e.g. "descent_p99"
+  std::string latency_metric;  ///< histogram name in the registry
+  double objective_us = 0;     ///< requests above this are "bad"
+  double target_percentile = 99.0;  ///< reported pXX (informational)
+  double error_budget = 0.001;      ///< allowed bad fraction (0.1%)
+
+  uint64_t fast_window_us = 5 * 60 * 1000000ull;   ///< 5 min
+  uint64_t slow_window_us = 60 * 60 * 1000000ull;  ///< 1 h
+  /// Burn multiples that must BOTH be exceeded for kBreach. Defaults are
+  /// the canonical page-worthy pair for a 5m/1h window combination.
+  double fast_burn_threshold = 14.4;
+  double slow_burn_threshold = 6.0;
+};
+
+enum class SloState {
+  kNoData,  ///< not enough samples in the slow window to judge
+  kOk,      ///< burning within budget
+  kAtRisk,  ///< sustained burn > 1x budget rate, below breach thresholds
+  kBreach,  ///< fast AND slow windows above their burn thresholds
+};
+
+[[nodiscard]] const char* SloStateName(SloState s);
+
+/// \brief Machine-readable evaluation result for one spec.
+struct SloVerdict {
+  std::string name;
+  SloState state = SloState::kNoData;
+  double fast_burn = 0;          ///< bad_fraction/budget over fast window
+  double slow_burn = 0;          ///< bad_fraction/budget over slow window
+  double fast_bad_fraction = 0;
+  double slow_bad_fraction = 0;
+  double fast_latency_pxx = 0;   ///< target-percentile latency, fast window
+  double slow_latency_pxx = 0;   ///< target-percentile latency, slow window
+  uint64_t fast_requests = 0;    ///< histogram count in fast window
+  uint64_t slow_requests = 0;    ///< histogram count in slow window
+
+  /// One JSON object, no trailing newline:
+  /// {"slo":...,"state":...,"fast_burn":...,...}
+  void WriteJson(FILE* out) const;
+};
+
+/// Fraction of recorded values strictly above `threshold`, linearly
+/// interpolated inside the covering bucket (the same convention as
+/// HistogramSnapshot::Percentile, inverted). 0 when empty. Values landing
+/// in the overflow bucket count fully as above any finite threshold.
+[[nodiscard]] double FractionAbove(const HistogramSnapshot& h,
+                                   double threshold);
+
+/// \brief Holds specs and evaluates them against a ring.
+class SloEngine {
+ public:
+  void AddSpec(SloSpec spec) { specs_.push_back(std::move(spec)); }
+  [[nodiscard]] const std::vector<SloSpec>& specs() const { return specs_; }
+
+  /// Evaluates one spec against `ring` as of `as_of_us` (0 = newest sample).
+  [[nodiscard]] static SloVerdict Evaluate(const SloSpec& spec,
+                                           const TimeSeriesRing& ring,
+                                           uint64_t as_of_us = 0);
+
+  /// Evaluates every spec; verdicts come back in spec order.
+  [[nodiscard]] std::vector<SloVerdict> EvaluateAll(
+      const TimeSeriesRing& ring, uint64_t as_of_us = 0) const;
+
+  /// JSON array of verdicts, no trailing newline.
+  static void WriteJson(FILE* out, const std::vector<SloVerdict>& verdicts);
+
+ private:
+  std::vector<SloSpec> specs_;
+};
+
+}  // namespace obs
+}  // namespace boxagg
+
+#endif  // BOXAGG_OBS_SLO_H_

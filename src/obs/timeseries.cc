@@ -1,0 +1,225 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/trace.h"
+
+namespace boxagg {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// WindowStats
+// ---------------------------------------------------------------------------
+
+const WindowStats::CounterWindow* WindowStats::FindCounter(
+    const std::string& n) const {
+  for (const auto& c : counters) {
+    if (c.name == n) return &c;
+  }
+  return nullptr;
+}
+
+const WindowStats::HistogramWindow* WindowStats::FindHistogram(
+    const std::string& n) const {
+  for (const auto& h : histograms) {
+    if (h.name == n) return &h;
+  }
+  return nullptr;
+}
+
+const WindowStats::GaugeWindow* WindowStats::FindGauge(
+    const std::string& n) const {
+  for (const auto& g : gauges) {
+    if (g.name == n) return &g;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRing
+// ---------------------------------------------------------------------------
+
+TimeSeriesRing::TimeSeriesRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  sync::MutexLock lock(&mu_);
+  slots_.resize(capacity_);
+}
+
+void TimeSeriesRing::Add(uint64_t t_us, MetricsSnapshot snap) {
+  sync::MutexLock lock(&mu_);
+  TimedSnapshot& slot = slots_[next_];
+  slot.t_us = t_us;
+  slot.snap = std::move(snap);
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+bool TimeSeriesRing::Latest(TimedSnapshot* out) const {
+  sync::MutexLock lock(&mu_);
+  if (total_ == 0) return false;
+  const size_t newest = (next_ + capacity_ - 1) % capacity_;
+  *out = slots_[newest];
+  return true;
+}
+
+size_t TimeSeriesRing::size() const {
+  sync::MutexLock lock(&mu_);
+  return static_cast<size_t>(std::min<uint64_t>(total_, capacity_));
+}
+
+uint64_t TimeSeriesRing::total_samples() const {
+  sync::MutexLock lock(&mu_);
+  return total_;
+}
+
+WindowStats TimeSeriesRing::Window(uint64_t duration_us,
+                                   uint64_t as_of_us) const {
+  // Copy the retained samples oldest-first under the lock; all derivation
+  // (Since, percentiles) happens outside it so windows never stall Add().
+  std::vector<TimedSnapshot> retained;
+  {
+    sync::MutexLock lock(&mu_);
+    const size_t n = static_cast<size_t>(std::min<uint64_t>(total_, capacity_));
+    retained.reserve(n);
+    const size_t oldest = total_ <= capacity_ ? 0 : next_;
+    for (size_t i = 0; i < n; ++i) {
+      retained.push_back(slots_[(oldest + i) % capacity_]);
+    }
+  }
+
+  WindowStats w;
+  if (retained.empty()) return w;
+  const uint64_t end = as_of_us == 0 ? retained.back().t_us : as_of_us;
+  const uint64_t begin = end >= duration_us ? end - duration_us : 0;
+
+  // Covered samples: t_us in [begin, end]. The retained list is
+  // time-ordered, so the covered region is contiguous.
+  const TimedSnapshot* first = nullptr;
+  const TimedSnapshot* last = nullptr;
+  size_t covered = 0;
+  for (const TimedSnapshot& s : retained) {
+    if (s.t_us < begin || s.t_us > end) continue;
+    if (first == nullptr) first = &s;
+    last = &s;
+    ++covered;
+  }
+  if (covered < 2 || first->t_us == last->t_us) return w;  // need a span
+
+  w.valid = true;
+  w.t_begin_us = first->t_us;
+  w.t_end_us = last->t_us;
+  w.samples = covered;
+  const double span_sec = w.SpanSeconds();
+
+  const MetricsSnapshot delta = last->snap.Since(first->snap);
+  for (const MetricSample& s : delta.samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: {
+        WindowStats::CounterWindow c;
+        c.name = s.name;
+        c.delta = s.counter;
+        c.rate_per_sec = static_cast<double>(s.counter) / span_sec;
+        w.counters.push_back(std::move(c));
+        break;
+      }
+      case MetricSample::Kind::kHistogram: {
+        WindowStats::HistogramWindow h;
+        h.name = s.name;
+        h.delta = s.hist;
+        h.p50 = s.hist.Percentile(50);
+        h.p95 = s.hist.Percentile(95);
+        h.p99 = s.hist.Percentile(99);
+        w.histograms.push_back(std::move(h));
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        break;  // extremes need every covered sample; second pass below
+    }
+  }
+
+  // Gauge extremes scan every covered sample, not just the endpoints — a
+  // level that spiked mid-window and recovered is exactly what min/max are
+  // for.
+  for (const MetricSample& s : last->snap.samples) {
+    if (s.kind != MetricSample::Kind::kGauge) continue;
+    WindowStats::GaugeWindow g;
+    g.name = s.name;
+    g.last = s.gauge;
+    g.min = s.gauge;
+    g.max = s.gauge;
+    for (const TimedSnapshot& ts : retained) {
+      if (ts.t_us < begin || ts.t_us > end) continue;
+      const MetricSample* m = ts.snap.Find(s.name);
+      if (m == nullptr || m->kind != MetricSample::Kind::kGauge) continue;
+      g.min = std::min(g.min, m->gauge);
+      g.max = std::max(g.max, m->gauge);
+    }
+    w.gauges.push_back(std::move(g));
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Harvester
+// ---------------------------------------------------------------------------
+
+Harvester::Harvester(MetricsRegistry* registry, HarvesterOptions opts)
+    : registry_(registry), opts_(opts), ring_(opts.ring_capacity) {
+  assert(registry_ != nullptr);
+  if (opts_.interval_us == 0) opts_.interval_us = 1;
+}
+
+Harvester::~Harvester() { Stop(); }
+
+void Harvester::AddSampleHook(std::function<void()> hook) {
+  assert(!running());  // the hook list is lock-free because it is frozen
+  hooks_.push_back(std::move(hook));
+}
+
+void Harvester::WatchTraceSink(RingBufferSink* sink) {
+  MetricsRegistry* reg = registry_;
+  AddSampleHook([reg, sink] { sink->ExportMetrics(reg); });
+}
+
+void Harvester::SampleOnce() {
+  for (const auto& hook : hooks_) hook();
+  ring_.Add(NowMicros(), registry_->Snapshot());
+}
+
+void Harvester::Start() {
+  assert(!running());
+  {
+    sync::MutexLock lock(&mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Harvester::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    sync::MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+  thread_ = std::thread();
+}
+
+void Harvester::Run() {
+  // Sample outside mu_: hooks acquire subsystem locks (generation table,
+  // trace sink, registry reader lock) whose ranks sit BELOW kHarvester, so
+  // holding mu_ across a sample would be a rank inversion. mu_ exists only
+  // to park between samples.
+  for (;;) {
+    SampleOnce();
+    sync::MutexLock lock(&mu_);
+    if (stop_) return;
+    cv_.WaitFor(&mu_, opts_.interval_us);
+    if (stop_) return;
+  }
+}
+
+}  // namespace obs
+}  // namespace boxagg

@@ -1,0 +1,186 @@
+// Time-series telemetry: a background Harvester thread samples the
+// process-global MetricsRegistry at a fixed interval into a fixed-capacity
+// ring of timestamped snapshots, and Window() views derive what the
+// point-in-time Snapshot() cannot express — counter *rates*, sliding-window
+// histogram percentiles, and gauge extremes — via the existing Since()
+// snapshot algebra.
+//
+// Perturbation contract (the PR 5 discipline, extended in time): sampling
+// must never touch a hot path. One sample is reg->Snapshot() — relaxed
+// atomic loads under the registry's *reader* lock, which no Inc()/Record()
+// ever takes — plus optional sample hooks and one ring append under the
+// ring's own leaf-adjacent mutex. No instrumented code path ever blocks on
+// the harvester, and the harvester performs zero I/O, so buffer-pool
+// physical/logical counts are bit-identical with the harvester running at
+// any interval (CI verifies at 1 ms against the batch1 and descent
+// baselines).
+//
+// Sample hooks exist for gauges that are *derived* rather than maintained
+// (e.g. BagFile's oldest-pin age, the trace ring's occupancy): a hook runs
+// on the harvester thread immediately before each Snapshot() and publishes
+// whatever levels it computes into the registry. Hooks must be registered
+// before Start() — the hook list is immutable while the thread runs, so
+// running hooks takes no lock.
+
+#ifndef BOXAGG_OBS_TIMESERIES_H_
+#define BOXAGG_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/sync.h"
+#include "obs/metrics.h"
+
+namespace boxagg {
+namespace obs {
+
+class RingBufferSink;
+
+/// \brief One harvested sample: a full registry snapshot with its take time.
+struct TimedSnapshot {
+  uint64_t t_us = 0;  ///< NowMicros() when the sample was taken
+  MetricsSnapshot snap;
+};
+
+/// \brief Windowed view over [t_end - duration, t_end]: per-metric rates,
+/// deltas, and sliding percentiles between the first and last sample that
+/// fall inside the window.
+struct WindowStats {
+  /// Per-counter delta and rate across the window.
+  struct CounterWindow {
+    std::string name;
+    uint64_t delta = 0;   ///< reset-aware (see MetricsSnapshot::Since)
+    double rate_per_sec = 0;
+  };
+  /// Per-histogram delta distribution across the window.
+  struct HistogramWindow {
+    std::string name;
+    HistogramSnapshot delta;  ///< window-local distribution
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+  /// Per-gauge last value plus window extremes.
+  struct GaugeWindow {
+    std::string name;
+    int64_t last = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+
+  bool valid = false;       ///< >= 2 samples landed in the window
+  uint64_t t_begin_us = 0;  ///< first sample in the window
+  uint64_t t_end_us = 0;    ///< last sample in the window
+  size_t samples = 0;       ///< samples inside the window
+  std::vector<CounterWindow> counters;
+  std::vector<HistogramWindow> histograms;
+  std::vector<GaugeWindow> gauges;
+
+  [[nodiscard]] double SpanSeconds() const {
+    return static_cast<double>(t_end_us - t_begin_us) / 1e6;
+  }
+  [[nodiscard]] const CounterWindow* FindCounter(const std::string& n) const;
+  [[nodiscard]] const HistogramWindow* FindHistogram(
+      const std::string& n) const;
+  [[nodiscard]] const GaugeWindow* FindGauge(const std::string& n) const;
+};
+
+/// \brief Fixed-capacity ring of timestamped snapshots.
+///
+/// Append never allocates a slot (slots recycle oldest-first once the ring
+/// is full); Window() copies the covered samples out under the ring mutex
+/// and computes rates/percentiles outside it. Thread-safe; samples must be
+/// appended in non-decreasing timestamp order (one harvester thread, or a
+/// test driving synthetic time).
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(size_t capacity);
+
+  /// Appends a sample, overwriting the oldest once full.
+  void Add(uint64_t t_us, MetricsSnapshot snap);
+
+  /// Snapshot of the newest sample (valid == false when empty).
+  [[nodiscard]] bool Latest(TimedSnapshot* out) const;
+
+  /// Stats over samples with t_us in [as_of_us - duration_us, as_of_us].
+  /// `as_of_us` == 0 means "the newest sample's time". Needs >= 2 covered
+  /// samples to be valid; a window wider than the ring's retention simply
+  /// degrades to the oldest retained sample (that is what fixed capacity
+  /// means — the ring answers with the history it has).
+  [[nodiscard]] WindowStats Window(uint64_t duration_us,
+                                   uint64_t as_of_us = 0) const;
+
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  /// Total samples ever appended (size() caps at capacity; this does not).
+  [[nodiscard]] uint64_t total_samples() const;
+
+ private:
+  const size_t capacity_;
+  mutable sync::Mutex mu_{"obs.timeseries_ring", sync::lock_rank::kTimeSeries};
+  std::vector<TimedSnapshot> slots_ GUARDED_BY(mu_);  ///< capacity_ entries
+  size_t next_ GUARDED_BY(mu_) = 0;                   ///< next slot to write
+  uint64_t total_ GUARDED_BY(mu_) = 0;                ///< lifetime appends
+};
+
+/// \brief Options for the background sampler.
+struct HarvesterOptions {
+  uint64_t interval_us = 100000;  ///< 100 ms default sampling period
+  size_t ring_capacity = 600;     ///< 1 min of history at the default period
+};
+
+/// \brief Background thread that samples a MetricsRegistry into a ring.
+///
+/// Lifecycle: construct, AddSampleHook() as needed, Start(), ... Stop()
+/// (or destruction). Start/Stop are not thread-safe against each other —
+/// drive the harvester from one owner. The registry must outlive the
+/// harvester.
+class Harvester {
+ public:
+  Harvester(MetricsRegistry* registry, HarvesterOptions opts = {});
+  ~Harvester();
+
+  Harvester(const Harvester&) = delete;
+  Harvester& operator=(const Harvester&) = delete;
+
+  /// Runs `hook` on the harvester thread right before every sample; for
+  /// derived gauges (pin ages, ring occupancy). Must be called before
+  /// Start(). Hooks must not touch the harvester or its ring.
+  void AddSampleHook(std::function<void()> hook);
+
+  /// Convenience: exports `sink`'s occupancy/drop counters into the
+  /// registry before every sample (see RingBufferSink::ExportMetrics).
+  void WatchTraceSink(RingBufferSink* sink);
+
+  void Start();
+  /// Idempotent; blocks until the thread exits. Also called by ~Harvester.
+  void Stop();
+
+  /// Takes one sample synchronously (hooks included) regardless of whether
+  /// the thread runs — tests and the --watch loop use this to pin sample
+  /// points deterministically.
+  void SampleOnce();
+
+  [[nodiscard]] const TimeSeriesRing& ring() const { return ring_; }
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  [[nodiscard]] uint64_t interval_us() const { return opts_.interval_us; }
+
+ private:
+  void Run();
+
+  MetricsRegistry* registry_;
+  HarvesterOptions opts_;
+  TimeSeriesRing ring_;
+  std::vector<std::function<void()>> hooks_;  ///< immutable after Start()
+
+  sync::Mutex mu_{"obs.harvester", sync::lock_rank::kHarvester};
+  sync::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace boxagg
+
+#endif  // BOXAGG_OBS_TIMESERIES_H_

@@ -24,6 +24,8 @@
 namespace boxagg {
 namespace obs {
 
+class MetricsRegistry;
+
 /// Monotonic clock in microseconds (steady across the process).
 uint64_t NowMicros();
 
@@ -39,6 +41,7 @@ struct TraceEvent {
   int64_t level = -1;               ///< tree level, -1 when n/a
   int64_t pages_fetched = -1;       ///< logical page fetches inside the span
   int64_t probes = -1;              ///< probes carried / queries in batch
+  int64_t generation = -1;          ///< MVCC generation, -1 when n/a
 };
 
 /// \brief Receives completed spans; implementations must be thread-safe.
@@ -65,9 +68,20 @@ class RingBufferSink : public TraceSink {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Events currently buffered (occupancy <= capacity).
+  [[nodiscard]] size_t occupancy() const;
+
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+
+  /// Publishes the sink's state into `reg` as registry metrics:
+  /// `trace.ring.dropped` / `trace.ring.occupancy` / `trace.ring.capacity`.
+  /// Safe to call from a harvester sample hook (sink lock is only taken
+  /// for the occupancy read and never nests inside the registry lock).
+  void ExportMetrics(MetricsRegistry* reg) const;
+
  private:
   const size_t capacity_;
-  sync::Mutex mu_{"obs.trace_ring", sync::lock_rank::kTraceSink};
+  mutable sync::Mutex mu_{"obs.trace_ring", sync::lock_rank::kTraceSink};
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
   std::atomic<size_t> dropped_{0};
 };
@@ -90,6 +104,7 @@ class Span {
   void SetLevel(int64_t level) { event_.level = level; }
   void SetPagesFetched(int64_t n) { event_.pages_fetched = n; }
   void SetProbes(int64_t n) { event_.probes = n; }
+  void SetGeneration(int64_t g) { event_.generation = g; }
   [[nodiscard]] bool active() const { return sink_ != nullptr; }
 
  private:

@@ -90,6 +90,21 @@ void BufferPool::ExportMetrics(obs::MetricsRegistry* reg) const {
     set("evictions", c.evictions);
     set("dirty_writebacks", c.dirty_writebacks);
   }
+  uint64_t snap_hits = 0;
+  uint64_t snap_misses = 0;
+  for (const auto& sp : shards_) {
+    snap_hits += sp->snapshot_hits.load(std::memory_order_relaxed);
+    snap_misses += sp->snapshot_misses.load(std::memory_order_relaxed);
+  }
+  const auto set_total = [&](const char* metric, uint64_t v) {
+    obs::Counter* counter = reg->GetCounter(metric);
+    counter->Reset();
+    counter->Inc(v);
+  };
+  set_total("bufferpool.snapshot.hits", snap_hits);
+  set_total("bufferpool.snapshot.misses", snap_misses);
+  reg->GetGauge("bufferpool.resident")
+      ->Set(static_cast<int64_t>(resident()));
 }
 
 size_t BufferPool::resident() const {
@@ -162,6 +177,7 @@ Status BufferPool::FetchSnapshot(const PageVersionView& view, PageId logical,
   if (it != s.frames.end()) {
     stats_.AddBufferHit();
     s.hits.fetch_add(1, std::memory_order_relaxed);
+    s.snapshot_hits.fetch_add(1, std::memory_order_relaxed);
     Frame* f = it->second;
     ParkLru(s, f);
     f->pin_count.fetch_add(1, std::memory_order_relaxed);
@@ -177,6 +193,7 @@ Status BufferPool::FetchSnapshot(const PageVersionView& view, PageId logical,
   }
   stats_.AddPhysicalRead();
   s.misses.fetch_add(1, std::memory_order_relaxed);
+  s.snapshot_misses.fetch_add(1, std::memory_order_relaxed);
   f->id = key;
   f->pin_count.store(1, std::memory_order_relaxed);
   f->dirty.store(false, std::memory_order_relaxed);

@@ -158,7 +158,11 @@ class BufferPool {
 
   /// Publishes per-shard counters into `reg` as
   /// bufferpool.shard<i>.{hits,misses,evictions,dirty_writebacks} (counters
-  /// are set-to-current: call at quiescent points, e.g. after a workload).
+  /// are set-to-current: call at quiescent points, e.g. after a workload),
+  /// plus pool-wide bufferpool.snapshot.{hits,misses} (the pinned-reader
+  /// FetchSnapshot slice) and a bufferpool.resident gauge. Also usable as
+  /// a Harvester sample hook: reset-aware Since() keeps set-to-current
+  /// counters monotone within a window.
   void ExportMetrics(obs::MetricsRegistry* reg) const;
 
   PageFile* file() { return file_; }
@@ -219,6 +223,10 @@ class BufferPool {
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> dirty_writebacks{0};
+    // Snapshot-path (FetchSnapshot) slice of hits/misses: pinned-reader
+    // traffic, disjoint from the live page-id namespace.
+    std::atomic<uint64_t> snapshot_hits{0};
+    std::atomic<uint64_t> snapshot_misses{0};
   };
 
   size_t ShardOf(PageId id) const {

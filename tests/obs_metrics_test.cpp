@@ -169,6 +169,134 @@ TEST(ObsMetrics, SnapshotSinceSubtractsCountersKeepsGauges) {
   EXPECT_EQ(d.Find("g")->gauge, 3);      // gauges are levels: no delta
 }
 
+// ---------------------------------------------------------------------------
+// Reset-aware Since: windowed views (time-series rings) subtract snapshots
+// taken at different times, so Since must stay sane when the underlying
+// metric was Reset() (the set-to-current exporter pattern), reshaped, or
+// unregistered between the two samples.
+
+MetricsSnapshot SnapshotWith(std::vector<MetricSample> samples) {
+  MetricsSnapshot s;
+  s.samples = std::move(samples);
+  return s;
+}
+
+MetricSample CounterSample(const char* name, uint64_t v) {
+  MetricSample m;
+  m.name = name;
+  m.kind = MetricSample::Kind::kCounter;
+  m.counter = v;
+  return m;
+}
+
+MetricSample HistSample(const char* name, std::vector<double> bounds,
+                        std::vector<uint64_t> counts, double sum) {
+  MetricSample m;
+  m.name = name;
+  m.kind = MetricSample::Kind::kHistogram;
+  m.hist.bounds = std::move(bounds);
+  m.hist.counts = std::move(counts);
+  for (uint64_t c : m.hist.counts) m.hist.count += c;
+  m.hist.sum = sum;
+  return m;
+}
+
+TEST(ObsMetrics, SinceCounterResetYieldsCurrentValue) {
+  // A counter that went backwards was Reset() between the samples; the
+  // honest delta is everything counted since the reset, i.e. the current
+  // value — never a huge unsigned wraparound.
+  const MetricsSnapshot earlier = SnapshotWith({CounterSample("c", 100)});
+  const MetricsSnapshot now = SnapshotWith({CounterSample("c", 5)});
+  const MetricsSnapshot d = now.Since(earlier);
+  ASSERT_NE(d.Find("c"), nullptr);
+  EXPECT_EQ(d.Find("c")->counter, 5u);
+
+  // Monotone counters still subtract exactly.
+  const MetricsSnapshot d2 =
+      SnapshotWith({CounterSample("c", 150)}).Since(earlier);
+  EXPECT_EQ(d2.Find("c")->counter, 50u);
+}
+
+TEST(ObsMetrics, SinceHistogramShapeMismatchPassesCurrentThrough) {
+  // Different bucket layouts cannot be subtracted; the current snapshot
+  // wins wholesale (same rationale as the counter reset).
+  const MetricsSnapshot earlier =
+      SnapshotWith({HistSample("h", {10.0, 100.0}, {5, 3, 1}, 200.0)});
+  const MetricsSnapshot now =
+      SnapshotWith({HistSample("h", {50.0}, {4, 2}, 120.0)});
+  const MetricsSnapshot d = now.Since(earlier);
+  ASSERT_NE(d.Find("h"), nullptr);
+  EXPECT_EQ(d.Find("h")->hist.count, 6u);
+  ASSERT_EQ(d.Find("h")->hist.bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Find("h")->hist.bounds[0], 50.0);
+  EXPECT_EQ(d.Find("h")->hist.counts, (std::vector<uint64_t>{4, 2}));
+}
+
+TEST(ObsMetrics, SinceHistogramDecreasePassesCurrentThrough) {
+  // Same shape but a shrinking bucket means the histogram was reset:
+  // subtracting would underflow, so the current distribution passes
+  // through.
+  const MetricsSnapshot earlier =
+      SnapshotWith({HistSample("h", {10.0}, {8, 2}, 100.0)});
+  const MetricsSnapshot now =
+      SnapshotWith({HistSample("h", {10.0}, {3, 2}, 40.0)});
+  const MetricsSnapshot d = now.Since(earlier);
+  ASSERT_NE(d.Find("h"), nullptr);
+  EXPECT_EQ(d.Find("h")->hist.count, 5u);
+  EXPECT_EQ(d.Find("h")->hist.counts, (std::vector<uint64_t>{3, 2}));
+  EXPECT_DOUBLE_EQ(d.Find("h")->hist.sum, 40.0);
+}
+
+TEST(ObsMetrics, SinceDisappearedAndAppearedMetrics) {
+  // Since iterates the *current* snapshot: a metric present only in the
+  // earlier sample vanishes from the delta (nothing to report), and a
+  // freshly appeared metric passes through unchanged.
+  const MetricsSnapshot earlier =
+      SnapshotWith({CounterSample("gone", 7), CounterSample("kept", 10)});
+  const MetricsSnapshot now =
+      SnapshotWith({CounterSample("kept", 13), CounterSample("new", 4)});
+  const MetricsSnapshot d = now.Since(earlier);
+  EXPECT_EQ(d.Find("gone"), nullptr);
+  ASSERT_NE(d.Find("kept"), nullptr);
+  EXPECT_EQ(d.Find("kept")->counter, 3u);
+  ASSERT_NE(d.Find("new"), nullptr);
+  EXPECT_EQ(d.Find("new")->counter, 4u);
+}
+
+TEST(ObsMetrics, WritePrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("io.reads")->Inc(42);
+  reg.GetGauge("pool.resident")->Set(-3);
+  Histogram* h = reg.GetHistogram("lat.us", {10.0, 100.0});
+  h->Record(5.0);
+  h->Record(50.0);
+  h->Record(500.0);
+
+  char* buf = nullptr;
+  size_t len = 0;
+  FILE* out = open_memstream(&buf, &len);
+  ASSERT_NE(out, nullptr);
+  reg.Snapshot().WritePrometheus(out);
+  std::fclose(out);
+  const std::string text(buf, len);
+  free(buf);
+
+  // Name mangling: boxagg_ prefix, dots to underscores, counters _total.
+  EXPECT_NE(text.find("# TYPE boxagg_io_reads_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("boxagg_io_reads_total 42"), std::string::npos);
+  EXPECT_NE(text.find("boxagg_pool_resident -3"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(text.find("boxagg_lat_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("boxagg_lat_us_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("boxagg_lat_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("boxagg_lat_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("boxagg_lat_us_sum 555"), std::string::npos);
+}
+
 TEST(ObsMetrics, GlobalRegistryDefaultsToDisabled) {
   EXPECT_EQ(MetricsRegistry::Global(), nullptr);
   MetricsRegistry reg;

@@ -1,0 +1,182 @@
+// SLO engine tests: FractionAbove interpolation (the inverse of the
+// histogram percentile convention), multi-window burn-rate verdicts over a
+// synthetic incident timeline — healthy traffic evaluates kOk, a latency
+// regression flips the verdict to kBreach, sustained-but-subcritical burn
+// reads kAtRisk — and the machine-readable JSON emission.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace boxagg {
+namespace obs {
+namespace {
+
+constexpr uint64_t kSec = 1000000;
+
+HistogramSnapshot Hist(std::vector<double> bounds,
+                       std::vector<uint64_t> counts) {
+  HistogramSnapshot h;
+  h.bounds = std::move(bounds);
+  h.counts = std::move(counts);
+  for (uint64_t c : h.counts) h.count += c;
+  h.sum = 0;
+  return h;
+}
+
+MetricSample HistSample(const char* name, const HistogramSnapshot& h) {
+  MetricSample m;
+  m.name = name;
+  m.kind = MetricSample::Kind::kHistogram;
+  m.hist = h;
+  return m;
+}
+
+MetricsSnapshot LatencySnapshot(uint64_t good, uint64_t bad) {
+  // Two buckets: [0,100] = within objective, (100,10000] = violations
+  // (with objective_us = 100 the split is exact, no interpolation).
+  MetricsSnapshot s;
+  s.samples.push_back(
+      HistSample("lat_us", Hist({100.0, 10000.0}, {good, bad, 0})));
+  return s;
+}
+
+SloSpec TestSpec() {
+  SloSpec spec;
+  spec.name = "lat_p99";
+  spec.latency_metric = "lat_us";
+  spec.objective_us = 100;
+  spec.error_budget = 0.001;
+  spec.fast_window_us = 2 * kSec;
+  spec.slow_window_us = 10 * kSec;
+  return spec;
+}
+
+TEST(SloFractionAbove, InterpolatesInsideCoveringBucket) {
+  // 10 values uniform in [0,10]: threshold 5 splits the bucket in half.
+  const HistogramSnapshot h = Hist({10.0}, {10, 0});
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 1e9), 0.0);
+}
+
+TEST(SloFractionAbove, OverflowBucketAlwaysCountsAsAbove) {
+  const HistogramSnapshot h = Hist({10.0}, {6, 4});
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 10.0), 0.4);
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 1e12), 0.4);
+  EXPECT_DOUBLE_EQ(FractionAbove(h, 5.0), 0.7);  // half of the 6 + all 4
+}
+
+TEST(SloFractionAbove, EmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(FractionAbove(Hist({10.0}, {0, 0}), 5.0), 0.0);
+}
+
+TEST(SloEngineTest, HealthyTrafficEvaluatesOk) {
+  TimeSeriesRing ring(32);
+  ring.Add(0, LatencySnapshot(100, 0));
+  ring.Add(5 * kSec, LatencySnapshot(200, 0));
+  ring.Add(6 * kSec, LatencySnapshot(300, 0));
+  const SloVerdict v = SloEngine::Evaluate(TestSpec(), ring);
+  EXPECT_EQ(v.state, SloState::kOk);
+  EXPECT_DOUBLE_EQ(v.slow_burn, 0.0);
+  EXPECT_EQ(v.slow_requests, 200u);
+}
+
+TEST(SloEngineTest, LatencyRegressionFlipsVerdictToBreach) {
+  TimeSeriesRing ring(32);
+  // Healthy history, then an incident in the last two seconds: every new
+  // request violates the objective, burning budget at 1000x in BOTH
+  // windows — the multi-window rule pages.
+  ring.Add(0, LatencySnapshot(100, 0));
+  ring.Add(5 * kSec, LatencySnapshot(200, 0));
+  ring.Add(9 * kSec, LatencySnapshot(200, 50));
+  ring.Add(10 * kSec, LatencySnapshot(200, 80));
+
+  const SloSpec spec = TestSpec();
+  // Mid-timeline (before the incident) the same spec read kOk.
+  EXPECT_EQ(SloEngine::Evaluate(spec, ring, 5 * kSec).state, SloState::kOk);
+
+  const SloVerdict v = SloEngine::Evaluate(spec, ring);
+  EXPECT_EQ(v.state, SloState::kBreach);
+  // Slow window [0s,10s]: 100 good + 80 bad landed -> 80/180 bad.
+  EXPECT_NEAR(v.slow_bad_fraction, 80.0 / 180.0, 1e-9);
+  EXPECT_GE(v.slow_burn, TestSpec().slow_burn_threshold);
+  // Fast window [8s,10s]: only the 30 bad requests landed -> all bad.
+  EXPECT_DOUBLE_EQ(v.fast_bad_fraction, 1.0);
+  EXPECT_GE(v.fast_burn, TestSpec().fast_burn_threshold);
+  EXPECT_EQ(v.fast_requests, 30u);
+  EXPECT_EQ(v.slow_requests, 180u);
+}
+
+TEST(SloEngineTest, SustainedSubcriticalBurnIsAtRisk) {
+  TimeSeriesRing ring(32);
+  ring.Add(0, LatencySnapshot(100, 0));
+  ring.Add(9 * kSec, LatencySnapshot(150, 10));
+  ring.Add(10 * kSec, LatencySnapshot(200, 20));
+  // Generous budget: slow bad fraction 20/120 over budget 0.1 burns at
+  // 1.67x — above sustainable (1.0) but far below the 6x page threshold.
+  SloSpec spec = TestSpec();
+  spec.error_budget = 0.1;
+  const SloVerdict v = SloEngine::Evaluate(spec, ring);
+  EXPECT_EQ(v.state, SloState::kAtRisk);
+  EXPECT_GE(v.slow_burn, 1.0);
+  EXPECT_LT(v.slow_burn, spec.slow_burn_threshold);
+}
+
+TEST(SloEngineTest, NoDataOnEmptyRingOrMissingMetric) {
+  TimeSeriesRing ring(8);
+  EXPECT_EQ(SloEngine::Evaluate(TestSpec(), ring).state, SloState::kNoData);
+
+  // Samples exist but carry no requests for the latency metric.
+  ring.Add(0, MetricsSnapshot{});
+  ring.Add(kSec, MetricsSnapshot{});
+  EXPECT_EQ(SloEngine::Evaluate(TestSpec(), ring).state, SloState::kNoData);
+}
+
+TEST(SloEngineTest, EvaluateAllPreservesSpecOrderAndWritesJson) {
+  TimeSeriesRing ring(32);
+  ring.Add(0, LatencySnapshot(100, 0));
+  ring.Add(9 * kSec, LatencySnapshot(200, 0));
+  ring.Add(10 * kSec, LatencySnapshot(200, 50));
+
+  SloEngine engine;
+  engine.AddSpec(TestSpec());
+  SloSpec generous = TestSpec();
+  generous.name = "lat_generous";
+  generous.error_budget = 0.9;
+  engine.AddSpec(generous);
+
+  const std::vector<SloVerdict> verdicts = engine.EvaluateAll(ring);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].name, "lat_p99");
+  EXPECT_EQ(verdicts[0].state, SloState::kBreach);
+  EXPECT_EQ(verdicts[1].name, "lat_generous");
+  EXPECT_NE(verdicts[1].state, SloState::kBreach);
+
+  char* buf = nullptr;
+  size_t len = 0;
+  FILE* out = open_memstream(&buf, &len);
+  ASSERT_NE(out, nullptr);
+  SloEngine::WriteJson(out, verdicts);
+  std::fclose(out);
+  const std::string text(buf, len);
+  free(buf);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), ']');
+  EXPECT_NE(text.find("\"slo\":\"lat_p99\""), std::string::npos);
+  EXPECT_NE(text.find("\"state\":\"breach\""), std::string::npos);
+  EXPECT_NE(text.find("\"fast_burn\":"), std::string::npos);
+  EXPECT_NE(text.find("\"slow_requests\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace boxagg

@@ -16,7 +16,14 @@
 //   - with --json, writes the same snapshot as a JSON object (PATH or "-"
 //     for stdout);
 //   - with --trace, writes the drained spans as a chrome://tracing JSON
-//     document loadable in Perfetto.
+//     document loadable in Perfetto;
+//   - with --prometheus [PATH|-], writes the snapshot in Prometheus text
+//     exposition format (bare --prometheus means stdout, which then stays
+//     pure exposition — no table);
+//   - with --watch TICKS, switches to live mode: a background Harvester
+//     samples the registry while the batch re-runs once per tick, and each
+//     tick prints one JSON line of windowed rates, sliding percentiles, and
+//     SLO verdicts (--slo-objective-us / --slo-budget set the objective).
 //
 // Exit status is non-zero if any cross-check fails. Two invariants are
 // enforced, both documented in src/obs/query_obs.h and storage/io_stats.h:
@@ -43,6 +50,8 @@
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/query_obs.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "replica/compact_replica.h"
 #include "replica/replica_builder.h"
@@ -66,6 +75,11 @@ struct Options {
   uint64_t seed = 42;
   std::string json_path;   // empty = no JSON dump; "-" = stdout
   std::string trace_path;  // empty = no trace file
+  std::string prom_path;   // empty = no Prometheus dump; "-" = stdout
+  size_t watch = 0;        // >0 = live mode: N ticks of one JSON line each
+  uint64_t watch_interval_ms = 20;  // harvester period in watch mode
+  double slo_objective_us = 100000;  // watch-mode SLO: morsel latency bound
+  double slo_budget = 0.001;         // watch-mode SLO: allowed bad fraction
 };
 
 int Usage() {
@@ -74,7 +88,10 @@ int Usage() {
                "                    [--n N]\n"
                "                    [--queries Q] [--batch B] [--threads T]\n"
                "                    [--shards S] [--buffer-mb M] [--seed S]\n"
-               "                    [--json PATH|-] [--trace PATH]\n");
+               "                    [--json PATH|-] [--trace PATH]\n"
+               "                    [--prometheus [PATH|-]]\n"
+               "                    [--watch TICKS] [--watch-interval-ms MS]\n"
+               "                    [--slo-objective-us US] [--slo-budget F]\n");
   return 2;
 }
 
@@ -119,6 +136,24 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else if (std::strcmp(a, "--trace") == 0) {
       if ((v = next(a)) == nullptr) return false;
       opt->trace_path = v;
+    } else if (std::strcmp(a, "--prometheus") == 0) {
+      // Optional value: bare --prometheus means stdout.
+      opt->prom_path = "-";
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        opt->prom_path = argv[++i];
+      }
+    } else if (std::strcmp(a, "--watch") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->watch = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--watch-interval-ms") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->watch_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--slo-objective-us") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->slo_objective_us = std::strtod(v, nullptr);
+    } else if (std::strcmp(a, "--slo-budget") == 0) {
+      if ((v = next(a)) == nullptr) return false;
+      opt->slo_budget = std::strtod(v, nullptr);
     } else {
       std::fprintf(stderr, "boxagg_stats: unknown argument %s\n", a);
       return false;
@@ -132,6 +167,7 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
   }
   if (opt->threads == 0) opt->threads = 1;
   if (opt->batch == 0) opt->batch = opt->queries;
+  if (opt->watch_interval_ms == 0) opt->watch_interval_ms = 1;
   return true;
 }
 
@@ -176,12 +212,91 @@ void ExportIoStats(obs::MetricsRegistry* reg, const IoStats& d) {
   set("io.probe_fetches_saved", d.probe_fetches_saved);
 }
 
+/// Live mode: a Harvester samples the registry on a background thread while
+/// the main thread re-runs the query batch once per tick and prints one
+/// JSON object per line — windowed counter rates, sliding morsel-latency
+/// percentiles, and the SLO verdicts — jq-friendly for dashboards and CI.
+///
+/// Each tick also takes one synchronous sample (SampleOnce) so the window
+/// is guaranteed to cover the work just done regardless of how the
+/// background period aligns with batch wall time.
+template <class Index>
+int RunWatch(const Options& opt, BufferPool* pool, BoxSumIndex<Index>* indexp,
+             const std::vector<Box>& queries) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  BoxSumIndex<Index>& index = *indexp;
+
+  obs::HarvesterOptions hopt;
+  hopt.interval_us = opt.watch_interval_ms * 1000;
+  hopt.ring_capacity = 4096;
+  obs::Harvester harvester(reg, hopt);
+  harvester.AddSampleHook([pool, reg] { pool->ExportMetrics(reg); });
+  harvester.WatchTraceSink(
+      static_cast<obs::RingBufferSink*>(obs::CurrentTraceSink()));
+
+  // A CLI run lasts seconds, not hours: burn rates are evaluated over a
+  // 1 s fast / 5 s slow window pair instead of the paging defaults.
+  obs::SloEngine slos;
+  obs::SloSpec spec;
+  spec.name = "morsel_latency";
+  spec.latency_metric = "executor.morsel_latency_us";
+  spec.objective_us = opt.slo_objective_us;
+  spec.error_budget = opt.slo_budget;
+  spec.fast_window_us = 1000000;
+  spec.slow_window_us = 5000000;
+  slos.AddSpec(spec);
+
+  exec::ParallelQueryExecutor executor(opt.threads);
+  exec::BatchQueryFn fn = exec::BoxSumBatchQueryFn(&index);
+  std::vector<double> results;
+  exec::BatchExecStats st;
+
+  harvester.SampleOnce();  // window anchor before the first tick
+  harvester.Start();
+  for (size_t tick = 0; tick < opt.watch; ++tick) {
+    if (Status s = executor.RunBatchGrouped(fn, queries, opt.batch, &results,
+                                            &st, pool);
+        !s.ok()) {
+      harvester.Stop();
+      return Die("watch batch", s);
+    }
+    harvester.SampleOnce();
+
+    const obs::WindowStats w = harvester.ring().Window(spec.slow_window_us);
+    const std::vector<obs::SloVerdict> verdicts =
+        slos.EvaluateAll(harvester.ring());
+
+    std::printf("{\"tick\":%zu,\"window_sec\":%.3f,\"samples\":%zu", tick,
+                w.valid ? w.SpanSeconds() : 0.0, w.samples);
+    const obs::WindowStats::CounterWindow* qc =
+        w.FindCounter("executor.queries");
+    std::printf(",\"qps\":%.1f", qc != nullptr ? qc->rate_per_sec : 0.0);
+    const obs::WindowStats::HistogramWindow* hw =
+        w.FindHistogram("executor.morsel_latency_us");
+    std::printf(
+        ",\"morsel_p50_us\":%.1f,\"morsel_p95_us\":%.1f,\"morsel_p99_us\":%.1f",
+        hw != nullptr ? hw->p50 : 0.0, hw != nullptr ? hw->p95 : 0.0,
+        hw != nullptr ? hw->p99 : 0.0);
+    const obs::WindowStats::GaugeWindow* res =
+        w.FindGauge("bufferpool.resident");
+    std::printf(",\"resident_pages\":%" PRId64,
+                res != nullptr ? res->last : static_cast<int64_t>(0));
+    std::printf(",\"slos\":");
+    obs::SloEngine::WriteJson(stdout, verdicts);
+    std::printf("}\n");
+    std::fflush(stdout);
+  }
+  harvester.Stop();
+  return 0;
+}
+
 /// Runs the query phase against an already-built index and reports the
 /// metric/invariant breakdown. Callers flush+reset the pool first so the
 /// measured deltas cover query traffic only.
 template <class Index>
 int QueryAndReport(const Options& opt, BufferPool* pool,
                    BoxSumIndex<Index>* indexp, const std::vector<Box>& queries) {
+  if (opt.watch > 0) return RunWatch(opt, pool, indexp, queries);
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
   obs::QueryObs* qobs = obs::CurrentQueryObs();
   BoxSumIndex<Index>& index = *indexp;
@@ -227,21 +342,38 @@ int QueryAndReport(const Options& opt, BufferPool* pool,
   ExportIoStats(reg, io);
   pool->ExportMetrics(reg);
 
-  std::printf("boxagg_stats: backend=%s n=%zu queries=%zu batch=%zu "
-              "threads=%zu shards=%zu\n",
-              opt.backend.c_str(), opt.n, queries.size(), opt.batch,
-              opt.threads, opt.shards);
-  std::printf("  wall=%.2fms qps=%.0f morsels=%zu p50=%.1fus p95=%.1fus "
-              "p99=%.1fus\n",
-              st.wall_ms, st.queries_per_sec, st.morsels, st.latency_p50_us,
-              st.latency_p95_us, st.latency_p99_us);
-  std::printf("  coverage: node_visits=%" PRIu64 " logical_reads=%" PRIu64
-              " %s\n",
-              qd.TotalNodeVisits(), io.logical_reads,
-              qd.TotalNodeVisits() == io.logical_reads ? "OK" : "MISMATCH");
+  // With --prometheus on stdout, keep stdout pure exposition format (the
+  // human table would fail a format checker); the breakdown still goes to
+  // --json/--trace if asked.
+  const bool prom_stdout = opt.prom_path == "-";
+  if (!prom_stdout) {
+    std::printf("boxagg_stats: backend=%s n=%zu queries=%zu batch=%zu "
+                "threads=%zu shards=%zu\n",
+                opt.backend.c_str(), opt.n, queries.size(), opt.batch,
+                opt.threads, opt.shards);
+    std::printf("  wall=%.2fms qps=%.0f morsels=%zu p50=%.1fus p95=%.1fus "
+                "p99=%.1fus\n",
+                st.wall_ms, st.queries_per_sec, st.morsels, st.latency_p50_us,
+                st.latency_p95_us, st.latency_p99_us);
+    std::printf("  coverage: node_visits=%" PRIu64 " logical_reads=%" PRIu64
+                " %s\n",
+                qd.TotalNodeVisits(), io.logical_reads,
+                qd.TotalNodeVisits() == io.logical_reads ? "OK" : "MISMATCH");
+  }
 
   const obs::MetricsSnapshot snap = reg->Snapshot();
-  snap.WriteTable(stdout);
+  if (!prom_stdout) snap.WriteTable(stdout);
+
+  if (!opt.prom_path.empty()) {
+    FILE* out =
+        prom_stdout ? stdout : std::fopen(opt.prom_path.c_str(), "w");
+    if (out == nullptr) {
+      obs::LogError("boxagg_stats: cannot open %s", opt.prom_path.c_str());
+      return 1;
+    }
+    snap.WritePrometheus(out);
+    if (out != stdout) std::fclose(out);
+  }
 
   if (!opt.json_path.empty()) {
     FILE* out = opt.json_path == "-" ? stdout

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format (version 0.0.4).
+
+    check_prometheus.py [FILE]          (defaults to stdin)
+
+Checks the subset of the format MetricsSnapshot::WritePrometheus emits,
+strictly enough that a drifting emitter fails CI:
+
+  - every line is a comment (# HELP / # TYPE) or a sample;
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  - every sample is preceded by a # TYPE for its family, with a legal type;
+  - counter sample names end in _total;
+  - histogram families expose _bucket{le="..."} series with non-decreasing
+    cumulative counts ending in le="+Inf", plus _sum and _count, and the
+    +Inf bucket equals _count;
+  - sample values parse as floats.
+
+Exit status 0 iff the document is clean; every violation is reported with
+its line number.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def family_of(name):
+    """Strips histogram/counter series suffixes back to the TYPE'd family."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    src = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    errors = []
+    declared = {}  # family -> type
+    helped = set()
+    # histogram family -> {"buckets": [(le, count)], "sum": x, "count": n}
+    hists = {}
+    samples = 0
+
+    for lineno, raw in enumerate(src, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        def err(msg):
+            errors.append(f"line {lineno}: {msg}: {line!r}")
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                err("comment is neither # HELP nor # TYPE")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                err(f"bad metric name {name!r}")
+                continue
+            if parts[1] == "HELP":
+                if name in helped:
+                    err(f"duplicate HELP for {name}")
+                helped.add(name)
+            else:
+                mtype = parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in TYPES:
+                    err(f"unknown type {mtype!r}")
+                elif name in declared:
+                    err(f"duplicate TYPE for {name}")
+                else:
+                    declared[name] = mtype
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("not a comment or sample")
+            continue
+        samples += 1
+        name, labels, value = m.group("name", "labels", "value")
+        try:
+            fval = float(value)
+        except ValueError:
+            err(f"sample value {value!r} is not a float")
+            continue
+        labelmap = {}
+        if labels:
+            for pair in labels.split(","):
+                lm = LABEL_RE.match(pair.strip())
+                if lm is None:
+                    err(f"malformed label {pair!r}")
+                else:
+                    labelmap[lm.group("k")] = lm.group("v")
+
+        fam = family_of(name)
+        ftype = declared.get(fam) or declared.get(name)
+        if ftype is None:
+            err(f"sample {name} has no preceding # TYPE")
+            continue
+        if ftype == "counter" and not name.endswith("_total"):
+            err(f"counter sample {name} does not end in _total")
+        if ftype == "histogram":
+            h = hists.setdefault(fam, {"buckets": [], "sum": None,
+                                       "count": None, "line": lineno})
+            if name.endswith("_bucket"):
+                le = labelmap.get("le")
+                if le is None:
+                    err("histogram _bucket sample without le label")
+                else:
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    h["buckets"].append((bound, fval, lineno))
+            elif name.endswith("_sum"):
+                h["sum"] = fval
+            elif name.endswith("_count"):
+                h["count"] = fval
+            else:
+                err(f"unexpected histogram series {name}")
+
+    for fam, h in sorted(hists.items()):
+        where = f"histogram {fam}"
+        if not h["buckets"]:
+            errors.append(f"{where}: no _bucket samples")
+            continue
+        bounds = [b for b, _, _ in h["buckets"]]
+        counts = [c for _, c, _ in h["buckets"]]
+        if bounds != sorted(bounds):
+            errors.append(f"{where}: bucket bounds not sorted")
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            errors.append(f"{where}: cumulative bucket counts decrease")
+        if bounds[-1] != float("inf"):
+            errors.append(f"{where}: last bucket is not le=\"+Inf\"")
+        if h["count"] is None:
+            errors.append(f"{where}: missing _count")
+        elif bounds[-1] == float("inf") and counts[-1] != h["count"]:
+            errors.append(f"{where}: +Inf bucket {counts[-1]} != _count "
+                          f"{h['count']}")
+        if h["sum"] is None:
+            errors.append(f"{where}: missing _sum")
+
+    if samples == 0:
+        errors.append("document contains no samples")
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        print(f"check_prometheus: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_prometheus: OK — {samples} samples, "
+          f"{len(declared)} families, {len(hists)} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,11 @@
 // pinned reads in every relative order. Readers tolerate only post-crash
 // I/O errors; any mismatch or pre-crash failure fails the iteration.
 //
+// The final stdout line is one JSON object summarizing the run (iteration
+// count, where the power cuts landed, which generation recovery landed on,
+// guard-violation total, and how many oracle checks the readers and the
+// recovery pass executed) — jq-friendly for the CI mvcc-torture job.
+//
 // Exit status 0 iff every iteration passes.
 
 #include <algorithm>
@@ -142,6 +147,22 @@ struct SharedOracles {
   sync::Mutex mu{"torture.oracles", sync::lock_rank::kLeaf};
   std::map<uint64_t, Oracle> by_generation GUARDED_BY(mu);
   std::string first_reader_error GUARDED_BY(mu);
+  /// Snapshot-reader probes that ran all three oracle comparisons clean
+  /// (atomic, not mu-guarded: bumped on every reader loop pass).
+  std::atomic<uint64_t> oracle_checks{0};
+};
+
+/// Run-wide tallies for the final JSON summary line. Written by the main
+/// thread only (per-iteration reader counts land via SharedOracles).
+struct TortureStats {
+  uint64_t iterations = 0;
+  uint64_t crash_mid_run = 0;     // scheduled cut fired during the workload
+  uint64_t crash_end_of_run = 0;  // cut resolved at end-of-run power cut
+  uint64_t recovered_acked = 0;      // recovery landed on the acked gen
+  uint64_t recovered_in_flight = 0;  // ... on the interrupted commit's gen
+  uint64_t guard_violations = 0;
+  uint64_t reader_oracle_checks = 0;
+  uint64_t recovery_oracle_checks = 0;
 };
 
 /// One snapshot reader: pin the published generation, guard every physical
@@ -209,6 +230,7 @@ void ReaderLoop(BagFile* bag, BufferPool* pool, FaultInjectingPageFile* phys,
       }
     }
     for (PageId id : guarded) phys->UnguardPage(id);
+    if (st.ok()) shared->oracle_checks.fetch_add(4, std::memory_order_relaxed);
     if (!st.ok()) {
       if (!phys->crashed()) {
         fail("snapshot read at generation " +
@@ -219,7 +241,8 @@ void ReaderLoop(BagFile* bag, BufferPool* pool, FaultInjectingPageFile* phys,
   }
 }
 
-int RunIteration(uint64_t seed, bool verbose, int readers) {
+int RunIteration(uint64_t seed, bool verbose, int readers,
+                 TortureStats* stats) {
   FaultInjectingPageFile phys(kDefaultPageSize, seed);
   std::unique_ptr<BagFile> bag;
   if (Status st = BagFile::Create(&phys, kDims, kNumRoots, &bag); !st.ok()) {
@@ -314,6 +337,9 @@ int RunIteration(uint64_t seed, bool verbose, int readers) {
       return Fail(seed, "reader: " + shared.first_reader_error);
     }
   }
+  stats->reader_oracle_checks +=
+      shared.oracle_checks.load(std::memory_order_relaxed);
+  stats->guard_violations += phys.guard_violations();
   if (phys.guard_violations() != 0) {
     return Fail(seed, std::to_string(phys.guard_violations()) +
                           " reclamation-ordering guard violation(s)");
@@ -324,7 +350,12 @@ int RunIteration(uint64_t seed, bool verbose, int readers) {
 
   // Power cut at end-of-run if the scheduled point was never reached:
   // whatever sits unsynced in the simulated OS cache is resolved now.
-  if (!phys.crashed()) phys.Crash();
+  if (phys.crashed()) {
+    ++stats->crash_mid_run;
+  } else {
+    ++stats->crash_end_of_run;
+    phys.Crash();
+  }
   phys.Reopen();
 
   // fsck IS recovery (it opens the store the same way any reader would),
@@ -340,6 +371,11 @@ int RunIteration(uint64_t seed, bool verbose, int readers) {
                           ": " + st.ToString());
   }
   const uint64_t recovered = fsck_report.generation;
+  if (recovered == acked) {
+    ++stats->recovered_acked;
+  } else if (in_flight != 0 && recovered == in_flight) {
+    ++stats->recovered_in_flight;
+  }
   if (recovered != acked && !(in_flight != 0 && recovered == in_flight)) {
     return Fail(seed, "recovered to generation " + std::to_string(recovered) +
                           ", expected " + std::to_string(acked) +
@@ -393,7 +429,9 @@ int RunIteration(uint64_t seed, bool verbose, int readers) {
       return Fail(seed, "ba sum mismatch at generation " +
                             std::to_string(recovered));
     }
+    ++stats->recovery_oracle_checks;
   }
+  ++stats->iterations;
 
   if (verbose) {
     obs::LogInfo("seed %" PRIu64 ": crash at io %" PRIu64
@@ -429,13 +467,25 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  TortureStats stats;
   for (uint64_t i = 0; i < iters; ++i) {
-    if (RunIteration(seed + i, verbose, readers) != 0) return 1;
+    if (RunIteration(seed + i, verbose, readers, &stats) != 0) return 1;
     if (!verbose && iters >= 20 && (i + 1) % (iters / 10) == 0) {
       obs::LogInfo("crash_torture: %" PRIu64 "/%" PRIu64 " iterations ok",
                    i + 1, iters);
     }
   }
   obs::LogInfo("crash_torture: all %" PRIu64 " iterations passed", iters);
+  // Machine-readable run summary: exactly one stdout line, one JSON object.
+  std::printf(
+      "{\"tool\":\"crash_torture\",\"status\":\"pass\",\"iterations\":%" PRIu64
+      ",\"readers\":%d,\"crash_mid_run\":%" PRIu64
+      ",\"crash_end_of_run\":%" PRIu64 ",\"recovered_acked\":%" PRIu64
+      ",\"recovered_in_flight\":%" PRIu64 ",\"guard_violations\":%" PRIu64
+      ",\"reader_oracle_checks\":%" PRIu64
+      ",\"recovery_oracle_checks\":%" PRIu64 "}\n",
+      stats.iterations, readers, stats.crash_mid_run, stats.crash_end_of_run,
+      stats.recovered_acked, stats.recovered_in_flight, stats.guard_violations,
+      stats.reader_oracle_checks, stats.recovery_oracle_checks);
   return 0;
 }
